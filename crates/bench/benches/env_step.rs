@@ -1,0 +1,58 @@
+//! Criterion benchmark of a full environment step per topology — the unit
+//! the paper's sample-efficiency numbers count, and the quantity that maps
+//! our wall-clock numbers onto the paper's (their schematic step is a
+//! 25 ms Spectre run; ours is a sub-millisecond MNA solve).
+
+use autockt_circuits::{NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
+use autockt_core::{EnvConfig, SizingEnv, TargetMode, SUCCESS_BONUS};
+use autockt_rl::env::Env;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_env(c: &mut Criterion, name: &str, problem: Arc<dyn SizingProblem>, mode: SimMode) {
+    let mut env = SizingEnv::new(
+        problem,
+        EnvConfig {
+            horizon: usize::MAX / 2, // never terminate on the horizon
+            mode,
+            target_mode: TargetMode::Uniform,
+            sim_fail_reward: -5.0,
+            success_bonus: SUCCESS_BONUS,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    env.reset(&mut rng);
+    let n = env.action_dims().len();
+    let keep = vec![1usize; n];
+    c.bench_function(name, |b| {
+        b.iter(|| env.step(black_box(&keep)));
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_env(c, "env_step_tia", Arc::new(Tia::default()), SimMode::Schematic);
+    bench_env(
+        c,
+        "env_step_opamp2",
+        Arc::new(OpAmp2::default()),
+        SimMode::Schematic,
+    );
+    bench_env(
+        c,
+        "env_step_neggm",
+        Arc::new(NegGmOta::default()),
+        SimMode::Schematic,
+    );
+    bench_env(
+        c,
+        "env_step_neggm_pex_worstcase",
+        Arc::new(NegGmOta::default()),
+        SimMode::PexWorstCase,
+    );
+}
+
+criterion_group!(bench_group, benches);
+criterion_main!(bench_group);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the simulation substrate: these bound the
+//! per-environment-step cost that dominates training wall clock (the
+//! paper's 25 ms/schematic-sim and 91 s/PEX-sim discussion in Sec. III-D).
+
+use autockt_circuits::{NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
+use autockt_sim::ac::{ac_sweep, log_freqs};
+use autockt_sim::dc::{dc_operating_point, DcOptions};
+use autockt_sim::linalg::{solve, Matrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn center(p: &dyn SizingProblem) -> Vec<usize> {
+    p.cardinalities().iter().map(|k| k / 2).collect()
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let n = 12;
+    let mut a = Matrix::<f64>::zeros(n, n);
+    for r in 0..n {
+        for cc in 0..n {
+            a[(r, cc)] = if r == cc { 10.0 } else { 1.0 / (1 + r + cc) as f64 };
+        }
+    }
+    let b = vec![1.0; n];
+    c.bench_function("lu_solve_12x12", |bench| {
+        bench.iter(|| solve(black_box(a.clone()), black_box(&b)).expect("nonsingular"))
+    });
+}
+
+fn bench_dc(c: &mut Criterion) {
+    let opamp = OpAmp2::default();
+    let idx = center(&opamp);
+    let tech = autockt_sim::device::Technology::ptm45();
+    let (ckt, _, _) = opamp.build(&idx, &tech);
+    let opts = DcOptions {
+        initial_v: 0.6,
+        ..DcOptions::default()
+    };
+    c.bench_function("dc_newton_opamp2", |bench| {
+        bench.iter(|| dc_operating_point(black_box(&ckt), &opts).expect("converges"))
+    });
+}
+
+fn bench_ac(c: &mut Criterion) {
+    let opamp = OpAmp2::default();
+    let idx = center(&opamp);
+    let tech = autockt_sim::device::Technology::ptm45();
+    let (ckt, out, _) = opamp.build(&idx, &tech);
+    let opts = DcOptions {
+        initial_v: 0.6,
+        ..DcOptions::default()
+    };
+    let op = dc_operating_point(&ckt, &opts).expect("converges");
+    let freqs = log_freqs(1e2, 1e10, 10);
+    c.bench_function("ac_sweep_opamp2_80pts", |bench| {
+        bench.iter(|| ac_sweep(black_box(&ckt), &op, &freqs, out).expect("solves"))
+    });
+}
+
+fn bench_full_spec_eval(c: &mut Criterion) {
+    let tia = Tia::default();
+    let idx_t = center(&tia);
+    c.bench_function("spec_eval_tia_schematic", |bench| {
+        bench.iter(|| tia.simulate(black_box(&idx_t), SimMode::Schematic).expect("ok"))
+    });
+    let neggm = NegGmOta::default();
+    let idx_n = center(&neggm);
+    c.bench_function("spec_eval_neggm_schematic", |bench| {
+        bench.iter(|| neggm.simulate(black_box(&idx_n), SimMode::Schematic).expect("ok"))
+    });
+    c.bench_function("spec_eval_neggm_pex_worstcase", |bench| {
+        bench.iter(|| {
+            neggm
+                .simulate(black_box(&idx_n), SimMode::PexWorstCase)
+                .expect("ok")
+        })
+    });
+}
+
+criterion_group!(benches, bench_lu, bench_dc, bench_ac, bench_full_spec_eval);
+criterion_main!(benches);

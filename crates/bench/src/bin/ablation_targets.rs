@@ -1,0 +1,50 @@
+//! Ablation — sparse target subsampling: how many training targets does
+//! AutoCkt need? The paper settled on 50 via a hyperparameter sweep; this
+//! binary reproduces the sweep on the TIA.
+//!
+//! Run: `cargo run --release -p autockt-bench --bin ablation_targets`
+
+use autockt_bench::exp::{deploy_and_report, uniform_targets};
+use autockt_bench::write_csv;
+use autockt_circuits::{SimMode, SizingProblem, Tia};
+use autockt_core::{train, TrainConfig};
+use std::sync::Arc;
+
+fn main() {
+    let problem: Arc<dyn SizingProblem> = Arc::new(Tia::default());
+    let eval_targets = uniform_targets(problem.as_ref(), 120, 0xAB4, None);
+    println!("Ablation — number of training targets (TIA)");
+    println!("{:>8} {:>10} {:>14}", "targets", "reached%", "sims(reached)");
+    let mut rows = Vec::new();
+    for n in [5usize, 15, 50, 150] {
+        let cfg = TrainConfig {
+            num_targets: n,
+            max_iters: 30,
+            seed: 79,
+            ..TrainConfig::default()
+        };
+        let res = train(Arc::clone(&problem), &cfg);
+        let stats = deploy_and_report(
+            &format!("n={n}"),
+            &res.agent.policy,
+            Arc::clone(&problem),
+            &eval_targets,
+            30,
+            SimMode::Schematic,
+            0xAB5,
+        );
+        println!(
+            "{:>8} {:>9.1}% {:>14.1}",
+            n,
+            100.0 * stats.generalization(),
+            stats.mean_steps_reached()
+        );
+        rows.push(vec![n as f64, stats.generalization(), stats.mean_steps_reached()]);
+    }
+    let path = write_csv(
+        "ablation_num_targets.csv",
+        &["num_targets", "generalization", "mean_steps_reached"],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

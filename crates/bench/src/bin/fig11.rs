@@ -1,0 +1,34 @@
+//! Fig. 11 — mean episode reward over environment steps for the
+//! negative-gm OTA.
+//!
+//! Run: `cargo run --release -p autockt-bench --bin fig11`
+
+use autockt_bench::exp::train_agent;
+use autockt_bench::write_csv;
+use autockt_circuits::{NegGmOta, SizingProblem};
+use std::sync::Arc;
+
+fn main() {
+    let problem: Arc<dyn SizingProblem> = Arc::new(NegGmOta::default());
+    let res = train_agent(Arc::clone(&problem), 60, 30, 47);
+    println!("\nFig. 11 — negative-gm OTA mean episode reward curve");
+    let mut rows = Vec::new();
+    for (i, s) in res.curve.iter().enumerate() {
+        println!(
+            "{:>5} {:>12} {:>14.3}",
+            i, s.total_env_steps, s.mean_episode_reward
+        );
+        rows.push(vec![
+            i as f64,
+            s.total_env_steps as f64,
+            s.mean_episode_reward,
+            s.success_rate,
+        ]);
+    }
+    let path = write_csv(
+        "fig11_neggm_reward_curve.csv",
+        &["iter", "env_steps", "mean_episode_reward", "success_rate"],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Fig. 12 — distribution of reached target specifications for the
+//! negative-gm OTA (the paper reports *no* unreached targets for this
+//! circuit).
+//!
+//! Run: `cargo run --release -p autockt-bench --bin fig12 [-- --full]`
+
+use autockt_bench::exp::{deploy_and_report, train_agent, uniform_targets};
+use autockt_bench::write_csv;
+use autockt_circuits::{NegGmOta, SimMode, SizingProblem};
+use std::sync::Arc;
+
+fn main() {
+    let scale = autockt_bench::exp::Scale::resolve(200, 500);
+    let problem: Arc<dyn SizingProblem> = Arc::new(NegGmOta::default());
+    let trained = train_agent(Arc::clone(&problem), scale.train_iters, 30, 53);
+    let targets = uniform_targets(problem.as_ref(), scale.deploy_targets, 0x1212, None);
+    let stats = deploy_and_report(
+        "fig12",
+        &trained.agent.policy,
+        Arc::clone(&problem),
+        &targets,
+        30,
+        SimMode::Schematic,
+        0x1213,
+    );
+    let rows: Vec<Vec<f64>> = stats
+        .outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.target[0],
+                o.target[1],
+                o.target[2],
+                if o.reached { 1.0 } else { 0.0 },
+                o.steps as f64,
+            ]
+        })
+        .collect();
+    let path = write_csv(
+        "fig12_neggm_target_scatter.csv",
+        &["gain", "ugbw", "pm", "reached", "steps"],
+        &rows,
+    );
+    println!(
+        "\nFig. 12: {}/{} targets reached (paper: 500/500)",
+        stats.reached(),
+        stats.total()
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,120 @@
+//! Fig. 14 — (a) a sample trajectory of the transferred agent walking the
+//! PEX environment toward one target, and (b) the histogram of
+//! schematic-vs-PEX percent differences over 50 random designs.
+//!
+//! Run: `cargo run --release -p autockt-bench --bin fig14`
+
+use autockt_bench::exp::{train_agent, uniform_targets};
+use autockt_bench::write_csv;
+use autockt_circuits::neggm::spec_index;
+use autockt_circuits::{NegGmOta, SimMode, SizingProblem};
+use autockt_core::{run_trajectory, DeployConfig, EnvConfig, SizingEnv, TargetMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let problem: Arc<dyn SizingProblem> = Arc::new(NegGmOta::default());
+    let trained = train_agent(Arc::clone(&problem), 40, 30, 61);
+
+    // (a) One PEX trajectory.
+    let target = uniform_targets(problem.as_ref(), 1, 0x1414, Some(spec_index::PM)).remove(0);
+    let mut env = SizingEnv::new(
+        Arc::clone(&problem),
+        EnvConfig {
+            horizon: 60,
+            mode: SimMode::PexWorstCase,
+            target_mode: TargetMode::Uniform,
+            sim_fail_reward: -5.0,
+            success_bonus: autockt_core::SUCCESS_BONUS,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0x1415);
+    let cfg = DeployConfig {
+        horizon: 60,
+        mode: SimMode::PexWorstCase,
+        stochastic: true,
+        seed: 0x1416,
+    };
+    let outcome = run_trajectory(&trained.agent.policy, &mut env, target.clone(), &cfg, &mut rng);
+    println!(
+        "\nFig. 14 (a) — transferred-agent PEX trajectory ({} steps, reached = {}):",
+        outcome.steps, outcome.reached
+    );
+    println!(
+        "target: gain >= {:.2}, ugbw >= {:.3e}, pm >= {:.1}",
+        target[0], target[1], target[2]
+    );
+    let mut traj_rows = Vec::new();
+    for (s, specs) in outcome.spec_trajectory.iter().enumerate() {
+        println!(
+            "  step {s:>2}: gain {:>8.2}  ugbw {:>10.3e}  pm {:>6.1}",
+            specs[0], specs[1], specs[2]
+        );
+        traj_rows.push(vec![s as f64, specs[0], specs[1], specs[2]]);
+    }
+    let p1 = write_csv(
+        "fig14_pex_trajectory.csv",
+        &["step", "gain", "ugbw", "pm"],
+        &traj_rows,
+    );
+
+    // (b) Schematic vs PEX percent difference over 50 random designs.
+    let cards = problem.cardinalities();
+    let mut rows = Vec::new();
+    let mut diffs: Vec<f64> = Vec::new();
+    let mut drng = StdRng::seed_from_u64(0x1417);
+    let mut tried = 0;
+    while rows.len() < 50 && tried < 400 {
+        tried += 1;
+        let idx: Vec<usize> = cards.iter().map(|&k| drng.random_range(0..k)).collect();
+        let (Ok(sch), Ok(pex)) = (
+            problem.simulate(&idx, SimMode::Schematic),
+            problem.simulate(&idx, SimMode::Pex),
+        ) else {
+            continue;
+        };
+        // Only designs that amplify in both modes produce the comparison
+        // the paper histograms: DC gain is insensitive to parasitic
+        // capacitance, so the interesting shift lives in UGBW and PM.
+        if sch[spec_index::UGBW] <= 0.0 || pex[spec_index::UGBW] <= 0.0 {
+            continue;
+        }
+        let mut pct = Vec::new();
+        for (s, p) in sch.iter().zip(&pex).skip(spec_index::UGBW) {
+            if s.abs() > 1e-12 {
+                pct.push(100.0 * (p - s).abs() / s.abs());
+            }
+        }
+        if pct.is_empty() {
+            continue;
+        }
+        let mean_pct = pct.iter().sum::<f64>() / pct.len() as f64;
+        diffs.push(mean_pct);
+        let mut row = vec![mean_pct];
+        row.extend_from_slice(&sch);
+        row.extend_from_slice(&pex);
+        rows.push(row);
+    }
+    let p2 = write_csv(
+        "fig14_sch_vs_pex_histogram.csv",
+        &[
+            "mean_abs_pct_diff",
+            "sch_gain",
+            "sch_ugbw",
+            "sch_pm",
+            "pex_gain",
+            "pex_ugbw",
+            "pex_pm",
+        ],
+        &rows,
+    );
+    diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let med = diffs.get(diffs.len() / 2).copied().unwrap_or(f64::NAN);
+    println!(
+        "\nFig. 14 (b) — schematic vs PEX average % difference over {} designs: median {:.1}% (paper shows tens of percent)",
+        diffs.len(),
+        med
+    );
+    println!("wrote {} and {}", p1.display(), p2.display());
+}

@@ -1,0 +1,136 @@
+//! Table IV — transfer learning to post-layout extraction on the
+//! negative-gm OTA: the schematic-trained agent is deployed, without
+//! retraining, on PEX simulations with worst-case PVT.
+//!
+//! Paper: GA+ML \[7\] 220 sims; AutoCkt schematic-only 10 sims (500/500);
+//! AutoCkt PEX 23 sims (40/40); vanilla GA is "too sample inefficient"
+//! (N/A).
+//!
+//! Run: `cargo run --release -p autockt-bench --bin table4 [-- --full]`
+
+use autockt_baselines::{ga_ml_solve, GaConfig, GaMlConfig};
+use autockt_bench::exp::{deploy_and_report, mean_sims_reached, train_agent, uniform_targets};
+use autockt_bench::{print_comparison, write_csv};
+use autockt_circuits::neggm::spec_index;
+use autockt_circuits::{NegGmOta, SimMode, SizingProblem};
+use std::sync::Arc;
+
+fn main() {
+    let full = autockt_bench::full_scale();
+    let n_pex_targets = if full { 40 } else { 20 };
+    let n_ga_ml = if full { 10 } else { 5 };
+    let problem: Arc<dyn SizingProblem> = Arc::new(NegGmOta::default());
+    let horizon = 60;
+
+    // Train on schematic only (the whole point of Fig. 13).
+    let trained = train_agent(Arc::clone(&problem), 40, 30, 59);
+
+    // Deployment targets: phase margin pinned to its 60-degree floor as in
+    // Sec. III-D.
+    let targets = uniform_targets(
+        problem.as_ref(),
+        n_pex_targets,
+        0x4444,
+        Some(spec_index::PM),
+    );
+
+    // Row 1: AutoCkt on schematic (reference).
+    let sch = deploy_and_report(
+        "schematic",
+        &trained.agent.policy,
+        Arc::clone(&problem),
+        &targets,
+        30,
+        SimMode::Schematic,
+        0x4445,
+    );
+    // Row 2: the same policy on PEX worst-case — no retraining.
+    let pex = deploy_and_report(
+        "pex",
+        &trained.agent.policy,
+        Arc::clone(&problem),
+        &targets,
+        horizon,
+        SimMode::PexWorstCase,
+        0x4446,
+    );
+
+    // Row 3: GA+ML (BagNet-style) directly on the PEX environment.
+    let ga_ml_outs: Vec<_> = targets
+        .iter()
+        .take(n_ga_ml)
+        .enumerate()
+        .map(|(i, t)| {
+            ga_ml_solve(
+                problem.as_ref(),
+                t,
+                SimMode::PexWorstCase,
+                &GaMlConfig {
+                    ga: GaConfig {
+                        population: 30,
+                        generations: 60,
+                        seed: 4000 + i as u64,
+                        ..GaConfig::default()
+                    },
+                    ..GaMlConfig::default()
+                },
+            )
+        })
+        .collect();
+    let ga_ml_mean = mean_sims_reached(&ga_ml_outs);
+    let ga_ml_reached = ga_ml_outs.iter().filter(|o| o.reached).count();
+
+    print_comparison(
+        "Table IV — transfer to PEX with worst-case PVT (neg-gm OTA)",
+        &[
+            ("Genetic Alg. (PEX)", "N/A (too inefficient)".into(), "not run".into()),
+            (
+                "Genetic Alg.+ML [7] SE (sims)",
+                "220".into(),
+                format!("{ga_ml_mean:.0} ({ga_ml_reached}/{n_ga_ml} reached)"),
+            ),
+            (
+                "AutoCkt schematic-only SE",
+                "10 (500/500)".into(),
+                format!(
+                    "{:.0} ({}/{})",
+                    sch.mean_steps_reached(),
+                    sch.reached(),
+                    sch.total()
+                ),
+            ),
+            (
+                "AutoCkt PEX SE",
+                "23 (40/40)".into(),
+                format!(
+                    "{:.0} ({}/{})",
+                    pex.mean_steps_reached(),
+                    pex.reached(),
+                    pex.total()
+                ),
+            ),
+            (
+                "AutoCkt PEX vs GA+ML",
+                "9.56x".into(),
+                format!("{:.1}x", ga_ml_mean / pex.mean_steps_reached()),
+            ),
+        ],
+    );
+
+    let rows: Vec<Vec<f64>> = pex
+        .outcomes
+        .iter()
+        .map(|o| {
+            let mut row = o.target.clone();
+            row.push(if o.reached { 1.0 } else { 0.0 });
+            row.push(o.steps as f64);
+            row
+        })
+        .collect();
+    let path = write_csv(
+        "table4_pex_transfer.csv",
+        &["gain", "ugbw", "pm", "reached", "steps"],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

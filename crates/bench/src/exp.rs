@@ -1,0 +1,133 @@
+//! Shared experiment plumbing for the table/figure binaries.
+
+use autockt_circuits::{SimMode, SizingProblem};
+use autockt_core::{
+    deploy, sample_uniform, train, DeployConfig, DeployStats, TrainConfig, TrainResult,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Experiment budget: laptop-scale defaults, `--full` for paper-scale.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Deployment targets for generalization measurement.
+    pub deploy_targets: usize,
+    /// Targets given to the GA baselines (each GA run is hundreds of
+    /// simulations, so these are the expensive rows).
+    pub ga_targets: usize,
+    /// PPO iteration cap for training.
+    pub train_iters: usize,
+}
+
+impl Scale {
+    /// Resolves the scale from the command line (`--full`, or explicit
+    /// `--deploy N` / `--ga N` overrides).
+    pub fn resolve(default_deploy: usize, full_deploy: usize) -> Scale {
+        let full = crate::full_scale();
+        let mut s = Scale {
+            deploy_targets: if full { full_deploy } else { default_deploy },
+            ga_targets: if full { 40 } else { 12 },
+            train_iters: if full { 100 } else { 60 },
+        };
+        if let Some(n) = crate::arg_value("--deploy").and_then(|v| v.parse().ok()) {
+            s.deploy_targets = n;
+        }
+        if let Some(n) = crate::arg_value("--ga").and_then(|v| v.parse().ok()) {
+            s.ga_targets = n;
+        }
+        if let Some(n) = crate::arg_value("--iters").and_then(|v| v.parse().ok()) {
+            s.train_iters = n;
+        }
+        s
+    }
+}
+
+/// Trains an AutoCkt agent with the tuned defaults of this reproduction.
+pub fn train_agent(
+    problem: Arc<dyn SizingProblem>,
+    iters: usize,
+    horizon: usize,
+    seed: u64,
+) -> TrainResult {
+    let cfg = TrainConfig {
+        max_iters: iters,
+        horizon,
+        seed,
+        ..TrainConfig::default()
+    };
+    let t0 = Instant::now();
+    let res = train(problem, &cfg);
+    eprintln!(
+        "[train] {} iterations, {} simulations, converged={}, {:.1}s",
+        res.curve.len(),
+        res.env_steps(),
+        res.converged,
+        t0.elapsed().as_secs_f64()
+    );
+    res
+}
+
+/// Samples `n` uniform deployment targets; `pm_floor` pins a
+/// phase-margin-like spec at its lower bound (index given) as the paper
+/// does for the PEX transfer runs.
+pub fn uniform_targets(
+    problem: &dyn SizingProblem,
+    n: usize,
+    seed: u64,
+    pin_to_lo: Option<usize>,
+) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut t = sample_uniform(problem, &mut rng);
+            if let Some(i) = pin_to_lo {
+                t[i] = problem.specs()[i].lo;
+            }
+            t
+        })
+        .collect()
+}
+
+/// Deploys and prints a one-line summary.
+pub fn deploy_and_report(
+    label: &str,
+    policy: &autockt_rl::policy::PolicyNet,
+    problem: Arc<dyn SizingProblem>,
+    targets: &[Vec<f64>],
+    horizon: usize,
+    mode: SimMode,
+    seed: u64,
+) -> DeployStats {
+    let t0 = Instant::now();
+    let stats = deploy(
+        policy,
+        problem,
+        targets,
+        &DeployConfig {
+            horizon,
+            mode,
+            stochastic: true,
+            seed,
+        },
+    );
+    eprintln!(
+        "[deploy:{label}] {}/{} reached, {:.1} sims avg, {:.1}s",
+        stats.reached(),
+        stats.total(),
+        stats.mean_steps_reached(),
+        t0.elapsed().as_secs_f64()
+    );
+    stats
+}
+
+/// Mean unique simulations of GA runs over the targets they reached.
+pub fn mean_sims_reached(outs: &[autockt_baselines::GaOutcome]) -> f64 {
+    let reached: Vec<_> = outs.iter().filter(|o| o.reached).collect();
+    if reached.is_empty() {
+        f64::NAN
+    } else {
+        reached.iter().map(|o| o.sims as f64).sum::<f64>() / reached.len() as f64
+    }
+}

@@ -1,0 +1,99 @@
+//! # autockt-bench — experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! of the AutoCkt paper (see DESIGN.md for the per-experiment index), plus
+//! Criterion micro-benchmarks of the simulation and learning kernels.
+//!
+//! Each experiment binary prints a paper-vs-measured comparison to stdout
+//! and writes raw series as CSV under `results/`.
+
+pub mod exp;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Returns the `results/` directory at the workspace root, creating it if
+/// needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Writes a CSV file into `results/` with a header row and data rows.
+///
+/// # Panics
+///
+/// Panics on I/O failure — experiment binaries want loud failures.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.6e}")).collect();
+        writeln!(f, "{}", line.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Pretty-prints a paper-vs-measured comparison table row by row.
+pub fn print_comparison(title: &str, rows: &[(&str, String, String)]) {
+    println!("\n=== {title} ===");
+    println!("{:<42} {:>16} {:>16}", "metric", "paper", "measured");
+    for (metric, paper, measured) in rows {
+        println!("{metric:<42} {paper:>16} {measured:>16}");
+    }
+}
+
+/// Parses `--flag value` style overrides from `std::env::args`, returning
+/// the value for `flag` if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True when `--full` was passed (paper-scale budgets instead of
+/// laptop-scale defaults).
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "test_roundtrip.csv",
+            &["a", "b"],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_file(p).ok();
+    }
+}

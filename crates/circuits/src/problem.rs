@@ -1,0 +1,166 @@
+//! The sizing-problem abstraction: what AutoCkt needs to know about a
+//! circuit in order to size it.
+//!
+//! A [`SizingProblem`] is the boundary between the learning framework and
+//! the simulation environment in Fig. 1 of the paper: a discretized
+//! parameter grid, a list of design specifications with their target
+//! sampling ranges, and a black-box `parameters -> measured specs`
+//! evaluation (schematic or post-layout).
+
+use autockt_sim::SimError;
+
+/// One tunable circuit parameter with its discrete grid of physical values
+/// (the paper's `[start, end, increment]` notation expanded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name (e.g. `"w_in"`, `"cc"`).
+    pub name: &'static str,
+    /// The grid of physical values (SI units), strictly increasing.
+    pub values: Vec<f64>,
+}
+
+impl ParamSpec {
+    /// Builds a grid from `[start, end, increment]` inclusive, times a
+    /// `scale` factor (matching the array notation used in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start <= end` and `increment > 0`.
+    pub fn swept(name: &'static str, start: f64, end: f64, increment: f64, scale: f64) -> Self {
+        assert!(start <= end && increment > 0.0, "bad sweep for {name}");
+        let mut values = Vec::new();
+        let mut v = start;
+        while v <= end + 1e-9 * increment {
+            values.push(v * scale);
+            v += increment;
+        }
+        ParamSpec { name, values }
+    }
+
+    /// Number of grid points `K`.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// How a design specification enters the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// Hard constraint: measured value must be >= target (gain, bandwidth,
+    /// phase margin).
+    HardMin,
+    /// Hard constraint: measured value must be <= target (settling time,
+    /// noise).
+    HardMax,
+    /// Soft objective minimized subject to the hard constraints (the
+    /// paper's `o_th`; bias current / power).
+    Minimize,
+}
+
+/// One design specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecDef {
+    /// Specification name (e.g. `"gain"`).
+    pub name: &'static str,
+    /// Unit for display (e.g. `"V/V"`, `"Hz"`).
+    pub unit: &'static str,
+    /// Constraint direction.
+    pub kind: SpecKind,
+    /// Lower bound of the target sampling range.
+    pub lo: f64,
+    /// Upper bound of the target sampling range.
+    pub hi: f64,
+    /// Value reported when the measurement fails outright (e.g. no
+    /// unity-gain crossing): maximally pessimistic for the constraint
+    /// direction.
+    pub fail_value: f64,
+}
+
+/// Simulation fidelity requested from [`SizingProblem::simulate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Schematic-level simulation at the nominal PVT corner.
+    #[default]
+    Schematic,
+    /// Post-layout-extracted simulation at the nominal corner.
+    Pex,
+    /// Post-layout-extracted simulation, worst case across the PVT corner
+    /// set (the configuration used for Table IV).
+    PexWorstCase,
+}
+
+/// A parameterised circuit topology that AutoCkt can size.
+///
+/// Implementations must be pure: the same parameter indices and mode always
+/// produce the same spec vector. All stochastic aspects of the framework
+/// (target sampling, policy sampling) live elsewhere.
+pub trait SizingProblem: Send + Sync {
+    /// Human-readable topology name.
+    fn name(&self) -> &'static str;
+
+    /// The discrete parameter grids.
+    fn params(&self) -> &[ParamSpec];
+
+    /// The design specifications, in the order `simulate` reports them.
+    fn specs(&self) -> &[SpecDef];
+
+    /// Evaluates the circuit at grid indices `idx` (one per parameter).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the operating point cannot be solved at
+    /// all; per-measurement failures are reported through each spec's
+    /// `fail_value` instead so a partially-working design still produces an
+    /// informative observation.
+    fn simulate(&self, idx: &[usize], mode: SimMode) -> Result<Vec<f64>, SimError>;
+
+    /// Grid cardinalities `K_i`, convenience over [`SizingProblem::params`].
+    fn cardinalities(&self) -> Vec<usize> {
+        self.params().iter().map(ParamSpec::cardinality).collect()
+    }
+
+    /// Physical value of parameter `p` at grid index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `i` is out of range.
+    fn value(&self, p: usize, i: usize) -> f64 {
+        self.params()[p].values[i]
+    }
+
+    /// log10 of the total design-space size (the paper quotes 1e14 for the
+    /// two-stage op-amp and 1e11 for the negative-gm OTA).
+    fn log10_space_size(&self) -> f64 {
+        self.params()
+            .iter()
+            .map(|p| (p.cardinality() as f64).log10())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swept_grid_matches_paper_notation() {
+        // Width [2, 10, 2] * 1 um => 2, 4, 6, 8, 10 um.
+        let p = ParamSpec::swept("w", 2.0, 10.0, 2.0, 1e-6);
+        assert_eq!(p.cardinality(), 5);
+        assert!((p.values[0] - 2e-6).abs() < 1e-18);
+        assert!((p.values[4] - 10e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn swept_handles_fractional_increments() {
+        // Cc [0.1, 10.0, 0.1] * 1 pF: 100 points.
+        let p = ParamSpec::swept("cc", 0.1, 10.0, 0.1, 1e-12);
+        assert_eq!(p.cardinality(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sweep")]
+    fn swept_rejects_zero_increment() {
+        let _ = ParamSpec::swept("x", 1.0, 2.0, 0.0, 1.0);
+    }
+}

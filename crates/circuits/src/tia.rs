@@ -1,0 +1,319 @@
+//! The simple transimpedance amplifier of Fig. 4: a CMOS inverter with a
+//! resistive feedback network, driven by a photodiode-like current source.
+//!
+//! Parameter space (paper Sec. III-A, `[start, end, increment]`):
+//! width `[2, 10, 2] um` and multiplier `[2, 32, 2]` for each of the two
+//! transistors, feedback resistors in series `[2, 20, 2]` and in parallel
+//! `[1, 20, 1]` with a fixed 5.6 kOhm unit.
+//!
+//! Specifications: settling time, cutoff (-3 dB) frequency, and integrated
+//! output noise.
+
+use crate::problem::{ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
+use autockt_sim::ac::{ac_sweep, log_freqs, AcSolver};
+use autockt_sim::dc::{dc_operating_point, DcOptions};
+use autockt_sim::device::{MosPolarity, Pvt, Technology};
+use autockt_sim::measure::settling_time;
+use autockt_sim::netlist::{Circuit, Mosfet, Node, GND};
+use autockt_sim::noise::noise_analysis;
+use autockt_sim::pex::{extract, PexConfig};
+use autockt_sim::SimError;
+
+/// Index constants into the TIA spec vector.
+pub mod spec_index {
+    /// Settling time (s).
+    pub const SETTLING: usize = 0;
+    /// Cutoff frequency (Hz).
+    pub const CUTOFF: usize = 1;
+    /// Integrated output noise (V rms).
+    pub const NOISE: usize = 2;
+}
+
+/// The transimpedance-amplifier sizing problem.
+#[derive(Debug, Clone)]
+pub struct Tia {
+    tech: Technology,
+    params: Vec<ParamSpec>,
+    specs: Vec<SpecDef>,
+    /// Unit feedback resistance (paper: 5.6 kOhm).
+    pub r_unit: f64,
+    /// Photodiode capacitance at the input (F).
+    pub c_in: f64,
+    /// Load capacitance at the output (F).
+    pub c_load: f64,
+    pex: PexConfig,
+}
+
+impl Default for Tia {
+    fn default() -> Self {
+        Tia::new(Technology::ptm45())
+    }
+}
+
+impl Tia {
+    /// Creates the TIA problem over a technology (the paper uses 45 nm
+    /// BSIM predictive models).
+    pub fn new(tech: Technology) -> Self {
+        let params = vec![
+            ParamSpec::swept("w_n", 2.0, 10.0, 2.0, 1e-6),
+            ParamSpec::swept("m_n", 2.0, 32.0, 2.0, 1.0),
+            ParamSpec::swept("w_p", 2.0, 10.0, 2.0, 1e-6),
+            ParamSpec::swept("m_p", 2.0, 32.0, 2.0, 1.0),
+            ParamSpec::swept("r_series", 2.0, 20.0, 2.0, 1.0),
+            ParamSpec::swept("r_parallel", 1.0, 20.0, 1.0, 1.0),
+        ];
+        let specs = vec![
+            SpecDef {
+                name: "settling_time",
+                unit: "s",
+                kind: SpecKind::HardMax,
+                lo: 150e-12,
+                hi: 1000e-12,
+                fail_value: 1.0,
+            },
+            SpecDef {
+                name: "cutoff_freq",
+                unit: "Hz",
+                kind: SpecKind::HardMin,
+                lo: 6.0e8,
+                hi: 3.5e9,
+                fail_value: 0.0,
+            },
+            SpecDef {
+                name: "noise",
+                unit: "Vrms",
+                kind: SpecKind::HardMax,
+                lo: 3.9e-4,
+                hi: 6.0e-4,
+                fail_value: 1.0,
+            },
+        ];
+        Tia {
+            tech,
+            params,
+            specs,
+            r_unit: 5.6e3,
+            c_in: 40e-15,
+            c_load: 25e-15,
+            pex: PexConfig::default(),
+        }
+    }
+
+    /// Builds the netlist at the given grid indices for a technology
+    /// variant. Returns the circuit and its output node.
+    pub fn build(&self, idx: &[usize], tech: &Technology) -> (Circuit, Node) {
+        assert_eq!(idx.len(), self.params.len(), "wrong parameter count");
+        let w_n = self.params[0].values[idx[0]];
+        let m_n = self.params[1].values[idx[1]];
+        let w_p = self.params[2].values[idx[2]];
+        let m_p = self.params[3].values[idx[3]];
+        let n_ser = self.params[4].values[idx[4]];
+        let n_par = self.params[5].values[idx[5]];
+        let rf = self.r_unit * n_ser / n_par;
+
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vdd, GND, tech.vdd, 0.0);
+        // Photodiode: AC test current of 1 A (linearity makes magnitude
+        // irrelevant), zero DC so the inverter self-biases through Rf.
+        ckt.isource(GND, vin, 0.0, 1.0);
+        ckt.capacitor(vin, GND, self.c_in);
+        ckt.capacitor(out, GND, self.c_load);
+        ckt.resistor(out, vin, rf);
+        let l = 2.0 * tech.lmin;
+        ckt.mosfet(Mosfet {
+            polarity: MosPolarity::Nmos,
+            d: out,
+            g: vin,
+            s: GND,
+            w: w_n,
+            l,
+            mult: m_n,
+            model: tech.nmos,
+        });
+        ckt.mosfet(Mosfet {
+            polarity: MosPolarity::Pmos,
+            d: out,
+            g: vin,
+            s: vdd,
+            w: w_p,
+            l,
+            mult: m_p,
+            model: tech.pmos,
+        });
+        (ckt, out)
+    }
+
+    fn measure(&self, ckt: &Circuit, out: Node, temp_k: f64) -> Result<Vec<f64>, SimError> {
+        let mut dc_opts = DcOptions::default();
+        dc_opts.initial_v = self.tech.vdd / 2.0;
+        let op = dc_operating_point(ckt, &dc_opts)?;
+        let freqs = log_freqs(1e5, 1e12, 10);
+        let resp = ac_sweep(ckt, &op, &freqs, out)?;
+        let cutoff = resp
+            .f_3db()
+            .unwrap_or(self.specs[spec_index::CUTOFF].fail_value);
+
+        // Settling: window scaled to the measured bandwidth so both 5 ps
+        // and 500 ps responses resolve on a 2048-step grid.
+        let settling = if cutoff > 0.0 {
+            let solver = AcSolver::new(ckt, &op);
+            let t_stop = 8.0 / cutoff;
+            let (t, y) = solver.step_response(out, t_stop, 2048)?;
+            settling_time(&t, &y, 0.02)
+                .unwrap_or(self.specs[spec_index::SETTLING].fail_value)
+        } else {
+            self.specs[spec_index::SETTLING].fail_value
+        };
+
+        // Integrated output noise across the amplifier band.
+        let nfreqs = log_freqs(1e4, 1e11, 8);
+        let noise = noise_analysis(ckt, &op, out, &nfreqs, temp_k)
+            .map(|n| n.out_vrms)
+            .unwrap_or(self.specs[spec_index::NOISE].fail_value);
+
+        Ok(vec![settling, cutoff, noise])
+    }
+}
+
+/// Evaluates spec vectors per corner and reduces them to the worst case in
+/// each spec's constraint direction (paper: "taking the worst performing
+/// metric as the specification").
+pub(crate) fn worst_case(specs: &[SpecDef], per_corner: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!per_corner.is_empty());
+    let mut out = per_corner[0].clone();
+    for row in &per_corner[1..] {
+        for (i, v) in row.iter().enumerate() {
+            out[i] = match specs[i].kind {
+                SpecKind::HardMin => out[i].min(*v),
+                SpecKind::HardMax | SpecKind::Minimize => out[i].max(*v),
+            };
+        }
+    }
+    out
+}
+
+impl SizingProblem for Tia {
+    fn name(&self) -> &'static str {
+        "tia"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    fn specs(&self) -> &[SpecDef] {
+        &self.specs
+    }
+
+    fn simulate(&self, idx: &[usize], mode: SimMode) -> Result<Vec<f64>, SimError> {
+        match mode {
+            SimMode::Schematic => {
+                let (ckt, out) = self.build(idx, &self.tech);
+                self.measure(&ckt, out, 300.15)
+            }
+            SimMode::Pex => {
+                let (ckt, out) = self.build(idx, &self.tech);
+                let ex = extract(&ckt, &self.pex);
+                self.measure(&ex, out, 300.15)
+            }
+            SimMode::PexWorstCase => {
+                let mut rows = Vec::new();
+                for pvt in Pvt::corner_set() {
+                    let tech = self.tech.at_corner(pvt);
+                    let (ckt, out) = self.build(idx, &tech);
+                    let ex = extract(&ckt, &self.pex);
+                    rows.push(self.measure(&ex, out, pvt.temp_kelvin())?);
+                }
+                Ok(worst_case(&self.specs, &rows))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_design_simulates() {
+        let tia = Tia::default();
+        let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+        let specs = tia.simulate(&idx, SimMode::Schematic).unwrap();
+        assert_eq!(specs.len(), 3);
+        let (ts, fc, vn) = (specs[0], specs[1], specs[2]);
+        assert!(ts > 0.0 && ts < 1e-6, "settling {ts}");
+        assert!(fc > 1e6 && fc < 1e12, "cutoff {fc}");
+        assert!(vn > 1e-9 && vn < 1e-1, "noise {vn}");
+    }
+
+    #[test]
+    fn more_feedback_resistance_lowers_bandwidth() {
+        let tia = Tia::default();
+        let mut lo_r: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+        let mut hi_r = lo_r.clone();
+        lo_r[4] = 0; // fewest series units
+        lo_r[5] = tia.cardinalities()[5] - 1; // most parallel
+        hi_r[4] = tia.cardinalities()[4] - 1;
+        hi_r[5] = 0;
+        let s_lo = tia.simulate(&lo_r, SimMode::Schematic).unwrap();
+        let s_hi = tia.simulate(&hi_r, SimMode::Schematic).unwrap();
+        assert!(
+            s_hi[spec_index::CUTOFF] < s_lo[spec_index::CUTOFF],
+            "bigger Rf must be slower: {} vs {}",
+            s_hi[spec_index::CUTOFF],
+            s_lo[spec_index::CUTOFF]
+        );
+    }
+
+    #[test]
+    fn pex_is_slower_than_schematic() {
+        let tia = Tia::default();
+        let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+        let sch = tia.simulate(&idx, SimMode::Schematic).unwrap();
+        let pex = tia.simulate(&idx, SimMode::Pex).unwrap();
+        assert!(pex[spec_index::CUTOFF] < sch[spec_index::CUTOFF]);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let tia = Tia::default();
+        let idx = vec![1, 3, 2, 5, 4, 9];
+        let a = tia.simulate(&idx, SimMode::Schematic).unwrap();
+        let b = tia.simulate(&idx, SimMode::Schematic).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn space_size_matches_structure() {
+        let tia = Tia::default();
+        // 5 * 16 * 5 * 16 * 10 * 20 = 1.28e6
+        assert!((tia.log10_space_size() - 6.107).abs() < 0.01);
+    }
+
+    #[test]
+    fn worst_case_reduction_directions() {
+        let specs = vec![
+            SpecDef {
+                name: "a",
+                unit: "",
+                kind: SpecKind::HardMin,
+                lo: 0.0,
+                hi: 1.0,
+                fail_value: 0.0,
+            },
+            SpecDef {
+                name: "b",
+                unit: "",
+                kind: SpecKind::HardMax,
+                lo: 0.0,
+                hi: 1.0,
+                fail_value: 9.0,
+            },
+        ];
+        let rows = vec![vec![3.0, 5.0], vec![2.0, 7.0], vec![4.0, 6.0]];
+        assert_eq!(worst_case(&specs, &rows), vec![2.0, 7.0]);
+    }
+}

@@ -1,0 +1,346 @@
+//! The AutoCkt sizing environment.
+//!
+//! Implements the trajectory mechanics of Fig. 2: on reset the parameters
+//! start at the grid center `K/2` and a target specification is drawn; each
+//! step the agent outputs decrement/keep/increment for every parameter, the
+//! circuit is simulated, and the Eq. 1 reward is granted. The episode ends
+//! on success (`r >= -0.01`, with a +10 bonus) or after `H` steps.
+
+use crate::reward::{is_success, reward, SUCCESS_BONUS};
+use crate::target::{sample_feasible, sample_uniform};
+use autockt_circuits::{SimMode, SizingProblem};
+use autockt_rl::env::{Env, StepResult};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// How the environment draws targets on reset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetMode {
+    /// Uniform over each spec's declared range.
+    Uniform,
+    /// Measured specs of random feasible designs (reachable by
+    /// construction); the argument is the rejection-sampling budget.
+    Feasible(usize),
+    /// Cycle through a fixed set (the training set `O*`), selected at
+    /// random each episode as in the paper.
+    FixedSet(Vec<Vec<f64>>),
+}
+
+/// Configuration of a [`SizingEnv`].
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Maximum trajectory length `H` (paper: 30 for the op-amp).
+    pub horizon: usize,
+    /// Simulation fidelity.
+    pub mode: SimMode,
+    /// Target sampling strategy.
+    pub target_mode: TargetMode,
+    /// Reward issued when the simulator cannot even produce an operating
+    /// point (far below any reachable Eq. 1 value).
+    pub sim_fail_reward: f64,
+    /// Terminal bonus granted on success (paper: +10; the reward-shaping
+    /// ablation sets this to 0).
+    pub success_bonus: f64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            horizon: 30,
+            mode: SimMode::Schematic,
+            target_mode: TargetMode::Feasible(50),
+            sim_fail_reward: -5.0,
+            success_bonus: SUCCESS_BONUS,
+        }
+    }
+}
+
+/// The sizing environment: one episode = one attempt to walk the parameter
+/// grid from the center to a design meeting the drawn target.
+#[derive(Clone)]
+pub struct SizingEnv {
+    problem: Arc<dyn SizingProblem>,
+    cfg: EnvConfig,
+    cards: Vec<usize>,
+    idx: Vec<usize>,
+    target: Vec<f64>,
+    last_specs: Vec<f64>,
+    t: usize,
+    sims: u64,
+}
+
+impl std::fmt::Debug for SizingEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SizingEnv")
+            .field("problem", &self.problem.name())
+            .field("idx", &self.idx)
+            .field("target", &self.target)
+            .field("t", &self.t)
+            .finish()
+    }
+}
+
+impl SizingEnv {
+    /// Creates an environment over a sizing problem.
+    pub fn new(problem: Arc<dyn SizingProblem>, cfg: EnvConfig) -> Self {
+        let cards = problem.cardinalities();
+        let nspecs = problem.specs().len();
+        SizingEnv {
+            problem,
+            cfg,
+            cards: cards.clone(),
+            idx: cards.iter().map(|k| k / 2).collect(),
+            target: vec![0.0; nspecs],
+            last_specs: vec![0.0; nspecs],
+            t: 0,
+            sims: 0,
+        }
+    }
+
+    /// The problem being sized.
+    pub fn problem(&self) -> &Arc<dyn SizingProblem> {
+        &self.problem
+    }
+
+    /// Total simulations performed (the paper's sample-efficiency unit).
+    pub fn sim_count(&self) -> u64 {
+        self.sims
+    }
+
+    /// Current parameter indices.
+    pub fn param_indices(&self) -> &[usize] {
+        &self.idx
+    }
+
+    /// Most recent measured specs.
+    pub fn last_specs(&self) -> &[f64] {
+        &self.last_specs
+    }
+
+    /// The active target specification.
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+
+    /// Starts an episode against an explicit target (deployment entry
+    /// point; [`Env::reset`] samples one instead).
+    pub fn reset_with_target(&mut self, target: Vec<f64>) -> Vec<f64> {
+        assert_eq!(target.len(), self.problem.specs().len());
+        self.target = target;
+        self.idx = self.cards.iter().map(|k| k / 2).collect();
+        self.t = 0;
+        self.simulate_current();
+        self.observation()
+    }
+
+    fn simulate_current(&mut self) {
+        self.sims += 1;
+        match self.problem.simulate(&self.idx, self.cfg.mode) {
+            Ok(specs) => self.last_specs = specs,
+            Err(_) => {
+                self.last_specs = self.problem.specs().iter().map(|s| s.fail_value).collect();
+            }
+        }
+    }
+
+    /// Observation layout: `[n(o_m, o*_m)]_m ++ [scaled targets]_m ++
+    /// [scaled params]_n` — the paper's (observed performance, target,
+    /// current parameters) triple, all in O(1) ranges.
+    fn observation(&self) -> Vec<f64> {
+        let specs = self.problem.specs();
+        let mut obs = Vec::with_capacity(2 * specs.len() + self.idx.len());
+        for (o, t) in self.last_specs.iter().zip(&self.target) {
+            obs.push(crate::reward::normalize(*o, *t));
+        }
+        for (d, t) in specs.iter().zip(&self.target) {
+            let span = d.hi - d.lo;
+            obs.push(if span.abs() < f64::EPSILON {
+                0.0
+            } else {
+                2.0 * (t - d.lo) / span - 1.0
+            });
+        }
+        for (i, k) in self.idx.iter().zip(&self.cards) {
+            obs.push(2.0 * *i as f64 / (*k as f64 - 1.0).max(1.0) - 1.0);
+        }
+        obs
+    }
+
+    fn current_reward(&self) -> f64 {
+        // A fail-value spec vector produces a very negative Eq. 1 value on
+        // its own, but an unsolvable operating point is reported even more
+        // pessimistically.
+        let all_failed = self
+            .last_specs
+            .iter()
+            .zip(self.problem.specs())
+            .all(|(v, d)| (*v - d.fail_value).abs() < f64::EPSILON);
+        if all_failed {
+            self.cfg.sim_fail_reward
+        } else {
+            reward(self.problem.specs(), &self.last_specs, &self.target)
+        }
+    }
+}
+
+impl Env for SizingEnv {
+    fn obs_dim(&self) -> usize {
+        2 * self.problem.specs().len() + self.cards.len()
+    }
+
+    fn action_dims(&self) -> Vec<usize> {
+        vec![3; self.cards.len()]
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        let target = match &self.cfg.target_mode {
+            TargetMode::Uniform => sample_uniform(self.problem.as_ref(), rng),
+            TargetMode::Feasible(tries) => {
+                sample_feasible(self.problem.as_ref(), rng, *tries)
+            }
+            TargetMode::FixedSet(set) => {
+                assert!(!set.is_empty(), "empty target set");
+                set[rng.random_range(0..set.len())].clone()
+            }
+        };
+        self.reset_with_target(target)
+    }
+
+    fn step(&mut self, action: &[usize]) -> StepResult {
+        assert_eq!(action.len(), self.idx.len(), "wrong action arity");
+        for ((i, k), a) in self.idx.iter_mut().zip(&self.cards).zip(action) {
+            let delta = *a as i64 - 1;
+            let next = *i as i64 + delta;
+            *i = next.clamp(0, *k as i64 - 1) as usize;
+        }
+        self.t += 1;
+        self.simulate_current();
+        let r = self.current_reward();
+        let success = is_success(r);
+        let reward = if success { self.cfg.success_bonus + r } else { r };
+        StepResult {
+            obs: self.observation(),
+            reward,
+            done: success || self.t >= self.cfg.horizon,
+            success,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autockt_circuits::Tia;
+    use rand::SeedableRng;
+
+    fn env(target_mode: TargetMode) -> SizingEnv {
+        SizingEnv::new(
+            Arc::new(Tia::default()),
+            EnvConfig {
+                horizon: 10,
+                mode: SimMode::Schematic,
+                target_mode,
+                sim_fail_reward: -5.0,
+                success_bonus: SUCCESS_BONUS,
+            },
+        )
+    }
+
+    #[test]
+    fn obs_dim_matches_layout() {
+        let e = env(TargetMode::Uniform);
+        // TIA: 3 specs, 6 params -> 3 + 3 + 6 = 12.
+        assert_eq!(e.obs_dim(), 12);
+        assert_eq!(e.action_dims(), vec![3; 6]);
+    }
+
+    #[test]
+    fn reset_centers_parameters() {
+        let mut e = env(TargetMode::Uniform);
+        let mut rng = StdRng::seed_from_u64(5);
+        let obs = e.reset(&mut rng);
+        assert_eq!(obs.len(), e.obs_dim());
+        let cards = e.problem().cardinalities();
+        for (i, k) in e.param_indices().iter().zip(&cards) {
+            assert_eq!(*i, k / 2);
+        }
+        assert!(obs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn step_clamps_at_grid_edges() {
+        let mut e = env(TargetMode::Uniform);
+        let mut rng = StdRng::seed_from_u64(6);
+        e.reset(&mut rng);
+        // Push all decrements many times: indices must pin at 0.
+        for _ in 0..40 {
+            e.step(&[0, 0, 0, 0, 0, 0]);
+        }
+        assert!(e.param_indices().iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn keep_actions_do_not_move_parameters() {
+        let mut e = env(TargetMode::Uniform);
+        let mut rng = StdRng::seed_from_u64(7);
+        e.reset(&mut rng);
+        let before = e.param_indices().to_vec();
+        e.step(&[1; 6]);
+        assert_eq!(e.param_indices(), &before[..]);
+    }
+
+    #[test]
+    fn horizon_terminates_episode() {
+        let mut e = env(TargetMode::Uniform);
+        let mut rng = StdRng::seed_from_u64(8);
+        // A target at the very edge of all ranges is unlikely reachable in
+        // 10 keep-steps; the episode must still end.
+        e.reset(&mut rng);
+        let mut done = false;
+        for _ in 0..10 {
+            let sr = e.step(&[1; 6]);
+            done = sr.done;
+            if done {
+                break;
+            }
+        }
+        assert!(done, "episode must terminate at the horizon");
+    }
+
+    #[test]
+    fn reaching_a_self_target_succeeds_immediately() {
+        // Target = specs of the center design: the first step with all
+        // "keep" actions must succeed (reward ~ 0 plus bonus).
+        let mut e = env(TargetMode::Uniform);
+        let center: Vec<usize> = e.problem().cardinalities().iter().map(|k| k / 2).collect();
+        let specs = e
+            .problem()
+            .simulate(&center, SimMode::Schematic)
+            .expect("center simulates");
+        e.reset_with_target(specs);
+        let sr = e.step(&[1; 6]);
+        assert!(sr.success, "self-target must be satisfied");
+        assert!(sr.reward > 9.0, "bonus applied, got {}", sr.reward);
+    }
+
+    #[test]
+    fn sim_count_increments_per_step() {
+        let mut e = env(TargetMode::Uniform);
+        let mut rng = StdRng::seed_from_u64(9);
+        e.reset(&mut rng);
+        let c0 = e.sim_count();
+        e.step(&[1; 6]);
+        e.step(&[1; 6]);
+        assert_eq!(e.sim_count(), c0 + 2);
+    }
+
+    #[test]
+    fn fixed_set_targets_are_used() {
+        let probe = vec![100e-12, 2e9, 1e-4];
+        let mut e = env(TargetMode::FixedSet(vec![probe.clone()]));
+        let mut rng = StdRng::seed_from_u64(10);
+        e.reset(&mut rng);
+        assert_eq!(e.target(), &probe[..]);
+    }
+}

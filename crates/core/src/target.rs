@@ -1,0 +1,144 @@
+//! Target-specification sampling.
+//!
+//! The paper trains on a sparse subsample of the specification space
+//! (`O* = 50` random target vectors) and deploys on freshly sampled ones.
+//! Two samplers are provided: [`sample_uniform`] draws each spec
+//! independently from its declared range (used at deployment, where some
+//! combinations are legitimately unreachable — Fig. 8), and
+//! [`sample_feasible`] draws the measured specs of random *designs* so the
+//! target is reachable by construction (used to build the training set, so
+//! the mean-reward-reaches-zero stopping rule of Sec. II-A is attainable).
+
+use autockt_circuits::{SimMode, SizingProblem, SpecKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws one target vector uniformly from each spec's `[lo, hi]` range.
+pub fn sample_uniform(problem: &dyn SizingProblem, rng: &mut StdRng) -> Vec<f64> {
+    problem
+        .specs()
+        .iter()
+        .map(|s| {
+            if (s.hi - s.lo).abs() < f64::EPSILON {
+                s.lo
+            } else {
+                rng.random_range(s.lo..s.hi)
+            }
+        })
+        .collect()
+}
+
+/// Draws a reachable target: samples random parameter vectors, simulates
+/// them, and returns the first whose measured specs all fall inside the
+/// declared ranges. Specs of kind [`SpecKind::Minimize`] are relaxed
+/// upward to the range bound (a design drawing less power than the target
+/// is still a valid target). Falls back to [`sample_uniform`] after
+/// `max_tries` misses.
+pub fn sample_feasible(
+    problem: &dyn SizingProblem,
+    rng: &mut StdRng,
+    max_tries: usize,
+) -> Vec<f64> {
+    let cards = problem.cardinalities();
+    for _ in 0..max_tries {
+        let idx: Vec<usize> = cards.iter().map(|&k| rng.random_range(0..k)).collect();
+        let Ok(specs) = problem.simulate(&idx, SimMode::Schematic) else {
+            continue;
+        };
+        // The design can seed a target if each spec clears the box in its
+        // constraint direction: a HardMin measurement above the box top
+        // still satisfies the clamped target `hi`, etc.
+        let ok = problem.specs().iter().zip(&specs).all(|(d, &v)| match d.kind {
+            SpecKind::HardMin => v >= d.lo,
+            SpecKind::HardMax | SpecKind::Minimize => v <= d.hi,
+        });
+        if !ok {
+            continue;
+        }
+        // Build the target by clamping the measurement into the declared
+        // box (for minimized specs, sample between the measurement and the
+        // box top so the design provably satisfies it).
+        let target: Vec<f64> = problem
+            .specs()
+            .iter()
+            .zip(&specs)
+            .map(|(d, &v)| match d.kind {
+                SpecKind::HardMin => v.clamp(d.lo, d.hi),
+                SpecKind::HardMax => v.clamp(d.lo, d.hi),
+                SpecKind::Minimize => {
+                    let lo = v.max(d.lo);
+                    if d.hi > lo {
+                        rng.random_range(lo..d.hi)
+                    } else {
+                        d.hi
+                    }
+                }
+            })
+            .collect();
+        return target;
+    }
+    sample_uniform(problem, rng)
+}
+
+/// Generates the training target set `O*` (the paper uses `n = 50`,
+/// optimized by hyperparameter sweep).
+pub fn training_targets(
+    problem: &dyn SizingProblem,
+    n: usize,
+    rng: &mut StdRng,
+    feasible: bool,
+) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            if feasible {
+                sample_feasible(problem, rng, 50)
+            } else {
+                sample_uniform(problem, rng)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autockt_circuits::Tia;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_targets_in_range() {
+        let tia = Tia::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = sample_uniform(&tia, &mut rng);
+            for (d, v) in tia.specs().iter().zip(&t) {
+                assert!(*v >= d.lo && *v <= d.hi, "{} = {v} outside range", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_targets_are_within_box() {
+        let tia = Tia::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = sample_feasible(&tia, &mut rng, 30);
+        assert_eq!(t.len(), tia.specs().len());
+        for (d, v) in tia.specs().iter().zip(&t) {
+            assert!(
+                *v >= d.lo - 1e-12 && *v <= d.hi + 1e-12,
+                "{} = {v} outside [{}, {}]",
+                d.name,
+                d.lo,
+                d.hi
+            );
+        }
+    }
+
+    #[test]
+    fn training_set_has_requested_size() {
+        let tia = Tia::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = training_targets(&tia, 10, &mut rng, false);
+        assert_eq!(set.len(), 10);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests of the Eq. 1 reward implementation.
+
+use autockt_circuits::{SpecDef, SpecKind};
+use autockt_core::{is_success, reward, SUCCESS_BONUS};
+use proptest::prelude::*;
+
+fn one_spec(kind: SpecKind) -> Vec<SpecDef> {
+    vec![SpecDef {
+        name: "s",
+        unit: "",
+        kind,
+        lo: 1.0,
+        hi: 10.0,
+        fail_value: 0.0,
+    }]
+}
+
+proptest! {
+    /// The reward of a single hard-min spec is zero iff satisfied, and in
+    /// [-1, 0] otherwise.
+    #[test]
+    fn hard_min_bounds(o in 1e-6..1e6f64, t in 1e-6..1e6f64) {
+        let r = reward(&one_spec(SpecKind::HardMin), &[o], &[t]);
+        prop_assert!(r <= 1e-12);
+        prop_assert!(r >= -1.0 - 1e-12);
+        if o >= t {
+            prop_assert!(r.abs() < 1e-12);
+        } else {
+            prop_assert!(r < 0.0);
+        }
+    }
+
+    /// HardMax mirrors HardMin under swapping o and t.
+    #[test]
+    fn hard_max_mirror(o in 1e-6..1e6f64, t in 1e-6..1e6f64) {
+        let rmax = reward(&one_spec(SpecKind::HardMax), &[o], &[t]);
+        let rmin = reward(&one_spec(SpecKind::HardMin), &[t], &[o]);
+        prop_assert!((rmax - rmin).abs() < 1e-12);
+    }
+
+    /// Reward is monotone non-decreasing in a hard-min measurement.
+    #[test]
+    fn monotone_in_measurement(t in 0.1..100.0f64, o1 in 0.01..100.0f64, d in 0.0..10.0f64) {
+        let specs = one_spec(SpecKind::HardMin);
+        let r1 = reward(&specs, &[o1], &[t]);
+        let r2 = reward(&specs, &[o1 + d], &[t]);
+        prop_assert!(r2 >= r1 - 1e-12);
+    }
+
+    /// Success is achieved exactly when total shortfall is within 0.01.
+    #[test]
+    fn success_threshold(o in 0.1..10.0f64, t in 0.1..10.0f64) {
+        let specs = one_spec(SpecKind::HardMin);
+        let r = reward(&specs, &[o], &[t]);
+        prop_assert_eq!(is_success(r), r >= -0.01);
+    }
+
+    /// Multi-spec reward is the sum of single-spec rewards.
+    #[test]
+    fn additivity(
+        o1 in 0.1..100.0f64, t1 in 0.1..100.0f64,
+        o2 in 0.1..100.0f64, t2 in 0.1..100.0f64,
+    ) {
+        let both = vec![
+            SpecDef { name: "a", unit: "", kind: SpecKind::HardMin, lo: 0.0, hi: 1.0, fail_value: 0.0 },
+            SpecDef { name: "b", unit: "", kind: SpecKind::HardMax, lo: 0.0, hi: 1.0, fail_value: 0.0 },
+        ];
+        let r = reward(&both, &[o1, o2], &[t1, t2]);
+        let ra = reward(&both[..1], &[o1], &[t1]);
+        let rb = reward(&both[1..], &[o2], &[t2]);
+        prop_assert!((r - (ra + rb)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn bonus_is_positive_and_dominates_threshold() {
+    assert!(SUCCESS_BONUS > 1.0);
+}

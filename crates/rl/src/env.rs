@@ -1,0 +1,116 @@
+//! The environment abstraction (OpenAI-Gym substitute).
+//!
+//! AutoCkt environments have a *factorized discrete* action space: one
+//! small categorical choice per tunable circuit parameter
+//! (decrement / keep / increment). The [`Env`] trait models exactly that.
+
+use rand::rngs::StdRng;
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Observation after the step.
+    pub obs: Vec<f64>,
+    /// Scalar reward for the transition.
+    pub reward: f64,
+    /// Whether the episode terminated (goal reached or horizon hit).
+    pub done: bool,
+    /// Whether termination was due to reaching the goal (success) rather
+    /// than the horizon.
+    pub success: bool,
+}
+
+/// A reinforcement-learning environment with a factorized discrete action
+/// space.
+///
+/// Implementations must be deterministic given the RNG passed to
+/// [`Env::reset`]: all stochasticity (target sampling) flows through it.
+pub trait Env {
+    /// Dimension of the observation vector.
+    fn obs_dim(&self) -> usize;
+
+    /// Cardinality of each action factor (e.g. `[3, 3, 3, 3]` for four
+    /// parameters with decrement/keep/increment choices).
+    fn action_dims(&self) -> Vec<usize>;
+
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64>;
+
+    /// Applies one factored action (one choice index per factor).
+    fn step(&mut self, action: &[usize]) -> StepResult;
+}
+
+#[cfg(test)]
+pub(crate) mod testenv {
+    use super::*;
+    use rand::Rng;
+
+    /// A tiny deterministic "move to target on a line" environment used by
+    /// unit tests of the PPO stack: state is (pos, target) on a K-grid,
+    /// action decrements/keeps/increments pos, reward is negative distance,
+    /// success when pos == target.
+    #[derive(Debug, Clone)]
+    pub struct LineEnv {
+        pub k: i64,
+        pub pos: i64,
+        pub target: i64,
+        pub t: usize,
+        pub horizon: usize,
+    }
+
+    impl LineEnv {
+        pub fn new(k: i64, horizon: usize) -> Self {
+            LineEnv {
+                k,
+                pos: k / 2,
+                target: 0,
+                t: 0,
+                horizon,
+            }
+        }
+
+        fn obs(&self) -> Vec<f64> {
+            vec![
+                self.pos as f64 / self.k as f64,
+                self.target as f64 / self.k as f64,
+                (self.pos - self.target) as f64 / self.k as f64,
+            ]
+        }
+    }
+
+    impl Env for LineEnv {
+        fn obs_dim(&self) -> usize {
+            3
+        }
+
+        fn action_dims(&self) -> Vec<usize> {
+            vec![3]
+        }
+
+        fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+            self.pos = self.k / 2;
+            self.target = rng.random_range(0..self.k);
+            self.t = 0;
+            self.obs()
+        }
+
+        fn step(&mut self, action: &[usize]) -> StepResult {
+            let delta = action[0] as i64 - 1;
+            self.pos = (self.pos + delta).clamp(0, self.k - 1);
+            self.t += 1;
+            let dist = (self.pos - self.target).abs();
+            let success = dist == 0;
+            let reward = if success {
+                10.0
+            } else {
+                -(dist as f64) / self.k as f64
+            };
+            StepResult {
+                obs: self.obs(),
+                reward,
+                done: success || self.t >= self.horizon,
+                success,
+            }
+        }
+    }
+}

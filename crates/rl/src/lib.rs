@@ -1,0 +1,56 @@
+//! # autockt-rl — reinforcement-learning substrate
+//!
+//! A dependency-light deep-RL stack sized for the AutoCkt problem
+//! (Settaluri et al., DATE 2020): a tanh MLP with manual backprop and Adam
+//! ([`mlp`]), a factorized-categorical policy with a separate value network
+//! ([`policy`]), parallel trajectory collection over a Gym-like [`env::Env`]
+//! trait ([`rollout`], standing in for Ray/RLlib), and a PPO-clip trainer
+//! ([`ppo`]).
+//!
+//! ## Example: train on a toy environment
+//!
+//! ```
+//! use autockt_rl::env::{Env, StepResult};
+//! use autockt_rl::ppo::{Ppo, PpoConfig};
+//! use rand::rngs::StdRng;
+//! use rand::Rng;
+//!
+//! // Reach a sampled 1-D target by incrementing/decrementing a counter.
+//! #[derive(Clone)]
+//! struct Line { pos: i64, target: i64, t: usize }
+//! impl Env for Line {
+//!     fn obs_dim(&self) -> usize { 2 }
+//!     fn action_dims(&self) -> Vec<usize> { vec![3] }
+//!     fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+//!         self.pos = 8; self.target = rng.random_range(0..16); self.t = 0;
+//!         vec![self.pos as f64 / 16.0, self.target as f64 / 16.0]
+//!     }
+//!     fn step(&mut self, a: &[usize]) -> StepResult {
+//!         self.pos = (self.pos + a[0] as i64 - 1).clamp(0, 15);
+//!         self.t += 1;
+//!         let success = self.pos == self.target;
+//!         StepResult {
+//!             obs: vec![self.pos as f64 / 16.0, self.target as f64 / 16.0],
+//!             reward: if success { 10.0 } else { -0.1 },
+//!             done: success || self.t >= 20,
+//!             success,
+//!         }
+//!     }
+//! }
+//!
+//! let mut envs = vec![Line { pos: 0, target: 0, t: 0 }; 2];
+//! let cfg = PpoConfig { steps_per_iter: 128, minibatch: 64, epochs: 2, ..PpoConfig::default() };
+//! let mut agent = Ppo::new(2, &[3], cfg, 7);
+//! let stats = agent.train_iteration(&mut envs);
+//! assert!(stats.total_env_steps >= 128);
+//! ```
+
+pub mod env;
+pub mod mlp;
+pub mod policy;
+pub mod ppo;
+pub mod rollout;
+
+pub use env::{Env, StepResult};
+pub use policy::{PolicyNet, ValueNet};
+pub use ppo::{IterStats, Ppo, PpoConfig};

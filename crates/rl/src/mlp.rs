@@ -1,0 +1,459 @@
+//! Multi-layer perceptron with manual backpropagation and Adam.
+//!
+//! The paper's agent is a 3-layer, 50-neuron network trained with PPO; at
+//! that scale a straightforward `Vec<f64>`-based implementation with
+//! per-sample backward passes is faster than pulling in a tensor library,
+//! and keeps the whole learning stack dependency-free and deterministic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Activation functions for hidden and output layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (for logits / value outputs).
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value `y = f(x)`.
+    fn deriv_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// One dense layer with its gradient and Adam moment buffers.
+#[derive(Debug, Clone, PartialEq)]
+struct Linear {
+    n_in: usize,
+    n_out: usize,
+    w: Vec<f64>, // row-major [n_out x n_in]
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Linear {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // Xavier/Glorot uniform initialization.
+        let bound = (6.0 / (n_in + n_out) as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Linear {
+            n_in,
+            n_out,
+            w,
+            b: vec![0.0; n_out],
+            gw: vec![0.0; n_in * n_out],
+            gb: vec![0.0; n_out],
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Accumulates gradients given upstream gradient `dy` (w.r.t. this
+    /// layer's pre-activation output) and this layer's input `x`; writes the
+    /// gradient w.r.t. `x` into `dx`.
+    fn backward(&mut self, x: &[f64], dy: &[f64], dx: &mut Vec<f64>) {
+        dx.clear();
+        dx.resize(self.n_in, 0.0);
+        for o in 0..self.n_out {
+            let g = dy[o];
+            self.gb[o] += g;
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let grow = &mut self.gw[o * self.n_in..(o + 1) * self.n_in];
+            for i in 0..self.n_in {
+                grow[i] += g * x[i];
+                dx[i] += g * row[i];
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    fn grad_sq_norm(&self) -> f64 {
+        self.gw.iter().map(|g| g * g).sum::<f64>() + self.gb.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    fn scale_grad(&mut self, k: f64) {
+        self.gw.iter_mut().for_each(|g| *g *= k);
+        self.gb.iter_mut().for_each(|g| *g *= k);
+    }
+
+    fn adam_step(&mut self, lr: f64, b1: f64, b2: f64, eps: f64, t: u64) {
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        for i in 0..self.w.len() {
+            self.mw[i] = b1 * self.mw[i] + (1.0 - b1) * self.gw[i];
+            self.vw[i] = b2 * self.vw[i] + (1.0 - b2) * self.gw[i] * self.gw[i];
+            let mhat = self.mw[i] / bc1;
+            let vhat = self.vw[i] / bc2;
+            self.w[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+        for i in 0..self.b.len() {
+            self.mb[i] = b1 * self.mb[i] + (1.0 - b1) * self.gb[i];
+            self.vb[i] = b2 * self.vb[i] + (1.0 - b2) * self.gb[i] * self.gb[i];
+            let mhat = self.mb[i] / bc1;
+            let vhat = self.vb[i] / bc2;
+            self.b[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+/// Forward-pass cache needed by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Post-activation values per layer, `acts[0]` is the input.
+    acts: Vec<Vec<f64>>,
+}
+
+/// A fully-connected feed-forward network.
+///
+/// # Examples
+///
+/// ```
+/// use autockt_rl::mlp::{Activation, Mlp};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let net = Mlp::new(&[4, 16, 2], Activation::Tanh, Activation::Linear, &mut rng);
+/// let y = net.forward(&[0.1, -0.2, 0.3, 0.0]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    out_act: Activation,
+    adam_t: u64,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer sizes (first entry is the
+    /// input dimension, last is the output dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are supplied.
+    pub fn new(
+        sizes: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            hidden_act,
+            out_act,
+            adam_t: 0,
+        }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.layers.first().expect("nonempty").n_in
+    }
+
+    /// Output dimension.
+    pub fn n_out(&self) -> usize {
+        self.layers.last().expect("nonempty").n_out
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut buf = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut buf);
+            let act = if li == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
+            cur.clear();
+            cur.extend(buf.iter().map(|&v| act.apply(v)));
+        }
+        cur
+    }
+
+    /// Forward pass that records activations for a later
+    /// [`Mlp::backward`].
+    pub fn forward_cache(&self, x: &[f64]) -> (Vec<f64>, ForwardCache) {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        let mut buf = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().expect("nonempty"), &mut buf);
+            let act = if li == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
+            acts.push(buf.iter().map(|&v| act.apply(v)).collect());
+        }
+        (acts.last().expect("nonempty").clone(), ForwardCache { acts })
+    }
+
+    /// Accumulates parameter gradients for one sample given the gradient of
+    /// the loss w.r.t. the network *output* (post-activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dout.len() != self.n_out()` or the cache shape mismatches.
+    pub fn backward(&mut self, cache: &ForwardCache, dout: &[f64]) {
+        assert_eq!(dout.len(), self.n_out(), "bad output gradient size");
+        let last = self.layers.len() - 1;
+        // Gradient w.r.t. pre-activation of the current layer.
+        let mut dy: Vec<f64> = dout
+            .iter()
+            .zip(&cache.acts[last + 1])
+            .map(|(g, y)| g * self.out_act.deriv_from_output(*y))
+            .collect();
+        let mut dx = Vec::new();
+        for li in (0..self.layers.len()).rev() {
+            let x = &cache.acts[li];
+            self.layers[li].backward(x, &dy, &mut dx);
+            if li > 0 {
+                let act = self.hidden_act;
+                dy = dx
+                    .iter()
+                    .zip(&cache.acts[li])
+                    .map(|(g, y)| g * act.deriv_from_output(*y))
+                    .collect();
+            }
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Global L2 norm of the accumulated gradient.
+    pub fn grad_norm(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(Linear::grad_sq_norm)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales all accumulated gradients (used for minibatch averaging and
+    /// gradient clipping).
+    pub fn scale_grad(&mut self, k: f64) {
+        for l in &mut self.layers {
+            l.scale_grad(k);
+        }
+    }
+
+    /// Applies one Adam update with the accumulated gradients, then clears
+    /// them.
+    pub fn adam_step(&mut self, lr: f64) {
+        self.adam_t += 1;
+        for l in &mut self.layers {
+            l.adam_step(lr, 0.9, 0.999, 1e-8, self.adam_t);
+        }
+        self.zero_grad();
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+}
+
+/// Numerically stable softmax over a slice.
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let m = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|v| (v - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / s).collect()
+}
+
+/// Log-sum-exp of a slice, numerically stable.
+pub fn log_sum_exp(z: &[f64]) -> f64 {
+    let m = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    m + z.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(&[3, 8, 8, 2], Activation::Tanh, Activation::Linear, &mut rng());
+        assert_eq!(net.n_in(), 3);
+        assert_eq!(net.n_out(), 2);
+        assert_eq!(net.forward(&[0.0, 0.0, 0.0]).len(), 2);
+        assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Loss = 0.5 * sum(y^2); analytic grad vs numerical perturbation of
+        // a weight checked through the full backprop chain.
+        let mut net = Mlp::new(&[2, 5, 3], Activation::Tanh, Activation::Linear, &mut rng());
+        let x = [0.3, -0.7];
+        let (y, cache) = net.forward_cache(&x);
+        let dout: Vec<f64> = y.clone();
+        net.zero_grad();
+        net.backward(&cache, &dout);
+        // Check a handful of weights in each layer.
+        let h = 1e-6;
+        for li in 0..net.layers.len() {
+            for wi in [0usize, 1, 3] {
+                let analytic = net.layers[li].gw[wi];
+                let orig = net.layers[li].w[wi];
+                net.layers[li].w[wi] = orig + h;
+                let yp = net.forward(&x);
+                let lp: f64 = 0.5 * yp.iter().map(|v| v * v).sum::<f64>();
+                net.layers[li].w[wi] = orig - h;
+                let ym = net.forward(&x);
+                let lm: f64 = 0.5 * ym.iter().map(|v| v * v).sum::<f64>();
+                net.layers[li].w[wi] = orig;
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (analytic - numeric).abs() < 1e-6,
+                    "layer {li} w[{wi}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adam_reduces_regression_loss() {
+        // Fit y = [x0 + x1, x0 - x1] from random samples.
+        let mut r = rng();
+        let mut net = Mlp::new(&[2, 16, 2], Activation::Tanh, Activation::Linear, &mut r);
+        let loss_of = |net: &Mlp, data: &[([f64; 2], [f64; 2])]| -> f64 {
+            data.iter()
+                .map(|(x, t)| {
+                    let y = net.forward(x);
+                    0.5 * ((y[0] - t[0]).powi(2) + (y[1] - t[1]).powi(2))
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let data: Vec<([f64; 2], [f64; 2])> = (0..64)
+            .map(|_| {
+                let x0: f64 = r.random_range(-1.0..1.0);
+                let x1: f64 = r.random_range(-1.0..1.0);
+                ([x0, x1], [x0 + x1, x0 - x1])
+            })
+            .collect();
+        let before = loss_of(&net, &data);
+        for _ in 0..300 {
+            net.zero_grad();
+            for (x, t) in &data {
+                let (y, cache) = net.forward_cache(x);
+                let dout = vec![y[0] - t[0], y[1] - t[1]];
+                net.backward(&cache, &dout);
+            }
+            net.scale_grad(1.0 / data.len() as f64);
+            net.adam_step(3e-3);
+        }
+        let after = loss_of(&net, &data);
+        assert!(
+            after < before * 0.05,
+            "loss should drop 20x: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 1000.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|v| (v - 1.0 / 3.0).abs() < 1e-12));
+        let q = softmax(&[-1e9, 0.0]);
+        assert!(q[1] > 0.999);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_in_safe_range() {
+        let z = [0.1f64, -0.4, 2.0];
+        let naive = z.iter().map(|v| v.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&z) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_activation_forward_backward() {
+        let mut net = Mlp::new(&[1, 4, 1], Activation::Relu, Activation::Linear, &mut rng());
+        let (y, cache) = net.forward_cache(&[0.5]);
+        net.zero_grad();
+        net.backward(&cache, &[1.0]);
+        assert!(y[0].is_finite());
+        assert!(net.grad_norm().is_finite());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Linear, &mut rng());
+        let b = a.clone();
+        let x = [0.2, 0.4];
+        let before = b.forward(&x)[0];
+        let (y, cache) = a.forward_cache(&x);
+        a.backward(&cache, &[y[0] + 1.0]);
+        a.adam_step(0.1);
+        assert!((b.forward(&x)[0] - before).abs() < 1e-15, "clone unaffected");
+        assert!((a.forward(&x)[0] - before).abs() > 1e-9, "original trained");
+    }
+}

@@ -1,0 +1,277 @@
+//! Proximal Policy Optimization (clipped surrogate) trainer.
+//!
+//! This is the algorithm the paper trains AutoCkt with (via RLlib); here it
+//! is implemented directly on top of [`crate::mlp`]: advantage
+//! normalization, minibatched epochs over the collected batch, entropy
+//! bonus, value-function regression and global gradient-norm clipping.
+
+use crate::env::Env;
+use crate::policy::{PolicyNet, ValueNet};
+use crate::rollout::{collect_parallel, Batch};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters for PPO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpoConfig {
+    /// Hidden layer sizes of both networks (paper: three 50-neuron layers).
+    pub hidden: Vec<usize>,
+    /// Environment steps collected per iteration (split across workers).
+    pub steps_per_iter: usize,
+    /// Minibatch size for gradient steps.
+    pub minibatch: usize,
+    /// Optimization epochs over each batch.
+    pub epochs: usize,
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE lambda.
+    pub lam: f64,
+    /// PPO clip radius.
+    pub clip: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Entropy bonus coefficient.
+    pub ent_coef: f64,
+    /// Value-loss coefficient.
+    pub vf_coef: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            hidden: vec![50, 50, 50],
+            steps_per_iter: 2048,
+            minibatch: 256,
+            epochs: 8,
+            gamma: 0.99,
+            lam: 0.95,
+            clip: 0.2,
+            lr: 3e-4,
+            ent_coef: 5e-3,
+            vf_coef: 0.5,
+            max_grad_norm: 0.5,
+        }
+    }
+}
+
+/// Diagnostics from one training iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IterStats {
+    /// Mean return of episodes completed this iteration (the quantity the
+    /// paper plots in Figs. 5, 7, 11). `NaN` if none completed.
+    pub mean_episode_reward: f64,
+    /// Number of completed episodes.
+    pub episodes: usize,
+    /// Fraction of completed episodes that reached the goal.
+    pub success_rate: f64,
+    /// Mean completed-episode length.
+    pub mean_episode_len: f64,
+    /// Mean policy entropy over the batch after the update.
+    pub entropy: f64,
+    /// Approximate KL(old || new) after the update.
+    pub approx_kl: f64,
+    /// Environment steps consumed so far (cumulative).
+    pub total_env_steps: usize,
+}
+
+/// A PPO agent: policy, value function, optimizer state and config.
+#[derive(Debug, Clone)]
+pub struct Ppo {
+    /// The stochastic policy being optimized.
+    pub policy: PolicyNet,
+    /// The value-function baseline.
+    pub value: ValueNet,
+    cfg: PpoConfig,
+    rng: StdRng,
+    total_env_steps: usize,
+    iter: usize,
+}
+
+impl Ppo {
+    /// Creates an agent for the given observation/action space.
+    pub fn new(obs_dim: usize, action_dims: &[usize], cfg: PpoConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = PolicyNet::new(obs_dim, action_dims, &cfg.hidden, &mut rng);
+        let value = ValueNet::new(obs_dim, &cfg.hidden, &mut rng);
+        Ppo {
+            policy,
+            value,
+            cfg,
+            rng,
+            total_env_steps: 0,
+            iter: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PpoConfig {
+        &self.cfg
+    }
+
+    /// Cumulative environment steps consumed.
+    pub fn total_env_steps(&self) -> usize {
+        self.total_env_steps
+    }
+
+    /// Runs one collect + update iteration over the given environments.
+    pub fn train_iteration<E: Env + Send>(&mut self, envs: &mut [E]) -> IterStats {
+        assert!(!envs.is_empty(), "need at least one environment");
+        let steps_per_worker = self.cfg.steps_per_iter.div_ceil(envs.len());
+        let seed = {
+            use rand::Rng;
+            self.rng.random::<u64>()
+        };
+        let mut batch = collect_parallel(
+            &self.policy,
+            &self.value,
+            envs,
+            steps_per_worker,
+            self.cfg.gamma,
+            self.cfg.lam,
+            seed,
+        );
+        self.total_env_steps += batch.transitions.len();
+        self.iter += 1;
+        let (entropy, approx_kl) = self.update(&mut batch);
+        IterStats {
+            mean_episode_reward: batch.mean_episode_return().unwrap_or(f64::NAN),
+            episodes: batch.episode_returns.len(),
+            success_rate: batch.success_rate().unwrap_or(0.0),
+            mean_episode_len: if batch.episode_lens.is_empty() {
+                f64::NAN
+            } else {
+                batch.episode_lens.iter().sum::<usize>() as f64 / batch.episode_lens.len() as f64
+            },
+            entropy,
+            approx_kl,
+            total_env_steps: self.total_env_steps,
+        }
+    }
+
+    /// Performs the PPO update on a collected batch. Returns
+    /// `(mean entropy, approximate KL)` measured during the last epoch.
+    pub fn update(&mut self, batch: &mut Batch) -> (f64, f64) {
+        let n = batch.transitions.len();
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        // Advantage normalization across the whole batch.
+        let mean = batch.transitions.iter().map(|t| t.advantage).sum::<f64>() / n as f64;
+        let var = batch
+            .transitions
+            .iter()
+            .map(|t| (t.advantage - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let std = var.sqrt().max(1e-8);
+        for t in &mut batch.transitions {
+            t.advantage = (t.advantage - mean) / std;
+        }
+
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut ent_sum = 0.0;
+        let mut ent_count = 0usize;
+        let mut kl_sum = 0.0;
+        for epoch in 0..self.cfg.epochs {
+            indices.shuffle(&mut self.rng);
+            for chunk in indices.chunks(self.cfg.minibatch) {
+                self.policy.net_mut().zero_grad();
+                self.value.net_mut().zero_grad();
+                for &i in chunk {
+                    let t = &batch.transitions[i];
+                    let (logp_new, ent) = self.policy.accumulate_ppo_grad(
+                        &t.obs,
+                        &t.actions,
+                        t.logp,
+                        t.advantage,
+                        self.cfg.clip,
+                        self.cfg.ent_coef,
+                    );
+                    self.value
+                        .accumulate_mse_grad(&t.obs, t.ret, self.cfg.vf_coef);
+                    if epoch == self.cfg.epochs - 1 {
+                        ent_sum += ent;
+                        kl_sum += t.logp - logp_new;
+                        ent_count += 1;
+                    }
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                self.policy.net_mut().scale_grad(scale);
+                self.value.net_mut().scale_grad(scale);
+                // Global gradient clipping per network.
+                for net in [self.policy.net_mut(), self.value.net_mut()] {
+                    let gn = net.grad_norm();
+                    if gn > self.cfg.max_grad_norm {
+                        net.scale_grad(self.cfg.max_grad_norm / gn);
+                    }
+                }
+                self.policy.net_mut().adam_step(self.cfg.lr);
+                self.value.net_mut().adam_step(self.cfg.lr);
+            }
+        }
+        if ent_count == 0 {
+            (0.0, 0.0)
+        } else {
+            (ent_sum / ent_count as f64, kl_sum / ent_count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::testenv::LineEnv;
+
+    #[test]
+    fn ppo_solves_line_env() {
+        // The sanity benchmark for the whole learning stack: a policy must
+        // learn to walk a 1-D grid to a sampled target within the horizon.
+        let mut envs: Vec<LineEnv> = (0..4).map(|_| LineEnv::new(16, 24)).collect();
+        let cfg = PpoConfig {
+            steps_per_iter: 512,
+            minibatch: 128,
+            epochs: 6,
+            lr: 1e-3,
+            ..PpoConfig::default()
+        };
+        let mut agent = Ppo::new(3, &[3], cfg, 12345);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..40 {
+            let stats = agent.train_iteration(&mut envs);
+            if stats.mean_episode_reward.is_finite() {
+                best = best.max(stats.mean_episode_reward);
+            }
+        }
+        // A random walk rarely hits the target (return ~ -2); a trained
+        // policy should routinely collect the +10 bonus.
+        assert!(best > 5.0, "best mean episode reward {best}");
+    }
+
+    #[test]
+    fn stats_track_env_steps() {
+        let mut envs: Vec<LineEnv> = (0..2).map(|_| LineEnv::new(8, 10)).collect();
+        let cfg = PpoConfig {
+            steps_per_iter: 64,
+            minibatch: 32,
+            epochs: 2,
+            ..PpoConfig::default()
+        };
+        let mut agent = Ppo::new(3, &[3], cfg, 1);
+        let s1 = agent.train_iteration(&mut envs);
+        let s2 = agent.train_iteration(&mut envs);
+        assert!(s2.total_env_steps > s1.total_env_steps);
+        assert_eq!(agent.total_env_steps(), s2.total_env_steps);
+    }
+
+    #[test]
+    fn update_on_empty_batch_is_noop() {
+        let cfg = PpoConfig::default();
+        let mut agent = Ppo::new(3, &[3], cfg, 2);
+        let mut empty = Batch::default();
+        let (e, k) = agent.update(&mut empty);
+        assert_eq!((e, k), (0.0, 0.0));
+    }
+}

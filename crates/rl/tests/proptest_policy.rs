@@ -1,0 +1,73 @@
+//! Property-based tests of the policy distribution machinery.
+
+use autockt_rl::mlp::{log_sum_exp, softmax};
+use autockt_rl::policy::PolicyNet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Softmax is a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_distribution(z in prop::collection::vec(-50.0..50.0f64, 1..10)) {
+        let p = softmax(&z);
+        prop_assert_eq!(p.len(), z.len());
+        prop_assert!(p.iter().all(|v| *v >= 0.0 && *v <= 1.0 + 1e-12));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Softmax is shift-invariant: softmax(z + c) == softmax(z).
+    #[test]
+    fn softmax_shift_invariant(
+        z in prop::collection::vec(-20.0..20.0f64, 2..8),
+        c in -100.0..100.0f64,
+    ) {
+        let a = softmax(&z);
+        let shifted: Vec<f64> = z.iter().map(|v| v + c).collect();
+        let b = softmax(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// log_sum_exp upper-bounds the max and lower-bounds max + ln(n).
+    #[test]
+    fn lse_bounds(z in prop::collection::vec(-30.0..30.0f64, 1..10)) {
+        let m = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let l = log_sum_exp(&z);
+        prop_assert!(l >= m - 1e-12);
+        prop_assert!(l <= m + (z.len() as f64).ln() + 1e-12);
+    }
+
+    /// Per-factor log-probabilities from logp_entropy sum to a valid joint
+    /// (<= 0) and entropy is within [0, sum ln K_i].
+    #[test]
+    fn policy_logp_and_entropy_in_range(
+        seed in 0u64..1000,
+        obs in prop::collection::vec(-1.0..1.0f64, 4),
+        a0 in 0usize..3,
+        a1 in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PolicyNet::new(4, &[3, 3], &[8], &mut rng);
+        let (logp, ent) = p.logp_entropy(&obs, &[a0, a1]);
+        prop_assert!(logp <= 1e-12);
+        prop_assert!(ent >= -1e-12 && ent <= 2.0 * 3f64.ln() + 1e-9);
+    }
+
+    /// Greedy action maximizes per-factor probability.
+    #[test]
+    fn greedy_maximizes_probability(
+        seed in 0u64..500,
+        obs in prop::collection::vec(-1.0..1.0f64, 3),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PolicyNet::new(3, &[3], &[8], &mut rng);
+        let greedy = p.act_greedy(&obs)[0];
+        let (lg, _) = p.logp_entropy(&obs, &[greedy]);
+        for a in 0..3 {
+            let (la, _) = p.logp_entropy(&obs, &[a]);
+            prop_assert!(lg >= la - 1e-12);
+        }
+    }
+}

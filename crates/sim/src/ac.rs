@@ -1,0 +1,399 @@
+//! Small-signal AC analysis.
+//!
+//! The circuit is linearized at a DC operating point ([`crate::dc`]); the
+//! complex system `(G + j w C) x = b` is then factored and solved per
+//! frequency point. The real `G` and `C` matrices are assembled once per
+//! linearization and reused across the sweep, and the per-frequency LU
+//! factorization is exposed so the noise analysis can reuse it for many
+//! right-hand sides.
+
+use crate::complex::Complex;
+use crate::dc::OpPoint;
+use crate::error::SimError;
+use crate::linalg::{LuFactors, Matrix};
+use crate::netlist::{Circuit, Element, Node};
+
+/// A reusable small-signal solver bound to a circuit and operating point.
+#[derive(Debug)]
+pub struct AcSolver<'a> {
+    ckt: &'a Circuit,
+    g: Matrix<f64>,
+    c: Matrix<f64>,
+    rhs: Vec<Complex>,
+    dim: usize,
+}
+
+impl<'a> AcSolver<'a> {
+    /// Builds the small-signal stamps for `ckt` linearized at `op`.
+    pub fn new(ckt: &'a Circuit, op: &OpPoint) -> Self {
+        let dim = ckt.mna_dim();
+        let nnodes = ckt.num_nodes();
+        let mut g = Matrix::zeros(dim, dim);
+        let mut c = Matrix::zeros(dim, dim);
+        let mut rhs = vec![Complex::ZERO; dim];
+        let idx = |n: Node| ckt.mna_index(n);
+
+        // Same gmin regularization as the DC solve keeps conditioning
+        // consistent between analyses.
+        for i in 0..(nnodes - 1) {
+            g[(i, i)] += 1e-12;
+        }
+
+        let stamp_g = |m: &mut Matrix<f64>, p: Node, n: Node, val: f64| {
+            if let Some(ip) = idx(p) {
+                m[(ip, ip)] += val;
+                if let Some(in_) = idx(n) {
+                    m[(ip, in_)] -= val;
+                }
+            }
+            if let Some(in_) = idx(n) {
+                m[(in_, in_)] += val;
+                if let Some(ip) = idx(p) {
+                    m[(in_, ip)] -= val;
+                }
+            }
+        };
+        let stamp_vccs = |m: &mut Matrix<f64>, op_: Node, on: Node, cp: Node, cn: Node, gm: f64| {
+            if let Some(io) = idx(op_) {
+                if let Some(icp) = idx(cp) {
+                    m[(io, icp)] += gm;
+                }
+                if let Some(icn) = idx(cn) {
+                    m[(io, icn)] -= gm;
+                }
+            }
+            if let Some(io) = idx(on) {
+                if let Some(icp) = idx(cp) {
+                    m[(io, icp)] -= gm;
+                }
+                if let Some(icn) = idx(cn) {
+                    m[(io, icn)] += gm;
+                }
+            }
+        };
+
+        let mut vk = 0usize;
+        let mut mos_iter = op.mosfets().iter();
+        for e in ckt.elements() {
+            match e {
+                Element::Resistor { p, n, r, .. } => stamp_g(&mut g, *p, *n, 1.0 / r),
+                Element::Capacitor { p, n, c: cap } => stamp_g(&mut c, *p, *n, *cap),
+                Element::Vsource { p, n, ac, .. } => {
+                    let row = nnodes - 1 + vk;
+                    if let Some(ip) = idx(*p) {
+                        g[(ip, row)] += 1.0;
+                        g[(row, ip)] += 1.0;
+                    }
+                    if let Some(in_) = idx(*n) {
+                        g[(in_, row)] -= 1.0;
+                        g[(row, in_)] -= 1.0;
+                    }
+                    rhs[row] += Complex::from_re(*ac);
+                    vk += 1;
+                }
+                Element::Isource { p, n, ac, .. } => {
+                    if let Some(ip) = idx(*p) {
+                        rhs[ip] -= Complex::from_re(*ac);
+                    }
+                    if let Some(in_) = idx(*n) {
+                        rhs[in_] += Complex::from_re(*ac);
+                    }
+                }
+                Element::Vccs { op: o, on, cp, cn, gm } => {
+                    stamp_vccs(&mut g, *o, *on, *cp, *cn, *gm);
+                }
+                Element::Mos(m) => {
+                    let mi = mos_iter
+                        .next()
+                        .expect("operating point and circuit out of sync");
+                    stamp_g(&mut g, mi.a_d, mi.a_s, mi.gds);
+                    stamp_vccs(&mut g, mi.a_d, mi.a_s, mi.g, mi.a_s, mi.gm);
+                    stamp_g(&mut c, m.g, mi.a_s, mi.cgs);
+                    stamp_g(&mut c, m.g, mi.a_d, mi.cgd);
+                    stamp_g(&mut c, mi.a_d, crate::netlist::GND, mi.cdb);
+                    stamp_g(&mut c, mi.a_s, crate::netlist::GND, mi.csb);
+                }
+            }
+        }
+        AcSolver {
+            ckt,
+            g,
+            c,
+            rhs,
+            dim,
+        }
+    }
+
+    /// Dimension of the MNA system.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Factors the complex system `G + j*2*pi*f*C` at frequency `f` (Hz).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SingularMatrix`] for a singular small-signal system.
+    pub fn factor_at(&self, f: f64) -> Result<LuFactors<Complex>, SimError> {
+        let w = 2.0 * std::f64::consts::PI * f;
+        let mut y = Matrix::<Complex>::zeros(self.dim, self.dim);
+        for r in 0..self.dim {
+            for cidx in 0..self.dim {
+                let gg = self.g[(r, cidx)];
+                let cc = self.c[(r, cidx)];
+                if gg != 0.0 || cc != 0.0 {
+                    y[(r, cidx)] = Complex::new(gg, w * cc);
+                }
+            }
+        }
+        LuFactors::factor(y, 1e-300)
+    }
+
+    /// Right-hand side driven by the netlist's AC source magnitudes.
+    pub fn source_rhs(&self) -> &[Complex] {
+        &self.rhs
+    }
+
+    /// Solves for node voltages at frequency `f` with the netlist's own AC
+    /// sources driving. Returns the full MNA solution vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix failures from the factorization.
+    pub fn solve_sources(&self, f: f64) -> Result<Vec<Complex>, SimError> {
+        Ok(self.factor_at(f)?.solve(&self.rhs))
+    }
+
+    /// Extracts the voltage of `node` from an MNA solution vector.
+    pub fn voltage(&self, x: &[Complex], node: Node) -> Complex {
+        match self.ckt.mna_index(node) {
+            None => Complex::ZERO,
+            Some(i) => x[i],
+        }
+    }
+
+    /// Small-signal step response at `out`: integrates
+    /// `C x' + G x = b u(t)` (with `b` the AC-source right-hand side and
+    /// zero initial state) by the trapezoidal rule. The system matrix is
+    /// factored once, so this costs one LU plus `steps` back-substitutions —
+    /// orders of magnitude cheaper than a nonlinear transient, and exact for
+    /// the small-signal settling measurements the TIA environment needs.
+    ///
+    /// Returns `(t, y)` with `y` the small-signal deviation of `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SingularMatrix`] if `2C/h + G` is singular.
+    pub fn step_response(
+        &self,
+        out: Node,
+        t_stop: f64,
+        steps: usize,
+    ) -> Result<(Vec<f64>, Vec<f64>), SimError> {
+        let h = t_stop / steps as f64;
+        let n = self.dim;
+        // A = G + 2C/h (factored once); per step:
+        // A x1 = 2 b + (2C/h - G) x0  =>  rhs = 2 b + (2C/h) x0 - G x0.
+        let mut a = Matrix::<f64>::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = self.g[(r, c)] + 2.0 * self.c[(r, c)] / h;
+            }
+        }
+        let lu = crate::linalg::LuFactors::factor(a, 1e-300)?;
+        let b: Vec<f64> = self.rhs.iter().map(|c| c.re).collect();
+        let mut x = vec![0.0; n];
+        let oi = self.ckt.mna_index(out);
+        let mut t_out = Vec::with_capacity(steps + 1);
+        let mut y_out = Vec::with_capacity(steps + 1);
+        t_out.push(0.0);
+        y_out.push(0.0);
+        let mut rhs = vec![0.0; n];
+        for s in 1..=steps {
+            // rhs = 2 b + (2C/h) x - G x
+            for r in 0..n {
+                let mut acc = 2.0 * b[r];
+                for c in 0..n {
+                    acc += (2.0 * self.c[(r, c)] / h - self.g[(r, c)]) * x[c];
+                }
+                rhs[r] = acc;
+            }
+            x = lu.solve(&rhs);
+            t_out.push(s as f64 * h);
+            y_out.push(oi.map_or(0.0, |i| x[i]));
+        }
+        Ok((t_out, y_out))
+    }
+}
+
+/// A frequency response: paired frequency grid and complex values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcResponse {
+    /// Frequency grid (Hz), strictly increasing.
+    pub freqs: Vec<f64>,
+    /// Complex response at each grid point.
+    pub h: Vec<Complex>,
+}
+
+/// Runs an AC sweep and records the transfer to `out` (driven by the
+/// netlist's AC sources).
+///
+/// # Errors
+///
+/// Propagates solver failures at any frequency point.
+///
+/// # Examples
+///
+/// An RC low-pass has its -3 dB point at `1/(2 pi R C)`:
+///
+/// ```
+/// use autockt_sim::netlist::{Circuit, GND};
+/// use autockt_sim::dc::{dc_operating_point, DcOptions};
+/// use autockt_sim::ac::{ac_sweep, log_freqs};
+///
+/// # fn main() -> Result<(), autockt_sim::SimError> {
+/// let mut ckt = Circuit::new();
+/// let i = ckt.node("in");
+/// let o = ckt.node("out");
+/// ckt.vsource(i, GND, 0.0, 1.0);
+/// ckt.resistor(i, o, 1.0e3);
+/// ckt.capacitor(o, GND, 1e-9);
+/// let op = dc_operating_point(&ckt, &DcOptions::default())?;
+/// let resp = ac_sweep(&ckt, &op, &log_freqs(1e3, 1e8, 20), o)?;
+/// let f3db = resp.f_3db()?;
+/// let expect = 1.0 / (2.0 * std::f64::consts::PI * 1.0e3 * 1e-9);
+/// assert!((f3db - expect).abs() / expect < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ac_sweep(
+    ckt: &Circuit,
+    op: &OpPoint,
+    freqs: &[f64],
+    out: Node,
+) -> Result<AcResponse, SimError> {
+    let solver = AcSolver::new(ckt, op);
+    let mut h = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let x = solver.solve_sources(f)?;
+        h.push(solver.voltage(&x, out));
+    }
+    Ok(AcResponse {
+        freqs: freqs.to_vec(),
+        h,
+    })
+}
+
+/// Builds a logarithmically spaced frequency grid from `fstart` to `fstop`
+/// with `points_per_decade` points per decade (endpoints included).
+///
+/// # Panics
+///
+/// Panics unless `0 < fstart < fstop` and `points_per_decade >= 1`.
+pub fn log_freqs(fstart: f64, fstop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(fstart > 0.0 && fstop > fstart && points_per_decade >= 1);
+    let decades = (fstop / fstart).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..=n)
+        .map(|i| fstart * 10f64.powf(decades * i as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use crate::device::{MosPolarity, Technology};
+    use crate::netlist::{Mosfet, GND};
+
+    #[test]
+    fn rc_lowpass_magnitude_and_phase() {
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.vsource(i, GND, 0.0, 1.0);
+        ckt.resistor(i, o, 1.0e3);
+        ckt.capacitor(o, GND, 1e-9);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let resp = ac_sweep(&ckt, &op, &[fc], o).unwrap();
+        // At the corner: magnitude 1/sqrt(2), phase -45 degrees.
+        assert!((resp.h[0].norm() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!((resp.h[0].arg().to_degrees() + 45.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn log_freqs_monotone_and_bounded() {
+        let f = log_freqs(1e2, 1e6, 10);
+        assert!((f[0] - 1e2).abs() / 1e2 < 1e-12);
+        assert!((f.last().unwrap() - 1e6).abs() / 1e6 < 1e-9);
+        assert!(f.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn common_source_gain_matches_gm_ro() {
+        // NMOS common-source with ideal current-source-like load resistor:
+        // |A| = gm * (ro || RL) at low frequency.
+        let t = Technology::ptm45();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let o = ckt.node("o");
+        ckt.vsource(vdd, GND, 1.0, 0.0);
+        ckt.vsource(g, GND, 0.55, 1.0);
+        ckt.resistor_noiseless(vdd, o, 20.0e3);
+        ckt.mosfet(Mosfet {
+            polarity: MosPolarity::Nmos,
+            d: o,
+            g,
+            s: GND,
+            w: 2e-6,
+            l: 90e-9,
+            mult: 1.0,
+            model: t.nmos,
+        });
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let m = &op.mosfets()[0];
+        let expect = m.gm * (1.0 / (m.gds + 1.0 / 20.0e3));
+        let resp = ac_sweep(&ckt, &op, &[1.0e3], o).unwrap();
+        let got = resp.h[0].norm();
+        assert!(
+            (got - expect).abs() / expect < 1e-3,
+            "gain {got} vs gm*rout {expect}"
+        );
+        // Inverting stage: phase near 180 degrees.
+        assert!((resp.h[0].arg().to_degrees().abs() - 180.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn linear_step_response_matches_rc_analytic() {
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.vsource(i, GND, 0.0, 1.0);
+        ckt.resistor(i, o, 1.0e3);
+        ckt.capacitor(o, GND, 1e-9);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let solver = AcSolver::new(&ckt, &op);
+        let (t, y) = solver.step_response(o, 5e-6, 2000).unwrap();
+        for (ti, yi) in t.iter().zip(&y).skip(10) {
+            let expect = 1.0 - (-ti / 1e-6).exp();
+            assert!(
+                (yi - expect).abs() < 5e-3,
+                "at t={ti}: {yi} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn current_source_drive_transimpedance() {
+        // 1 A AC into a resistor reads R volts.
+        let mut ckt = Circuit::new();
+        let o = ckt.node("o");
+        ckt.isource(GND, o, 0.0, 1.0);
+        ckt.resistor(o, GND, 123.0);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let resp = ac_sweep(&ckt, &op, &[1e3], o).unwrap();
+        assert!((resp.h[0].norm() - 123.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,600 @@
+//! DC operating-point analysis: damped Newton–Raphson over the nonlinear
+//! MNA system, with a gmin-stepping homotopy fallback for hard circuits.
+//!
+//! The unknown vector is `[v(1), ..., v(N-1), i(V1), ..., i(Vk)]` — node
+//! voltages excluding ground followed by voltage-source branch currents.
+
+use crate::device::{MosPolarity, MosRegion};
+use crate::error::SimError;
+use crate::linalg::{LuFactors, Matrix};
+use crate::netlist::{Circuit, Element, Mosfet, Node};
+
+/// Options for the DC solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcOptions {
+    /// Initial guess applied to every non-ground node (typically `vdd/2`).
+    pub initial_v: f64,
+    /// Maximum Newton iterations per gmin stage.
+    pub max_iter: usize,
+    /// Convergence tolerance on the update norm (V, A).
+    pub tol: f64,
+    /// Maximum per-node voltage change per Newton step (damping).
+    pub dv_max: f64,
+    /// Minimum conductance from every node to ground (aids convergence and
+    /// regularizes capacitor-only nodes).
+    pub gmin: f64,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            initial_v: 0.5,
+            max_iter: 150,
+            tol: 1e-9,
+            dv_max: 0.3,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// Small-signal data for one MOSFET at the operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOp {
+    /// Index of the MOSFET in [`Circuit::elements`].
+    pub elem_index: usize,
+    /// Drain current magnitude (A).
+    pub id: f64,
+    /// Transconductance (S).
+    pub gm: f64,
+    /// Output conductance (S).
+    pub gds: f64,
+    /// Gate-source capacitance (F), terminals already orientation-resolved.
+    pub cgs: f64,
+    /// Gate-drain capacitance (F).
+    pub cgd: f64,
+    /// Drain-bulk junction capacitance (F); bulk is AC ground.
+    pub cdb: f64,
+    /// Source-bulk junction capacitance (F).
+    pub csb: f64,
+    /// Operating region.
+    pub region: MosRegion,
+    /// Effective drain terminal after orientation (channel is symmetric).
+    pub a_d: Node,
+    /// Effective source terminal after orientation.
+    pub a_s: Node,
+    /// Gate terminal.
+    pub g: Node,
+}
+
+/// A solved DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpPoint {
+    node_v: Vec<f64>,
+    branch_i: Vec<f64>,
+    mos: Vec<MosOp>,
+    iterations: usize,
+}
+
+impl OpPoint {
+    /// Voltage at a node (ground reads 0).
+    pub fn voltage(&self, n: Node) -> f64 {
+        self.node_v[n.index()]
+    }
+
+    /// All node voltages indexed by node id (entry 0 is ground).
+    pub fn voltages(&self) -> &[f64] {
+        &self.node_v
+    }
+
+    /// Branch current of the `k`-th voltage source (in insertion order).
+    /// Positive current flows from the `p` terminal through the source to
+    /// `n`.
+    pub fn vsource_current(&self, k: usize) -> f64 {
+        self.branch_i[k]
+    }
+
+    /// Per-MOSFET small-signal data, in element order.
+    pub fn mosfets(&self) -> &[MosOp] {
+        &self.mos
+    }
+
+    /// Newton iterations spent (across all gmin stages).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// Orientation-resolved large-signal MOSFET evaluation shared by DC and
+/// transient assembly.
+///
+/// Returns `(a_d, a_s, id_signed_into_ad, gm, gds, region)` where
+/// `id_signed_into_ad` is the current *leaving* node `a_d` into the device.
+pub(crate) fn eval_mos_oriented(
+    m: &Mosfet,
+    v: impl Fn(Node) -> f64,
+) -> (Node, Node, f64, f64, f64, MosRegion) {
+    let s = match m.polarity {
+        MosPolarity::Nmos => 1.0,
+        MosPolarity::Pmos => -1.0,
+    };
+    let vds_e = s * (v(m.d) - v(m.s));
+    let (a_d, a_s) = if vds_e >= 0.0 { (m.d, m.s) } else { (m.s, m.d) };
+    let vgs_e = s * (v(m.g) - v(a_s));
+    let vds_e = s * (v(a_d) - v(a_s));
+    let e = m.model.eval(vgs_e, vds_e, m.w, m.l, m.mult);
+    (a_d, a_s, s * e.id, e.gm, e.gds, e.region)
+}
+
+struct Assembler<'a> {
+    ckt: &'a Circuit,
+    dim: usize,
+    nnodes: usize,
+}
+
+impl<'a> Assembler<'a> {
+    fn new(ckt: &'a Circuit) -> Self {
+        Assembler {
+            ckt,
+            dim: ckt.mna_dim(),
+            nnodes: ckt.num_nodes(),
+        }
+    }
+
+    fn idx(&self, n: Node) -> Option<usize> {
+        self.ckt.mna_index(n)
+    }
+
+    fn branch_row(&self, k: usize) -> usize {
+        self.nnodes - 1 + k
+    }
+
+    /// Assembles the Newton Jacobian `j` and residual `f` at the point `x`.
+    fn assemble(&self, x: &[f64], gmin: f64, j: &mut Matrix<f64>, f: &mut [f64]) {
+        j.fill_zero();
+        f.iter_mut().for_each(|v| *v = 0.0);
+        let volt = |n: Node| -> f64 {
+            match self.ckt.mna_index(n) {
+                None => 0.0,
+                Some(i) => x[i],
+            }
+        };
+        // gmin from every node to ground.
+        for i in 0..(self.nnodes - 1) {
+            j[(i, i)] += gmin;
+            f[i] += gmin * x[i];
+        }
+        let mut vk = 0usize;
+        for (ei, e) in self.ckt.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { p, n, r, .. } => {
+                    let g = 1.0 / r;
+                    let i = g * (volt(*p) - volt(*n));
+                    self.stamp_pair(j, f, *p, *n, g, i);
+                }
+                Element::Capacitor { .. } => {} // open at DC
+                Element::Vsource { p, n, dc, .. } => {
+                    let row = self.branch_row(vk);
+                    let ibr = x[row];
+                    if let Some(ip) = self.idx(*p) {
+                        f[ip] += ibr;
+                        j[(ip, row)] += 1.0;
+                        j[(row, ip)] += 1.0;
+                    }
+                    if let Some(in_) = self.idx(*n) {
+                        f[in_] -= ibr;
+                        j[(in_, row)] -= 1.0;
+                        j[(row, in_)] -= 1.0;
+                    }
+                    f[row] += volt(*p) - volt(*n) - dc;
+                    vk += 1;
+                }
+                Element::Isource { p, n, dc, .. } => {
+                    if let Some(ip) = self.idx(*p) {
+                        f[ip] += dc;
+                    }
+                    if let Some(in_) = self.idx(*n) {
+                        f[in_] -= dc;
+                    }
+                }
+                Element::Vccs { op, on, cp, cn, gm } => {
+                    let i = gm * (volt(*cp) - volt(*cn));
+                    if let Some(iop) = self.idx(*op) {
+                        f[iop] += i;
+                        if let Some(icp) = self.idx(*cp) {
+                            j[(iop, icp)] += gm;
+                        }
+                        if let Some(icn) = self.idx(*cn) {
+                            j[(iop, icn)] -= gm;
+                        }
+                    }
+                    if let Some(ion) = self.idx(*on) {
+                        f[ion] -= i;
+                        if let Some(icp) = self.idx(*cp) {
+                            j[(ion, icp)] -= gm;
+                        }
+                        if let Some(icn) = self.idx(*cn) {
+                            j[(ion, icn)] += gm;
+                        }
+                    }
+                }
+                Element::Mos(m) => {
+                    let (a_d, a_s, i_ad, gm, gds, _) = eval_mos_oriented(m, &volt);
+                    let _ = ei;
+                    // Current leaves a_d, enters a_s.
+                    // d i_ad / d v(g) = gm ; d/d v(a_d) = gds ; d/d v(a_s) = -(gm+gds)
+                    if let Some(id_) = self.idx(a_d) {
+                        f[id_] += i_ad;
+                        if let Some(ig) = self.idx(m.g) {
+                            j[(id_, ig)] += gm;
+                        }
+                        j[(id_, id_)] += gds;
+                        if let Some(is_) = self.idx(a_s) {
+                            j[(id_, is_)] -= gm + gds;
+                        }
+                    }
+                    if let Some(is_) = self.idx(a_s) {
+                        f[is_] -= i_ad;
+                        if let Some(ig) = self.idx(m.g) {
+                            j[(is_, ig)] -= gm;
+                        }
+                        if let Some(id_) = self.idx(a_d) {
+                            j[(is_, id_)] -= gds;
+                        }
+                        j[(is_, is_)] += gm + gds;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stamps a two-terminal conductance `g` carrying current `i` (p -> n).
+    fn stamp_pair(&self, j: &mut Matrix<f64>, f: &mut [f64], p: Node, n: Node, g: f64, i: f64) {
+        if let Some(ip) = self.idx(p) {
+            f[ip] += i;
+            j[(ip, ip)] += g;
+            if let Some(in_) = self.idx(n) {
+                j[(ip, in_)] -= g;
+            }
+        }
+        if let Some(in_) = self.idx(n) {
+            f[in_] -= i;
+            j[(in_, in_)] += g;
+            if let Some(ip) = self.idx(p) {
+                j[(in_, ip)] -= g;
+            }
+        }
+    }
+}
+
+fn newton_solve(
+    asm: &Assembler<'_>,
+    x: &mut [f64],
+    gmin: f64,
+    opts: &DcOptions,
+) -> Result<usize, SimError> {
+    let dim = asm.dim;
+    let nv = asm.nnodes - 1;
+    let mut j = Matrix::zeros(dim, dim);
+    let mut f = vec![0.0; dim];
+    for it in 0..opts.max_iter {
+        asm.assemble(x, gmin, &mut j, &mut f);
+        let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+        let lu = LuFactors::factor(j.clone(), 1e-30)?;
+        let dx = lu.solve(&rhs);
+        let mut maxd = 0.0f64;
+        for (i, d) in dx.iter().enumerate() {
+            let step = if i < nv {
+                d.clamp(-opts.dv_max, opts.dv_max)
+            } else {
+                *d
+            };
+            x[i] += step;
+            maxd = maxd.max(d.abs());
+        }
+        if !x.iter().all(|v| v.is_finite()) {
+            return Err(SimError::DcNoConvergence {
+                iterations: it + 1,
+                residual: f64::INFINITY,
+            });
+        }
+        if maxd < opts.tol {
+            return Ok(it + 1);
+        }
+    }
+    let residual = f.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+    Err(SimError::DcNoConvergence {
+        iterations: opts.max_iter,
+        residual,
+    })
+}
+
+/// Solves the DC operating point of `ckt`.
+///
+/// Plain damped Newton is attempted first; on failure a gmin-stepping
+/// homotopy (1e-3 S down to `opts.gmin` in decades) retries, reusing each
+/// stage's solution as the next stage's initial guess.
+///
+/// # Errors
+///
+/// [`SimError::DcNoConvergence`] if the homotopy also fails, or
+/// [`SimError::SingularMatrix`] for structurally defective netlists.
+///
+/// # Examples
+///
+/// ```
+/// use autockt_sim::netlist::{Circuit, GND};
+/// use autockt_sim::dc::{dc_operating_point, DcOptions};
+///
+/// # fn main() -> Result<(), autockt_sim::SimError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.isource(GND, a, 1e-3, 0.0); // push 1 mA into node a
+/// ckt.resistor(a, GND, 1.0e3);
+/// let op = dc_operating_point(&ckt, &DcOptions::default())?;
+/// assert!((op.voltage(a) - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(ckt: &Circuit, opts: &DcOptions) -> Result<OpPoint, SimError> {
+    let asm = Assembler::new(ckt);
+    let dim = asm.dim;
+    let nv = asm.nnodes - 1;
+    let mut x = vec![0.0; dim];
+    x[..nv].iter_mut().for_each(|v| *v = opts.initial_v);
+
+    let mut total_iters = 0usize;
+    let direct = newton_solve(&asm, &mut x, opts.gmin, opts);
+    match direct {
+        Ok(it) => total_iters += it,
+        Err(_) => {
+            // gmin stepping homotopy.
+            x.iter_mut().for_each(|v| *v = 0.0);
+            x[..nv].iter_mut().for_each(|v| *v = opts.initial_v);
+            let mut g = 1e-3;
+            loop {
+                let it = newton_solve(&asm, &mut x, g, opts)?;
+                total_iters += it;
+                if g <= opts.gmin * 1.0001 {
+                    break;
+                }
+                g = (g * 0.1).max(opts.gmin);
+            }
+        }
+    }
+
+    // Extract results.
+    let volt = |n: Node| -> f64 {
+        match ckt.mna_index(n) {
+            None => 0.0,
+            Some(i) => x[i],
+        }
+    };
+    let mut node_v = vec![0.0; ckt.num_nodes()];
+    for i in 1..ckt.num_nodes() {
+        node_v[i] = x[i - 1];
+    }
+    let branch_i: Vec<f64> = (0..ckt.num_vsources())
+        .map(|k| x[nv + k])
+        .collect();
+    let mut mos = Vec::new();
+    for (ei, e) in ckt.elements().iter().enumerate() {
+        if let Element::Mos(m) = e {
+            let (a_d, a_s, i_ad, gm, gds, region) = eval_mos_oriented(m, &volt);
+            let (cgs, cgd) = m.model.gate_caps(region, m.w, m.l, m.mult);
+            let cj = m.model.junction_cap(m.w, m.mult);
+            mos.push(MosOp {
+                elem_index: ei,
+                id: i_ad.abs(),
+                gm,
+                gds,
+                cgs,
+                cgd,
+                cdb: cj,
+                csb: cj,
+                region,
+                a_d,
+                a_s,
+                g: m.g,
+            });
+        }
+    }
+    Ok(OpPoint {
+        node_v,
+        branch_i,
+        mos,
+        iterations: total_iters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{MosPolarity, Technology};
+    use crate::netlist::{Mosfet, GND};
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, GND, 3.0, 0.0);
+        ckt.resistor(a, b, 2.0e3);
+        ckt.resistor(b, GND, 1.0e3);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-6);
+        // Source current: 3V over 3k = 1 mA flowing p->n inside source
+        // means -1 mA (the source delivers current out of its + terminal).
+        assert!((op.vsource_current(0) + 1.0e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.isource(GND, a, 2e-3, 0.0);
+        ckt.resistor(a, GND, 500.0);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        assert!((op.voltage(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vccs_transresistance() {
+        // VCCS driven by a divider: i = gm * v(ctrl), into a load resistor.
+        let mut ckt = Circuit::new();
+        let c = ckt.node("ctrl");
+        let o = ckt.node("out");
+        ckt.vsource(c, GND, 0.5, 0.0);
+        ckt.vccs(GND, o, c, GND, 1e-3); // pushes gm*v into node o
+        ckt.resistor(o, GND, 1.0e3);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        assert!((op.voltage(o) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_diode_connected_bias() {
+        // Diode-connected NMOS pulled up through a resistor: solves the
+        // classic vgs = f(id) fixed point.
+        let t = Technology::ptm45();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("gate");
+        ckt.vsource(vdd, GND, 1.0, 0.0);
+        ckt.resistor(vdd, g, 10.0e3);
+        ckt.mosfet(Mosfet {
+            polarity: MosPolarity::Nmos,
+            d: g,
+            g,
+            s: GND,
+            w: 2e-6,
+            l: t.lmin,
+            mult: 1.0,
+            model: t.nmos,
+        });
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let vg = op.voltage(g);
+        assert!(vg > t.nmos.vth0 && vg < 1.0, "vg = {vg}");
+        // KCL: resistor current equals device current.
+        let ir = (1.0 - vg) / 10.0e3;
+        let m = &op.mosfets()[0];
+        assert!((m.id - ir).abs() / ir < 1e-5);
+        assert_eq!(m.region, MosRegion::Saturation);
+    }
+
+    #[test]
+    fn pmos_common_source_inverting() {
+        // PMOS with source at VDD, gate low -> device on, output pulled up.
+        let t = Technology::ptm45();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let o = ckt.node("o");
+        ckt.vsource(vdd, GND, 1.0, 0.0);
+        ckt.vsource(g, GND, 0.3, 0.0); // vsg = 0.7 > vth
+        ckt.mosfet(Mosfet {
+            polarity: MosPolarity::Pmos,
+            d: o,
+            g,
+            s: vdd,
+            w: 4e-6,
+            l: t.lmin,
+            mult: 1.0,
+            model: t.pmos,
+        });
+        ckt.resistor(o, GND, 2.0e3);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let vo = op.voltage(o);
+        assert!(vo > 0.2, "pmos should pull output up, vo = {vo}");
+        let m = &op.mosfets()[0];
+        assert!((m.id - vo / 2.0e3).abs() / m.id < 1e-5);
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_is_inverting() {
+        // Low input -> high output; high input -> low output; and the
+        // transfer is monotonically decreasing across the sweep.
+        let t = Technology::ptm45();
+        let build = |vin: f64| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let g = ckt.node("g");
+            let o = ckt.node("o");
+            ckt.vsource(vdd, GND, 1.0, 0.0);
+            ckt.vsource(g, GND, vin, 0.0);
+            ckt.mosfet(Mosfet {
+                polarity: MosPolarity::Nmos,
+                d: o,
+                g,
+                s: GND,
+                w: 1e-6,
+                l: t.lmin,
+                mult: 1.0,
+                model: t.nmos,
+            });
+            ckt.mosfet(Mosfet {
+                polarity: MosPolarity::Pmos,
+                d: o,
+                g,
+                s: vdd,
+                w: 2.4e-6,
+                l: t.lmin,
+                mult: 1.0,
+                model: t.pmos,
+            });
+            (ckt, o)
+        };
+        let mut prev = f64::INFINITY;
+        for vin in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let (ckt, o) = build(vin);
+            let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+            let vo = op.voltage(o);
+            assert!(vo <= prev + 1e-9, "inverter transfer must fall: {vo} after {prev}");
+            prev = vo;
+        }
+        let (lo, o1) = build(0.1);
+        let vo_hi = dc_operating_point(&lo, &DcOptions::default())
+            .unwrap()
+            .voltage(o1);
+        assert!(vo_hi > 0.9, "low input gives high output, got {vo_hi}");
+        let (hi, o2) = build(0.9);
+        let vo_lo = dc_operating_point(&hi, &DcOptions::default())
+            .unwrap()
+            .voltage(o2);
+        assert!(vo_lo < 0.1, "high input gives low output, got {vo_lo}");
+    }
+
+    #[test]
+    fn capacitor_node_regularized_by_gmin() {
+        // A node connected only through a capacitor has no DC path; gmin
+        // must keep the matrix solvable.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, GND, 1.0, 0.0);
+        ckt.capacitor(a, b, 1e-12);
+        ckt.capacitor(b, GND, 1e-12);
+        let op = dc_operating_point(&ckt, &DcOptions::default());
+        assert!(op.is_ok());
+    }
+
+    #[test]
+    fn no_convergence_is_reported_not_hung() {
+        // A pathological circuit: two voltage sources in parallel with
+        // conflicting values is singular/inconsistent.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(a, GND, 1.0, 0.0);
+        ckt.vsource(a, GND, 2.0, 0.0);
+        let r = dc_operating_point(&ckt, &DcOptions::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn iterations_counted() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(a, GND, 1.0, 0.0);
+        ckt.resistor(a, GND, 1e3);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        assert!(op.iterations() >= 1);
+    }
+}

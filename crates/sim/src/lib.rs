@@ -1,0 +1,79 @@
+//! # autockt-sim — analog circuit simulation substrate
+//!
+//! A from-scratch SPICE-class simulator built as the substrate for the
+//! AutoCkt reproduction (Settaluri et al., *AutoCkt: Deep Reinforcement
+//! Learning of Analog Circuit Designs*, DATE 2020). It provides everything
+//! the paper's simulation environments (Spectre on BSIM 45 nm / TSMC 16 nm,
+//! and BAG with extracted parasitics) provide to the RL agent: a black box
+//! from sizing parameters to measured design specifications.
+//!
+//! ## Components
+//!
+//! - [`netlist`] — circuit representation (nodes, R/C/V/I/VCCS/MOSFET)
+//! - [`device`] — square-law MOSFET cards for 45 nm and 16 nm flavours,
+//!   PVT corners
+//! - [`dc`] — Newton–Raphson operating point with gmin stepping
+//! - [`ac`] — complex-valued small-signal sweeps
+//! - [`tran`] — trapezoidal transient analysis
+//! - [`noise`] — per-source noise analysis with input referral
+//! - [`measure`] — gain / UGBW / phase margin / settling / integration
+//! - [`pex`] — deterministic layout-parasitic extraction (BAG substitute)
+//! - [`export`] — SPICE-deck netlist export for debugging/cross-checking
+//!
+//! ## Example: measure an amplifier
+//!
+//! ```
+//! use autockt_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), autockt_sim::SimError> {
+//! let tech = Technology::ptm45();
+//! let mut ckt = Circuit::new();
+//! let vdd = ckt.node("vdd");
+//! let gate = ckt.node("gate");
+//! let out = ckt.node("out");
+//! ckt.vsource(vdd, GND, tech.vdd, 0.0);
+//! ckt.vsource(gate, GND, 0.50, 1.0); // bias + 1 V AC probe
+//! ckt.resistor(vdd, out, 20.0e3);
+//! ckt.capacitor(out, GND, 50e-15);
+//! ckt.mosfet(Mosfet {
+//!     polarity: MosPolarity::Nmos,
+//!     d: out, g: gate, s: GND,
+//!     w: 2e-6, l: 2.0 * tech.lmin, mult: 1.0,
+//!     model: tech.nmos,
+//! });
+//! let op = dc_operating_point(&ckt, &DcOptions::default())?;
+//! let resp = ac_sweep(&ckt, &op, &log_freqs(1e3, 1e11, 20), out)?;
+//! assert!(resp.dc_gain() > 1.0);
+//! assert!(resp.f_3db()? > 1e6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+pub mod complex;
+pub mod dc;
+pub mod device;
+pub mod error;
+pub mod export;
+pub mod linalg;
+pub mod measure;
+pub mod netlist;
+pub mod noise;
+pub mod pex;
+pub mod tran;
+
+pub use error::SimError;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::ac::{ac_sweep, log_freqs, AcResponse, AcSolver};
+    pub use crate::complex::Complex;
+    pub use crate::dc::{dc_operating_point, DcOptions, OpPoint};
+    pub use crate::device::{MosPolarity, MosRegion, ProcessCorner, Pvt, Technology};
+    pub use crate::error::SimError;
+    pub use crate::measure::{db20, integrate_trapezoid, settling_time};
+    pub use crate::netlist::{Circuit, Element, Mosfet, Node, Step, GND};
+    pub use crate::noise::{noise_analysis, NoiseResult};
+    pub use crate::pex::{extract, PexConfig};
+    pub use crate::tran::{transient, TranOptions, TranResult};
+}

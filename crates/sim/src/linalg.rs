@@ -1,0 +1,342 @@
+//! Dense linear algebra for modified nodal analysis (MNA).
+//!
+//! Circuit matrices in this project are small (tens of unknowns), so a
+//! dense LU factorization with partial pivoting is both simpler and faster
+//! than any sparse machinery. The factorization is generic over the matrix
+//! scalar so the same code path serves real (DC, transient) and complex
+//! (AC, noise) analyses.
+
+use crate::complex::Complex;
+use crate::error::SimError;
+
+/// Scalar types usable in an MNA system.
+///
+/// This trait is sealed in spirit: it is implemented for [`f64`] and
+/// [`Complex`] and the simulator does not expect downstream
+/// implementations.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection and singularity detection.
+    fn abs(self) -> f64;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+}
+
+impl Scalar for Complex {
+    #[inline]
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::ONE
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        self.norm()
+    }
+}
+
+/// A dense, row-major square-capable matrix.
+///
+/// # Examples
+///
+/// ```
+/// use autockt_sim::linalg::Matrix;
+///
+/// let mut m = Matrix::<f64>::zeros(2, 2);
+/// m[(0, 0)] = 2.0;
+/// m[(1, 1)] = 4.0;
+/// assert_eq!(m[(1, 1)], 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flat_map(|row| row.iter().copied()).collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(T::zero());
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![T::zero(); self.rows];
+        for i in 0..self.rows {
+            let mut acc = T::zero();
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (a, b) in row.iter().zip(x) {
+                acc += *a * *b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Factor once, then [`LuFactors::solve`] any number of right-hand sides —
+/// the noise analysis exploits this by reusing one factorization per
+/// frequency point across every noise source.
+#[derive(Debug, Clone)]
+pub struct LuFactors<T> {
+    lu: Matrix<T>,
+    perm: Vec<usize>,
+}
+
+impl<T: Scalar> LuFactors<T> {
+    /// Factors `a` in place (consuming it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SingularMatrix`] if no usable pivot is found in
+    /// some column (matrix is singular to working precision).
+    pub fn factor(mut a: Matrix<T>, pivot_floor: f64) -> Result<Self, SimError> {
+        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut p = k;
+            let mut best = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if !(best > pivot_floor) || !best.is_finite() {
+                return Err(SimError::SingularMatrix { column: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = a[(k, c)];
+                    a[(k, c)] = a[(p, c)];
+                    a[(p, c)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                a[(i, k)] = m;
+                for c in (k + 1)..n {
+                    let akc = a[(k, c)];
+                    let v = m * akc;
+                    a[(i, c)] -= v;
+                }
+            }
+        }
+        Ok(LuFactors { lu: a, perm })
+    }
+
+    /// Solves `A x = b` for the factored `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // Apply permutation.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+}
+
+/// Convenience one-shot solve of `A x = b`.
+///
+/// # Errors
+///
+/// Returns [`SimError::SingularMatrix`] when `a` is singular to working
+/// precision.
+pub fn solve<T: Scalar>(a: Matrix<T>, b: &[T]) -> Result<Vec<T>, SimError> {
+    Ok(LuFactors::factor(a, 1e-300)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::<f64>::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = solve(a, &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(
+            solve(a, &[1.0, 2.0]),
+            Err(SimError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn complex_solve_roundtrip() {
+        use crate::complex::Complex as C;
+        let a = Matrix::from_rows(&[
+            vec![C::new(1.0, 1.0), C::new(0.0, -2.0)],
+            vec![C::new(3.0, 0.0), C::new(1.0, 1.0)],
+        ]);
+        let xtrue = vec![C::new(1.0, -1.0), C::new(2.0, 0.5)];
+        let b = a.mul_vec(&xtrue);
+        let x = solve(a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&xtrue) {
+            assert!((*xi - *ti).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn factor_reuse_multiple_rhs() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let f = LuFactors::factor(a.clone(), 1e-300).unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [2.0, -5.0]] {
+            let x = f.solve(&b);
+            let back = a.mul_vec(&x);
+            assert!((back[0] - b[0]).abs() < 1e-12);
+            assert!((back[1] - b[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Measurement utilities: the quantities the AutoCkt design specifications
+//! are written in (DC gain, unity-gain bandwidth, phase margin, -3 dB
+//! bandwidth, settling time, integrated noise).
+
+use crate::ac::AcResponse;
+use crate::error::SimError;
+
+/// Converts a magnitude to decibels (`20 log10 |x|`).
+pub fn db20(x: f64) -> f64 {
+    20.0 * x.abs().max(1e-300).log10()
+}
+
+impl AcResponse {
+    /// Low-frequency (first-point) gain magnitude.
+    pub fn dc_gain(&self) -> f64 {
+        self.h.first().map_or(0.0, |c| c.norm())
+    }
+
+    /// Magnitudes at every grid point.
+    pub fn magnitudes(&self) -> Vec<f64> {
+        self.h.iter().map(|c| c.norm()).collect()
+    }
+
+    /// Phase in degrees, unwrapped so that no step between adjacent points
+    /// exceeds 180 degrees. The first point anchors the branch.
+    pub fn phase_unwrapped_deg(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.h.len());
+        let mut prev = 0.0f64;
+        for (i, c) in self.h.iter().enumerate() {
+            let mut p = c.arg().to_degrees();
+            if i > 0 {
+                while p - prev > 180.0 {
+                    p -= 360.0;
+                }
+                while p - prev < -180.0 {
+                    p += 360.0;
+                }
+            }
+            prev = p;
+            out.push(p);
+        }
+        out
+    }
+
+    /// Frequency at which the magnitude first falls to `1/sqrt(2)` of the
+    /// low-frequency gain (the -3 dB bandwidth), log-interpolated.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MeasureFailed`] if the response never drops below the
+    /// -3 dB level inside the sweep.
+    pub fn f_3db(&self) -> Result<f64, SimError> {
+        let target = self.dc_gain() * std::f64::consts::FRAC_1_SQRT_2;
+        self.crossing_down(target).ok_or(SimError::MeasureFailed {
+            what: "no -3 dB crossing in sweep",
+        })
+    }
+
+    /// Unity-gain frequency: first downward crossing of `|H| = 1`,
+    /// log-interpolated.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MeasureFailed`] if the gain never crosses unity from
+    /// above (e.g. the amplifier has sub-unity DC gain).
+    pub fn ugbw(&self) -> Result<f64, SimError> {
+        if self.dc_gain() < 1.0 {
+            return Err(SimError::MeasureFailed {
+                what: "dc gain below unity; no ugbw",
+            });
+        }
+        self.crossing_down(1.0).ok_or(SimError::MeasureFailed {
+            what: "no unity-gain crossing in sweep",
+        })
+    }
+
+    /// Phase margin in degrees: `180 - |phase(f_ugbw) - phase(f_min)|`
+    /// using the unwrapped phase, so inverting and non-inverting
+    /// amplifiers are treated uniformly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AcResponse::ugbw`] failure.
+    pub fn phase_margin_deg(&self) -> Result<f64, SimError> {
+        let fu = self.ugbw()?;
+        let ph = self.phase_unwrapped_deg();
+        let shift = (self.interp_at(&ph, fu) - ph[0]).abs();
+        Ok(180.0 - shift)
+    }
+
+    /// Magnitude at an arbitrary frequency inside the grid, interpolated in
+    /// (log f, dB) space.
+    pub fn gain_at(&self, f: f64) -> f64 {
+        let mags: Vec<f64> = self.magnitudes().iter().map(|m| db20(*m)).collect();
+        let db = self.interp_at(&mags, f);
+        10f64.powf(db / 20.0)
+    }
+
+    /// Linear interpolation of a per-point quantity `y` at frequency `f`
+    /// using log-frequency as the abscissa. Clamps outside the grid.
+    fn interp_at(&self, y: &[f64], f: f64) -> f64 {
+        let n = self.freqs.len();
+        if f <= self.freqs[0] {
+            return y[0];
+        }
+        if f >= self.freqs[n - 1] {
+            return y[n - 1];
+        }
+        let lf = f.ln();
+        for i in 0..n - 1 {
+            if f <= self.freqs[i + 1] {
+                let l0 = self.freqs[i].ln();
+                let l1 = self.freqs[i + 1].ln();
+                let t = (lf - l0) / (l1 - l0);
+                return y[i] + t * (y[i + 1] - y[i]);
+            }
+        }
+        y[n - 1]
+    }
+
+    /// First index `i` where `|h[i]| >= level > |h[i+1]|`, interpolated in
+    /// (log f, dB) space; `None` if no downward crossing exists.
+    fn crossing_down(&self, level: f64) -> Option<f64> {
+        let mags = self.magnitudes();
+        for i in 0..mags.len().saturating_sub(1) {
+            if mags[i] >= level && mags[i + 1] < level {
+                let d0 = db20(mags[i]);
+                let d1 = db20(mags[i + 1]);
+                let dl = db20(level);
+                let t = if (d1 - d0).abs() < 1e-18 {
+                    0.5
+                } else {
+                    (dl - d0) / (d1 - d0)
+                };
+                let l0 = self.freqs[i].ln();
+                let l1 = self.freqs[i + 1].ln();
+                return Some((l0 + t * (l1 - l0)).exp());
+            }
+        }
+        None
+    }
+}
+
+/// Settling time of a step response: the time after which the waveform
+/// stays within `tol_frac` of the total transition `|y_final - y_initial|`
+/// around the final value.
+///
+/// # Errors
+///
+/// [`SimError::MeasureFailed`] if the waveform has not settled by the end
+/// of the record or the record is degenerate (fewer than two points or no
+/// transition).
+///
+/// # Examples
+///
+/// ```
+/// use autockt_sim::measure::settling_time;
+///
+/// let t: Vec<f64> = (0..1000).map(|i| i as f64 * 1e-9).collect();
+/// let y: Vec<f64> = t.iter().map(|&t| 1.0 - (-t / 50e-9_f64).exp()).collect();
+/// let ts = settling_time(&t, &y, 0.02).unwrap();
+/// // 2% settling of a single pole is ~3.9 tau.
+/// assert!((ts - 3.9 * 50e-9).abs() < 15e-9);
+/// ```
+pub fn settling_time(t: &[f64], y: &[f64], tol_frac: f64) -> Result<f64, SimError> {
+    if t.len() != y.len() || t.len() < 2 {
+        return Err(SimError::MeasureFailed {
+            what: "degenerate waveform",
+        });
+    }
+    let y_final = *y.last().expect("nonempty");
+    let y_init = y[0];
+    let swing = (y_final - y_init).abs();
+    if swing < 1e-15 {
+        return Err(SimError::MeasureFailed {
+            what: "no transition to settle",
+        });
+    }
+    let band = tol_frac * swing;
+    // Last sample that lies outside the band determines settling.
+    let mut last_out = None;
+    for (i, yy) in y.iter().enumerate() {
+        if (yy - y_final).abs() > band {
+            last_out = Some(i);
+        }
+    }
+    // Require at least one fully in-band sample after the settling point
+    // besides the final sample itself (which is trivially in band), so an
+    // oscillation that only touches the band at the very end is rejected.
+    match last_out {
+        None => Ok(t[0]),
+        Some(i) if i + 2 < t.len() => Ok(t[i + 1]),
+        Some(_) => Err(SimError::MeasureFailed {
+            what: "waveform did not settle in record",
+        }),
+    }
+}
+
+/// Trapezoidal integral of samples `y` over abscissa `x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn integrate_trapezoid(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut acc = 0.0;
+    for i in 1..x.len() {
+        acc += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    fn single_pole(a0: f64, fp: f64, freqs: &[f64]) -> AcResponse {
+        let h = freqs
+            .iter()
+            .map(|&f| Complex::from_re(a0) / Complex::new(1.0, f / fp))
+            .collect();
+        AcResponse {
+            freqs: freqs.to_vec(),
+            h,
+        }
+    }
+
+    #[test]
+    fn single_pole_measurements() {
+        let freqs = crate::ac::log_freqs(1e2, 1e10, 40);
+        let r = single_pole(100.0, 1e5, &freqs);
+        assert!((r.dc_gain() - 100.0).abs() < 1e-3);
+        let f3 = r.f_3db().unwrap();
+        assert!((f3 - 1e5).abs() / 1e5 < 0.02);
+        // UGBW of a single pole = a0 * fp.
+        let fu = r.ugbw().unwrap();
+        assert!((fu - 1e7).abs() / 1e7 < 0.02);
+        // Phase margin of a single-pole system ~ 90 degrees.
+        let pm = r.phase_margin_deg().unwrap();
+        assert!((pm - 90.0).abs() < 2.0, "pm = {pm}");
+    }
+
+    #[test]
+    fn two_pole_phase_margin_drops() {
+        let freqs = crate::ac::log_freqs(1e2, 1e10, 40);
+        let h = freqs
+            .iter()
+            .map(|&f| {
+                Complex::from_re(1000.0)
+                    / (Complex::new(1.0, f / 1e4) * Complex::new(1.0, f / 1e7))
+            })
+            .collect();
+        let r = AcResponse {
+            freqs: freqs.clone(),
+            h,
+        };
+        let pm = r.phase_margin_deg().unwrap();
+        // Crossover at ~1e7 where the second pole contributes ~45 degrees.
+        assert!(pm > 30.0 && pm < 60.0, "pm = {pm}");
+    }
+
+    #[test]
+    fn subunity_gain_has_no_ugbw() {
+        let freqs = crate::ac::log_freqs(1e2, 1e8, 20);
+        let r = single_pole(0.5, 1e5, &freqs);
+        assert!(r.ugbw().is_err());
+    }
+
+    #[test]
+    fn settling_time_monotone_in_tolerance() {
+        let t: Vec<f64> = (0..2000).map(|i| i as f64 * 1e-9).collect();
+        let y: Vec<f64> = t.iter().map(|&t| 1.0 - (-t / 100e-9_f64).exp()).collect();
+        let t2 = settling_time(&t, &y, 0.02).unwrap();
+        let t5 = settling_time(&t, &y, 0.05).unwrap();
+        assert!(t5 < t2, "looser tolerance settles earlier");
+    }
+
+    #[test]
+    fn settling_rejects_unsettled() {
+        let t: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = t.iter().map(|&t| (t * 0.5).sin()).collect();
+        assert!(settling_time(&t, &y, 0.01).is_err());
+    }
+
+    #[test]
+    fn integrate_constant() {
+        let x = [0.0, 1.0, 2.0, 4.0];
+        let y = [3.0, 3.0, 3.0, 3.0];
+        assert!((integrate_trapezoid(&x, &y) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db20_of_unity_is_zero() {
+        assert!((db20(1.0)).abs() < 1e-12);
+        assert!((db20(10.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverting_amp_phase_margin_uses_relative_phase() {
+        // Same single pole but with negative sign (inverting): PM must be
+        // identical because it is measured relative to the DC phase.
+        let freqs = crate::ac::log_freqs(1e2, 1e10, 40);
+        let h = freqs
+            .iter()
+            .map(|&f| Complex::from_re(-100.0) / Complex::new(1.0, f / 1e5))
+            .collect();
+        let r = AcResponse {
+            freqs: freqs.clone(),
+            h,
+        };
+        let pm = r.phase_margin_deg().unwrap();
+        assert!((pm - 90.0).abs() < 2.0, "pm = {pm}");
+    }
+}

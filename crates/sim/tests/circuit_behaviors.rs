@@ -1,0 +1,195 @@
+//! Physics-level integration tests of the simulator: canonical circuits
+//! with hand-computable answers, exercised through the public API exactly
+//! the way the circuit generators use it.
+
+use autockt_sim::prelude::*;
+
+#[test]
+fn wheatstone_bridge_balances() {
+    // A balanced bridge has zero differential voltage.
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(top, GND, 1.0, 0.0);
+    ckt.resistor(top, a, 1.0e3);
+    ckt.resistor(a, GND, 2.0e3);
+    ckt.resistor(top, b, 5.0e3);
+    ckt.resistor(b, GND, 10.0e3);
+    let op = dc_operating_point(&ckt, &DcOptions::default()).expect("solves");
+    // The gmin regularization (1e-12 S per node) perturbs the two arms by
+    // different Thevenin resistances, so exact equality is relaxed to the
+    // microvolt level.
+    assert!((op.voltage(a) - op.voltage(b)).abs() < 1e-6);
+}
+
+#[test]
+fn miller_effect_multiplies_feedback_capacitance() {
+    // An inverting stage with C_f from input to output shows an input pole
+    // at roughly 1/(2 pi R_s C_f (1+|A|)) — far below the pole R_s C_f
+    // alone would give.
+    let tech = Technology::ptm45();
+    let build = |cf: f64| {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("vin");
+        let g = ckt.node("g");
+        let o = ckt.node("o");
+        ckt.vsource(vdd, GND, 1.2, 0.0);
+        ckt.vsource(vin, GND, 0.55, 1.0);
+        ckt.resistor_noiseless(vin, g, 100.0e3); // source resistance
+        ckt.resistor_noiseless(vdd, o, 20.0e3);
+        ckt.capacitor(g, o, cf);
+        ckt.mosfet(Mosfet {
+            polarity: MosPolarity::Nmos,
+            d: o,
+            g,
+            s: GND,
+            w: 4e-6,
+            l: 90e-9,
+            mult: 1.0,
+            model: tech.nmos,
+        });
+        (ckt, o)
+    };
+    let f3 = |cf: f64| {
+        let (ckt, o) = build(cf);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).expect("op");
+        ac_sweep(&ckt, &op, &log_freqs(1e2, 1e11, 20), o)
+            .expect("sweep")
+            .f_3db()
+            .expect("pole in band")
+    };
+    let wide = f3(1e-15);
+    let narrow = f3(100e-15);
+    // 100x the feedback cap shrinks bandwidth by roughly (1+|A|)x more
+    // than the cap ratio alone would if Miller multiplication is modeled.
+    assert!(
+        narrow < wide / 10.0,
+        "miller: {narrow:.3e} should be << {wide:.3e}"
+    );
+}
+
+#[test]
+fn source_follower_gain_below_unity() {
+    let tech = Technology::ptm45();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let g = ckt.node("g");
+    let s = ckt.node("s");
+    ckt.vsource(vdd, GND, 1.2, 0.0);
+    ckt.vsource(g, GND, 0.9, 1.0);
+    ckt.mosfet(Mosfet {
+        polarity: MosPolarity::Nmos,
+        d: vdd,
+        g,
+        s,
+        w: 10e-6,
+        l: 90e-9,
+        mult: 1.0,
+        model: tech.nmos,
+    });
+    ckt.resistor_noiseless(s, GND, 10.0e3);
+    let op = dc_operating_point(&ckt, &DcOptions::default()).expect("op");
+    let resp = ac_sweep(&ckt, &op, &[1e3], s).expect("sweep");
+    let a = resp.h[0].norm();
+    assert!(a > 0.5 && a < 1.0, "follower gain {a} must be just below 1");
+    // Non-inverting: phase near 0.
+    assert!(resp.h[0].arg().to_degrees().abs() < 10.0);
+}
+
+#[test]
+fn cascaded_rc_has_two_poles_in_phase() {
+    let mut ckt = Circuit::new();
+    let i = ckt.node("in");
+    let m = ckt.node("mid");
+    let o = ckt.node("out");
+    ckt.vsource(i, GND, 0.0, 1.0);
+    ckt.resistor(i, m, 1.0e3);
+    ckt.capacitor(m, GND, 1e-9);
+    // Buffer the second section with a VCCS to isolate the poles.
+    let o2 = ckt.node("buf");
+    ckt.vccs(GND, o2, m, GND, 1e-3);
+    ckt.resistor(o2, GND, 1.0e3);
+    ckt.resistor(o2, o, 1.0e3);
+    ckt.capacitor(o, GND, 1e-9);
+    let op = dc_operating_point(&ckt, &DcOptions::default()).expect("op");
+    let resp = ac_sweep(&ckt, &op, &log_freqs(1e3, 1e9, 20), o).expect("sweep");
+    let ph = resp.phase_unwrapped_deg();
+    let total_shift = ph.last().expect("nonempty") - ph[0];
+    // Two isolated RC poles asymptote to -180 degrees of phase.
+    assert!(
+        (total_shift + 180.0).abs() < 15.0,
+        "two poles give ~-180 deg, got {total_shift}"
+    );
+}
+
+#[test]
+fn transient_matches_ac_time_constant() {
+    // The settling time measured by the nonlinear transient engine must
+    // agree with the linearized step response for a linear circuit.
+    let mut ckt = Circuit::new();
+    let i = ckt.node("in");
+    let o = ckt.node("out");
+    ckt.vsource_step(
+        i,
+        GND,
+        Step {
+            v0: 0.0,
+            v1: 0.5,
+            t_delay: 0.0,
+        },
+        1.0,
+    );
+    ckt.resistor(i, o, 2.0e3);
+    ckt.capacitor(o, GND, 1e-9);
+    let res = transient(&ckt, &TranOptions::new(20e-6, 4000)).expect("tran");
+    let w = res.node_waveform(o);
+    let ts_tran = settling_time(&res.t, &w, 0.02).expect("settles");
+
+    let op = dc_operating_point(&ckt, &DcOptions::default()).expect("op");
+    let solver = autockt_sim::ac::AcSolver::new(&ckt, &op);
+    let (t, y) = solver.step_response(o, 20e-6, 4000).expect("lin step");
+    let ts_lin = settling_time(&t, &y, 0.02).expect("settles");
+    assert!(
+        (ts_tran - ts_lin).abs() / ts_lin < 0.05,
+        "tran {ts_tran:.3e} vs linear {ts_lin:.3e}"
+    );
+}
+
+#[test]
+fn noise_grows_with_temperature() {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let o = ckt.node("o");
+    ckt.vsource(inp, GND, 0.0, 1.0);
+    ckt.resistor(inp, o, 10.0e3);
+    ckt.capacitor(o, GND, 1e-12);
+    let f = log_freqs(1e3, 1e6, 10);
+    let op = dc_operating_point(&ckt, &DcOptions::default()).expect("op");
+    let cold = noise_analysis(&ckt, &op, o, &f, 250.0).expect("cold");
+    let hot = noise_analysis(&ckt, &op, o, &f, 400.0).expect("hot");
+    assert!(hot.out_vrms > cold.out_vrms);
+}
+
+#[test]
+fn pvt_corners_order_device_current() {
+    // FF > TT > SS drain current for the same bias — the ordering every
+    // worst-case methodology relies on.
+    let id_at = |tech: &Technology| {
+        let m = tech.nmos;
+        m.eval(0.7, 0.9, 2e-6, 90e-9, 1.0).id
+    };
+    let nom = Technology::ptm45();
+    let ss = nom.at_corner(Pvt { process: ProcessCorner::Ss, vdd_scale: 1.0, temp_c: 27.0 });
+    let ff = nom.at_corner(Pvt { process: ProcessCorner::Ff, vdd_scale: 1.0, temp_c: 27.0 });
+    let (i_ss, i_tt, i_ff) = (id_at(&ss), id_at(&nom), id_at(&ff));
+    assert!(i_ss < i_tt && i_tt < i_ff, "{i_ss} < {i_tt} < {i_ff}");
+
+    // Heat also degrades drive at fixed corner (mobility dominates).
+    let hot = nom.at_corner(Pvt { process: ProcessCorner::Tt, vdd_scale: 1.0, temp_c: 125.0 });
+    // At high vgs the mobility term dominates the vth drop.
+    let i_hot = hot.nmos.eval(0.9, 0.9, 2e-6, 90e-9, 1.0).id;
+    let i_cold = nom.nmos.eval(0.9, 0.9, 2e-6, 90e-9, 1.0).id;
+    assert!(i_hot < i_cold, "hot {i_hot} vs cold {i_cold}");
+}

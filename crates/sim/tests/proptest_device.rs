@@ -1,0 +1,68 @@
+//! Property-based tests of the MOSFET device model: physical monotonicity
+//! and derivative consistency must hold across the whole bias plane.
+
+use autockt_sim::device::Technology;
+use proptest::prelude::*;
+
+proptest! {
+    /// Drain current is non-decreasing in vgs at fixed vds.
+    #[test]
+    fn id_monotone_in_vgs(
+        vgs1 in 0.0..1.2f64,
+        dv in 0.0..0.5f64,
+        vds in 0.01..1.2f64,
+        w_um in 0.5..50.0f64,
+    ) {
+        let m = Technology::ptm45().nmos;
+        let w = w_um * 1e-6;
+        let l = 90e-9;
+        let a = m.eval(vgs1, vds, w, l, 1.0);
+        let b = m.eval(vgs1 + dv, vds, w, l, 1.0);
+        prop_assert!(b.id >= a.id - 1e-18);
+    }
+
+    /// Drain current is non-decreasing in vds (lambda > 0 everywhere).
+    #[test]
+    fn id_monotone_in_vds(
+        vgs in 0.45..1.2f64,
+        vds1 in 0.0..1.0f64,
+        dv in 0.0..0.5f64,
+    ) {
+        let m = Technology::ptm45().nmos;
+        let a = m.eval(vgs, vds1, 2e-6, 90e-9, 1.0);
+        let b = m.eval(vgs, vds1 + dv, 2e-6, 90e-9, 1.0);
+        prop_assert!(b.id >= a.id - 1e-18);
+    }
+
+    /// gm and gds reported by the model match central finite differences.
+    #[test]
+    fn derivatives_consistent(
+        vgs in 0.45..1.1f64,
+        vds in 0.05..1.1f64,
+        w_um in 0.5..20.0f64,
+    ) {
+        let m = Technology::finfet16().nmos;
+        let w = w_um * 1e-6;
+        let l = 32e-9;
+        let e = m.eval(vgs, vds, w, l, 1.0);
+        let h = 1e-7;
+        let gm_fd = (m.eval(vgs + h, vds, w, l, 1.0).id - m.eval(vgs - h, vds, w, l, 1.0).id) / (2.0 * h);
+        let gds_fd = (m.eval(vgs, vds + h, w, l, 1.0).id - m.eval(vgs, vds - h, w, l, 1.0).id) / (2.0 * h);
+        prop_assert!((e.gm - gm_fd).abs() <= 1e-4 * gm_fd.abs().max(1e-12), "gm {} vs {}", e.gm, gm_fd);
+        prop_assert!((e.gds - gds_fd).abs() <= 1e-3 * gds_fd.abs().max(1e-12), "gds {} vs {}", e.gds, gds_fd);
+    }
+
+    /// Currents scale linearly with the multiplier.
+    #[test]
+    fn multiplier_linearity(
+        vgs in 0.45..1.1f64,
+        vds in 0.0..1.1f64,
+        mult in 1.0..32.0f64,
+    ) {
+        let m = Technology::ptm45().pmos;
+        let one = m.eval(vgs, vds, 1e-6, 90e-9, 1.0);
+        let many = m.eval(vgs, vds, 1e-6, 90e-9, mult);
+        prop_assert!((many.id - mult * one.id).abs() <= 1e-9 * (1.0 + many.id.abs()));
+        prop_assert!((many.gm - mult * one.gm).abs() <= 1e-9 * (1.0 + many.gm.abs()));
+    }
+}

@@ -1,0 +1,73 @@
+//! Sizing the two-stage operational amplifier — the paper's Sec. III-B
+//! workload — and inspecting the design the agent converges to, including
+//! the power/performance trade-off the reward is balancing.
+//!
+//! Run: `cargo run --release --example opamp_design`
+
+use autockt::circuits::opamp2::spec_index;
+use autockt::prelude::*;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let opamp = OpAmp2::default();
+    let problem: Arc<dyn SizingProblem> = Arc::new(opamp);
+
+    println!("training the op-amp agent (this is the paper's 1e14-point space)...");
+    let cfg = TrainConfig {
+        max_iters: 40,
+        seed: 11,
+        ..TrainConfig::default()
+    };
+    let result = train(Arc::clone(&problem), &cfg);
+    println!(
+        "trained in {} iterations / {} simulations (converged = {})",
+        result.curve.len(),
+        result.env_steps(),
+        result.converged
+    );
+
+    // A "hard" target: high gain, moderate bandwidth, tight power budget.
+    let target = vec![
+        320.0, // gain (V/V)
+        1.2e7, // ugbw (Hz)
+        60.0,  // phase margin (deg)
+        1.5e-4, // bias current budget (A)
+    ];
+    let stats = deploy(
+        &result.agent.policy,
+        Arc::clone(&problem),
+        std::slice::from_ref(&target),
+        &DeployConfig {
+            horizon: 40,
+            ..DeployConfig::default()
+        },
+    );
+    let o = &stats.outcomes[0];
+    println!("\nhard target: gain>=320, ugbw>=12 MHz, pm>=60 deg, ibias<=150 uA");
+    println!(
+        "agent {} in {} simulations",
+        if o.reached { "reached it" } else { "did not reach it" },
+        o.steps
+    );
+    println!("final measured specs:");
+    println!("  gain  = {:8.1} V/V", o.final_specs[spec_index::GAIN]);
+    println!("  ugbw  = {:8.3e} Hz", o.final_specs[spec_index::UGBW]);
+    println!("  pm    = {:8.1} deg", o.final_specs[spec_index::PM]);
+    println!("  ibias = {:8.3e} A", o.final_specs[spec_index::IBIAS]);
+    println!("final sizing:");
+    for (p, i) in problem.params().iter().zip(&o.final_params) {
+        println!("  {:<8} = {:>10.3e}", p.name, p.values[*i]);
+    }
+
+    // Show the trajectory: how the specs evolved step by step (the
+    // "sequential thought process" the paper's introduction motivates).
+    println!("\ntrajectory (gain, ugbw, pm, ibias) per step:");
+    for (s, specs) in o.spec_trajectory.iter().enumerate() {
+        println!(
+            "  step {s:>2}: {:>8.1}  {:>10.3e}  {:>6.1}  {:>10.3e}",
+            specs[0], specs[1], specs[2], specs[3]
+        );
+    }
+    Ok(())
+}

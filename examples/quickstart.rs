@@ -1,0 +1,75 @@
+//! Quickstart: train AutoCkt on the transimpedance amplifier, then ask the
+//! trained agent to size the circuit for three fresh target
+//! specifications.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use autockt::prelude::*;
+use rand::rngs::StdRng;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let problem: Arc<dyn SizingProblem> = Arc::new(Tia::default());
+    println!(
+        "problem: {} — {} parameters, {} specs, |space| ~ 1e{:.1}",
+        problem.name(),
+        problem.params().len(),
+        problem.specs().len(),
+        problem.log10_space_size()
+    );
+
+    // Train with a small budget; the mean-episode-reward stopping rule
+    // usually fires after ~10 iterations (~20k simulations).
+    let cfg = TrainConfig {
+        max_iters: 30,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+    println!("training (stops when mean episode reward >= {})...", cfg.target_mean_reward);
+    let result = train(Arc::clone(&problem), &cfg);
+    println!(
+        "trained: {} iterations, {} simulations, converged = {}",
+        result.curve.len(),
+        result.env_steps(),
+        result.converged
+    );
+
+    // Deploy on three targets the agent has never seen.
+    let mut rng = StdRng::seed_from_u64(99);
+    let targets: Vec<Vec<f64>> = (0..3)
+        .map(|_| sample_uniform(problem.as_ref(), &mut rng))
+        .collect();
+    let stats = deploy(
+        &result.agent.policy,
+        Arc::clone(&problem),
+        &targets,
+        &DeployConfig::default(),
+    );
+    for o in &stats.outcomes {
+        println!("\ntarget:");
+        for (d, (t, f)) in problem
+            .specs()
+            .iter()
+            .zip(o.target.iter().zip(&o.final_specs))
+        {
+            println!(
+                "  {:<14} want {:>10.3e} {:<5} got {:>10.3e}",
+                d.name, t, d.unit, f
+            );
+        }
+        println!(
+            "  -> {} in {} simulations; final sizing indices {:?}",
+            if o.reached { "REACHED" } else { "not reached" },
+            o.steps,
+            o.final_params
+        );
+    }
+    println!(
+        "\nsummary: {}/{} targets reached, {:.1} sims on average",
+        stats.reached(),
+        stats.total(),
+        stats.mean_steps_reached()
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Cross-crate physics checks: the PEX extraction and PVT corners must
+//! shift every topology's specs in physically sensible directions, because
+//! the transfer-learning experiment (Table IV) relies on that structure.
+
+use autockt::prelude::*;
+
+fn center(p: &dyn SizingProblem) -> Vec<usize> {
+    p.cardinalities().iter().map(|k| k / 2).collect()
+}
+
+#[test]
+fn pex_degrades_tia_bandwidth() {
+    let tia = Tia::default();
+    let idx = center(&tia);
+    let sch = tia.simulate(&idx, SimMode::Schematic).expect("schematic");
+    let pex = tia.simulate(&idx, SimMode::Pex).expect("pex");
+    // Cutoff frequency falls, settling time grows.
+    assert!(pex[1] < sch[1], "cutoff: pex {} vs sch {}", pex[1], sch[1]);
+    assert!(pex[0] > sch[0], "settling: pex {} vs sch {}", pex[0], sch[0]);
+}
+
+#[test]
+fn pex_worst_case_is_no_better_than_nominal_for_opamp() {
+    let p = OpAmp2::default();
+    let idx = center(&p);
+    let nom = p.simulate(&idx, SimMode::Pex).expect("pex nominal");
+    let wc = p.simulate(&idx, SimMode::PexWorstCase).expect("pex wc");
+    // Hard-min specs only get worse; minimized ibias only grows.
+    assert!(wc[0] <= nom[0] + 1e-9, "gain");
+    assert!(wc[1] <= nom[1] + 1e-3, "ugbw");
+    assert!(wc[3] >= nom[3] - 1e-12, "ibias");
+}
+
+#[test]
+fn schematic_vs_pex_shift_is_moderate() {
+    // Fig. 14's histogram shows schematic-vs-PEX differences of tens of
+    // percent. Our extraction should perturb, not destroy: for typical
+    // designs the UGBW shift stays within a factor of ~3.
+    let p = NegGmOta::default();
+    let mut checked = 0;
+    for k in [2usize, 4, 8, 16, 32] {
+        let idx = vec![k.min(63); 6];
+        let (Ok(sch), Ok(pex)) = (
+            p.simulate(&idx, SimMode::Schematic),
+            p.simulate(&idx, SimMode::Pex),
+        ) else {
+            continue;
+        };
+        if sch[1] > 0.0 && pex[1] > 0.0 {
+            let ratio = sch[1] / pex[1];
+            assert!(
+                (0.3..10.0).contains(&ratio),
+                "ugbw shift ratio {ratio} out of plausible band at k={k}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 2, "need at least two comparable design points");
+}
+
+#[test]
+fn all_topologies_simulate_at_all_fidelities() {
+    let problems: Vec<Box<dyn SizingProblem>> = vec![
+        Box::new(Tia::default()),
+        Box::new(OpAmp2::default()),
+        Box::new(NegGmOta::default()),
+    ];
+    for p in &problems {
+        let idx = center(p.as_ref());
+        for mode in [SimMode::Schematic, SimMode::Pex, SimMode::PexWorstCase] {
+            let specs = p
+                .simulate(&idx, mode)
+                .unwrap_or_else(|e| panic!("{} failed at {mode:?}: {e}", p.name()));
+            assert_eq!(specs.len(), p.specs().len());
+            assert!(specs.iter().all(|v| v.is_finite()));
+        }
+    }
+}

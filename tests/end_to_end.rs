@@ -1,0 +1,91 @@
+//! End-to-end integration: train a small agent on the TIA and verify the
+//! full pipeline (target sampling -> env -> PPO -> deployment) improves
+//! over a random policy.
+
+use autockt::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+#[test]
+fn train_then_deploy_beats_random_policy() {
+    let problem: Arc<dyn SizingProblem> = Arc::new(Tia::default());
+    // Small but real training budget (runs in debug within seconds because
+    // the TIA simulation is milliseconds).
+    let cfg = TrainConfig {
+        ppo: PpoConfig {
+            steps_per_iter: 512,
+            minibatch: 128,
+            epochs: 4,
+            ..PpoConfig::default()
+        },
+        num_workers: 4,
+        horizon: 20,
+        max_iters: 12,
+        target_mean_reward: 5.0,
+        seed: 1234,
+        ..TrainConfig::default()
+    };
+    let result = train(Arc::clone(&problem), &cfg);
+    assert!(!result.curve.is_empty());
+    // The curve should improve from start to best.
+    let first = result.curve.first().expect("has iterations").mean_episode_reward;
+    let best = result
+        .curve
+        .iter()
+        .map(|s| s.mean_episode_reward)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best > first,
+        "training should improve the mean episode reward: {first} -> {best}"
+    );
+
+    // Deploy on fresh targets and compare with the random baseline.
+    let mut rng = StdRng::seed_from_u64(4321);
+    let targets: Vec<Vec<f64>> = (0..20)
+        .map(|_| sample_uniform(problem.as_ref(), &mut rng))
+        .collect();
+    let dcfg = DeployConfig {
+        horizon: 20,
+        ..DeployConfig::default()
+    };
+    let trained = deploy(&result.agent.policy, Arc::clone(&problem), &targets, &dcfg);
+    let random = autockt::baselines::random_agent_deploy(
+        Arc::clone(&problem),
+        &targets,
+        20,
+        SimMode::Schematic,
+        55,
+    );
+    assert!(
+        trained.reached() > random.reached(),
+        "trained {} vs random {}",
+        trained.reached(),
+        random.reached()
+    );
+}
+
+#[test]
+fn training_is_reproducible_for_fixed_seed() {
+    let problem: Arc<dyn SizingProblem> = Arc::new(Tia::default());
+    let cfg = TrainConfig {
+        ppo: PpoConfig {
+            steps_per_iter: 128,
+            minibatch: 64,
+            epochs: 2,
+            ..PpoConfig::default()
+        },
+        num_workers: 2,
+        horizon: 10,
+        max_iters: 2,
+        target_mean_reward: f64::INFINITY,
+        seed: 777,
+        ..TrainConfig::default()
+    };
+    let a = train(Arc::clone(&problem), &cfg);
+    let b = train(Arc::clone(&problem), &cfg);
+    assert_eq!(a.targets, b.targets, "target sets must match");
+    for (x, y) in a.curve.iter().zip(&b.curve) {
+        assert_eq!(x.episodes, y.episodes);
+        assert!((x.mean_episode_reward - y.mean_episode_reward).abs() < 1e-9);
+    }
+}
