@@ -146,8 +146,7 @@ pub fn ga_solve(
         }
         // Sort descending by fitness for elitism.
         pop.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
-        let mut next: Vec<(Vec<usize>, f64)> =
-            pop.iter().take(cfg.elitism).cloned().collect();
+        let mut next: Vec<(Vec<usize>, f64)> = pop.iter().take(cfg.elitism).cloned().collect();
         while next.len() < cfg.population {
             let parent = |rng: &mut StdRng, pop: &[(Vec<usize>, f64)]| -> Vec<usize> {
                 let mut best_i = rng.random_range(0..pop.len());

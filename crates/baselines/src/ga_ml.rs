@@ -62,15 +62,20 @@ pub fn ga_ml_solve(
     let mut rng = StdRng::seed_from_u64(cfg.ga.seed);
     let cards = problem.cardinalities();
     let n = cards.len();
-    let mut model = Mlp::new(&[n, 32, 32, 1], Activation::Tanh, Activation::Linear, &mut rng);
+    let mut model = Mlp::new(
+        &[n, 32, 32, 1],
+        Activation::Tanh,
+        Activation::Linear,
+        &mut rng,
+    );
 
     let mut cache: HashMap<Vec<usize>, f64> = HashMap::new();
     let mut sims = 0usize;
     let mut dataset: Vec<(Vec<f64>, f64)> = Vec::new();
     let simulate = |idx: &[usize],
-                        sims: &mut usize,
-                        dataset: &mut Vec<(Vec<f64>, f64)>,
-                        cache: &mut HashMap<Vec<usize>, f64>|
+                    sims: &mut usize,
+                    dataset: &mut Vec<(Vec<f64>, f64)>,
+                    cache: &mut HashMap<Vec<usize>, f64>|
      -> f64 {
         if let Some(r) = cache.get(idx) {
             return *r;
@@ -179,8 +184,7 @@ pub fn ga_ml_solve(
         } else {
             pool.into_iter().take(keep).collect()
         };
-        let mut next: Vec<(Vec<usize>, f64)> =
-            pop.iter().take(cfg.ga.elitism).cloned().collect();
+        let mut next: Vec<(Vec<usize>, f64)> = pop.iter().take(cfg.ga.elitism).cloned().collect();
         for child in survivors {
             let f = simulate(&child, &mut sims, &mut dataset, &mut cache);
             if f > best.1 {

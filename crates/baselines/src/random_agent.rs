@@ -57,8 +57,7 @@ pub fn random_agent_deploy(
             let mut reached = false;
             let mut steps = 0;
             for _ in 0..horizon {
-                let action: Vec<usize> =
-                    (0..n_params).map(|_| rng.random_range(0..3)).collect();
+                let action: Vec<usize> = (0..n_params).map(|_| rng.random_range(0..3)).collect();
                 let sr = env.step(&action);
                 steps += 1;
                 spec_trajectory.push(env.last_specs().to_vec());

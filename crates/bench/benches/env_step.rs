@@ -33,7 +33,12 @@ fn bench_env(c: &mut Criterion, name: &str, problem: Arc<dyn SizingProblem>, mod
 }
 
 fn benches(c: &mut Criterion) {
-    bench_env(c, "env_step_tia", Arc::new(Tia::default()), SimMode::Schematic);
+    bench_env(
+        c,
+        "env_step_tia",
+        Arc::new(Tia::default()),
+        SimMode::Schematic,
+    );
     bench_env(
         c,
         "env_step_opamp2",

@@ -13,7 +13,12 @@ use std::hint::black_box;
 
 fn bench_mlp(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let net = Mlp::new(&[13, 50, 50, 50, 21], Activation::Tanh, Activation::Linear, &mut rng);
+    let net = Mlp::new(
+        &[13, 50, 50, 50, 21],
+        Activation::Tanh,
+        Activation::Linear,
+        &mut rng,
+    );
     let x: Vec<f64> = (0..13).map(|i| (i as f64 * 0.1).sin()).collect();
     c.bench_function("mlp_forward_3x50", |b| {
         b.iter(|| net.forward(black_box(&x)))

@@ -18,7 +18,11 @@ fn bench_lu(c: &mut Criterion) {
     let mut a = Matrix::<f64>::zeros(n, n);
     for r in 0..n {
         for cc in 0..n {
-            a[(r, cc)] = if r == cc { 10.0 } else { 1.0 / (1 + r + cc) as f64 };
+            a[(r, cc)] = if r == cc {
+                10.0
+            } else {
+                1.0 / (1 + r + cc) as f64
+            };
         }
     }
     let b = vec![1.0; n];
@@ -61,12 +65,19 @@ fn bench_full_spec_eval(c: &mut Criterion) {
     let tia = Tia::default();
     let idx_t = center(&tia);
     c.bench_function("spec_eval_tia_schematic", |bench| {
-        bench.iter(|| tia.simulate(black_box(&idx_t), SimMode::Schematic).expect("ok"))
+        bench.iter(|| {
+            tia.simulate(black_box(&idx_t), SimMode::Schematic)
+                .expect("ok")
+        })
     });
     let neggm = NegGmOta::default();
     let idx_n = center(&neggm);
     c.bench_function("spec_eval_neggm_schematic", |bench| {
-        bench.iter(|| neggm.simulate(black_box(&idx_n), SimMode::Schematic).expect("ok"))
+        bench.iter(|| {
+            neggm
+                .simulate(black_box(&idx_n), SimMode::Schematic)
+                .expect("ok")
+        })
     });
     c.bench_function("spec_eval_neggm_pex_worstcase", |bench| {
         bench.iter(|| {

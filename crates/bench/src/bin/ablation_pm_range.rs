@@ -16,8 +16,7 @@ fn main() {
     println!("Ablation — PM training range vs PEX transfer (neg-gm OTA)");
     let mut rows = Vec::new();
     for (label, lo, hi) in [("range [60, 75]", 60.0, 75.0), ("fixed 60", 60.0, 60.0)] {
-        let problem: Arc<dyn SizingProblem> =
-            Arc::new(NegGmOta::default().with_pm_range(lo, hi));
+        let problem: Arc<dyn SizingProblem> = Arc::new(NegGmOta::default().with_pm_range(lo, hi));
         let trained = train_agent(Arc::clone(&problem), 40, 30, 73);
         // Transfer deployment always enforces only the 60-degree floor.
         let targets = uniform_targets(problem.as_ref(), 16, 0xAB2, Some(spec_index::PM));
@@ -37,7 +36,11 @@ fn main() {
             stats.total(),
             stats.mean_steps_reached()
         );
-        rows.push(vec![hi - lo, stats.generalization(), stats.mean_steps_reached()]);
+        rows.push(vec![
+            hi - lo,
+            stats.generalization(),
+            stats.mean_steps_reached(),
+        ]);
     }
     let path = write_csv(
         "ablation_pm_range.csv",

@@ -20,7 +20,8 @@ fn train_with_bonus(problem: Arc<dyn SizingProblem>, bonus: f64, seed: u64) -> P
     };
     // Hand-rolled loop so the env's success bonus can be overridden.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-    let targets = autockt_core::training_targets(problem.as_ref(), cfg.num_targets, &mut rng, false);
+    let targets =
+        autockt_core::training_targets(problem.as_ref(), cfg.num_targets, &mut rng, false);
     let env_cfg = EnvConfig {
         horizon: cfg.horizon,
         mode: SimMode::Schematic,
@@ -71,7 +72,11 @@ fn main() {
             100.0 * stats.generalization(),
             stats.mean_steps_reached()
         );
-        rows.push(vec![bonus, stats.generalization(), stats.mean_steps_reached()]);
+        rows.push(vec![
+            bonus,
+            stats.generalization(),
+            stats.mean_steps_reached(),
+        ]);
     }
     let path = write_csv(
         "ablation_reward_bonus.csv",

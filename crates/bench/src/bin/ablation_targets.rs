@@ -14,7 +14,10 @@ fn main() {
     let problem: Arc<dyn SizingProblem> = Arc::new(Tia::default());
     let eval_targets = uniform_targets(problem.as_ref(), 120, 0xAB4, None);
     println!("Ablation — number of training targets (TIA)");
-    println!("{:>8} {:>10} {:>14}", "targets", "reached%", "sims(reached)");
+    println!(
+        "{:>8} {:>10} {:>14}",
+        "targets", "reached%", "sims(reached)"
+    );
     let mut rows = Vec::new();
     for n in [5usize, 15, 50, 150] {
         let cfg = TrainConfig {
@@ -39,7 +42,11 @@ fn main() {
             100.0 * stats.generalization(),
             stats.mean_steps_reached()
         );
-        rows.push(vec![n as f64, stats.generalization(), stats.mean_steps_reached()]);
+        rows.push(vec![
+            n as f64,
+            stats.generalization(),
+            stats.mean_steps_reached(),
+        ]);
     }
     let path = write_csv(
         "ablation_num_targets.csv",

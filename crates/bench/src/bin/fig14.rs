@@ -36,7 +36,13 @@ fn main() {
         stochastic: true,
         seed: 0x1416,
     };
-    let outcome = run_trajectory(&trained.agent.policy, &mut env, target.clone(), &cfg, &mut rng);
+    let outcome = run_trajectory(
+        &trained.agent.policy,
+        &mut env,
+        target.clone(),
+        &cfg,
+        &mut rng,
+    );
     println!(
         "\nFig. 14 (a) — transferred-agent PEX trajectory ({} steps, reached = {}):",
         outcome.steps, outcome.reached

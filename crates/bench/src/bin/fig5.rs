@@ -30,7 +30,13 @@ fn main() {
     }
     let path = write_csv(
         "fig5_tia_reward_curve.csv",
-        &["iter", "env_steps", "mean_episode_reward", "success_rate", "mean_ep_len"],
+        &[
+            "iter",
+            "env_steps",
+            "mean_episode_reward",
+            "success_rate",
+            "mean_ep_len",
+        ],
         &rows,
     );
     println!(

@@ -53,8 +53,16 @@ fn main() {
     print_comparison(
         "Table I — TIA sample efficiency (SE) and generalization",
         &[
-            ("Genetic Alg. SE (sims)", "376".into(), format!("{ga_mean:.0}")),
-            ("AutoCkt SE (sims)", "15".into(), format!("{autockt_mean:.0}")),
+            (
+                "Genetic Alg. SE (sims)",
+                "376".into(),
+                format!("{ga_mean:.0}"),
+            ),
+            (
+                "AutoCkt SE (sims)",
+                "15".into(),
+                format!("{autockt_mean:.0}"),
+            ),
             (
                 "AutoCkt speedup vs GA",
                 "25.1x".into(),

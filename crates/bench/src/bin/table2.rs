@@ -61,8 +61,16 @@ fn main() {
     print_comparison(
         "Table II — two-stage op-amp SE and generalization",
         &[
-            ("Genetic Alg. SE (sims)", "1063".into(), format!("{ga_mean:.0}")),
-            ("AutoCkt SE (sims)", "27".into(), format!("{autockt_mean:.0}")),
+            (
+                "Genetic Alg. SE (sims)",
+                "1063".into(),
+                format!("{ga_mean:.0}"),
+            ),
+            (
+                "AutoCkt SE (sims)",
+                "27".into(),
+                format!("{autockt_mean:.0}"),
+            ),
             (
                 "AutoCkt speedup vs GA",
                 "~40x".into(),

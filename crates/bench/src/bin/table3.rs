@@ -57,8 +57,16 @@ fn main() {
     print_comparison(
         "Table III — negative-gm OTA SE and generalization",
         &[
-            ("Genetic Alg. SE (sims)", "406".into(), format!("{ga_mean:.0}")),
-            ("AutoCkt SE (sims)", "10".into(), format!("{autockt_mean:.0}")),
+            (
+                "Genetic Alg. SE (sims)",
+                "406".into(),
+                format!("{ga_mean:.0}"),
+            ),
+            (
+                "AutoCkt SE (sims)",
+                "10".into(),
+                format!("{autockt_mean:.0}"),
+            ),
             (
                 "AutoCkt speedup vs GA",
                 "40.6x".into(),

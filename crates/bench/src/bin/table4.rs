@@ -83,7 +83,11 @@ fn main() {
     print_comparison(
         "Table IV — transfer to PEX with worst-case PVT (neg-gm OTA)",
         &[
-            ("Genetic Alg. (PEX)", "N/A (too inefficient)".into(), "not run".into()),
+            (
+                "Genetic Alg. (PEX)",
+                "N/A (too inefficient)".into(),
+                "not run".into(),
+            ),
             (
                 "Genetic Alg.+ML [7] SE (sims)",
                 "220".into(),

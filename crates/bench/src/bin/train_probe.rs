@@ -14,11 +14,21 @@ use std::time::Instant;
 
 fn main() {
     let problem_name = arg_value("--problem").unwrap_or_else(|| "tia".into());
-    let iters: usize = arg_value("--iters").and_then(|s| s.parse().ok()).unwrap_or(25);
-    let steps: usize = arg_value("--steps").and_then(|s| s.parse().ok()).unwrap_or(2048);
-    let n_deploy: usize = arg_value("--deploy").and_then(|s| s.parse().ok()).unwrap_or(100);
-    let horizon: usize = arg_value("--horizon").and_then(|s| s.parse().ok()).unwrap_or(30);
-    let seed: u64 = arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(17);
+    let iters: usize = arg_value("--iters")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let steps: usize = arg_value("--steps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
+    let n_deploy: usize = arg_value("--deploy")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let horizon: usize = arg_value("--horizon")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
 
     let problem: Arc<dyn SizingProblem> = match problem_name.as_str() {
         "tia" => Arc::new(Tia::default()),
@@ -30,8 +40,12 @@ fn main() {
     let min_reward: f64 = arg_value("--min-reward")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.0);
-    let ent: f64 = arg_value("--ent").and_then(|s| s.parse().ok()).unwrap_or(1e-3);
-    let n_targets: usize = arg_value("--targets").and_then(|s| s.parse().ok()).unwrap_or(50);
+    let ent: f64 = arg_value("--ent")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1e-3);
+    let n_targets: usize = arg_value("--targets")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     let cfg = TrainConfig {
         ppo: PpoConfig {
             steps_per_iter: steps,

@@ -171,6 +171,7 @@ impl NegGmOta {
         };
         // Bias mirror.
         ckt.mosfet(mos(MosPolarity::Nmos, bias, bias, GND, w_ref)); // M8
+
         // First stage.
         ckt.mosfet(mos(MosPolarity::Nmos, tail, bias, GND, w_tail)); // M7
         ckt.mosfet(mos(MosPolarity::Nmos, x1, vinn, tail, w_in)); // M1
@@ -179,6 +180,7 @@ impl NegGmOta {
         ckt.mosfet(mos(MosPolarity::Pmos, x2, x2, vdd, w_diode)); // M4
         ckt.mosfet(mos(MosPolarity::Pmos, x1, x2, vdd, w_cross)); // M5
         ckt.mosfet(mos(MosPolarity::Pmos, x2, x1, vdd, w_cross)); // M6
+
         // Second stage: PMOS common source (its gate sits a PMOS vgs below
         // the supply — exactly where the diode-loaded x2 node rests) with a
         // mirrored NMOS sink.
@@ -190,8 +192,10 @@ impl NegGmOta {
     }
 
     fn measure(&self, ckt: &Circuit, out: Node) -> Result<Vec<f64>, SimError> {
-        let mut dc_opts = DcOptions::default();
-        dc_opts.initial_v = self.vdd / 2.0;
+        let dc_opts = DcOptions {
+            initial_v: self.vdd / 2.0,
+            ..DcOptions::default()
+        };
         let op = dc_operating_point(ckt, &dc_opts)?;
         let freqs = log_freqs(1e2, 1e10, 10);
         let resp = ac_sweep(ckt, &op, &freqs, out)?;

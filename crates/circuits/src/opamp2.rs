@@ -62,7 +62,7 @@ impl OpAmp2 {
             ParamSpec::swept("w_in", 1.0, 100.0, 1.0, 0.5e-6), // M1/M2
             ParamSpec::swept("w_load", 1.0, 100.0, 1.0, 0.5e-6), // M3/M4
             ParamSpec::swept("w_tail", 1.0, 100.0, 1.0, 0.5e-6), // M5
-            ParamSpec::swept("w_cs", 1.0, 100.0, 1.0, 0.5e-6),  // M6
+            ParamSpec::swept("w_cs", 1.0, 100.0, 1.0, 0.5e-6), // M6
             ParamSpec::swept("w_sink", 1.0, 100.0, 1.0, 0.5e-6), // M7
             ParamSpec::swept("w_ref", 1.0, 100.0, 1.0, 0.5e-6), // M8
             ParamSpec::swept("cc", 0.1, 10.0, 0.1, 1e-12),
@@ -170,8 +170,10 @@ impl OpAmp2 {
     }
 
     fn measure(&self, ckt: &Circuit, out: Node, vdd_src: usize) -> Result<Vec<f64>, SimError> {
-        let mut dc_opts = DcOptions::default();
-        dc_opts.initial_v = self.vdd / 2.0;
+        let dc_opts = DcOptions {
+            initial_v: self.vdd / 2.0,
+            ..DcOptions::default()
+        };
         let op = dc_operating_point(ckt, &dc_opts)?;
         let ibias = op.vsource_current(vdd_src).abs();
         let freqs = log_freqs(1e2, 1e10, 10);

@@ -147,8 +147,10 @@ impl Tia {
     }
 
     fn measure(&self, ckt: &Circuit, out: Node, temp_k: f64) -> Result<Vec<f64>, SimError> {
-        let mut dc_opts = DcOptions::default();
-        dc_opts.initial_v = self.tech.vdd / 2.0;
+        let dc_opts = DcOptions {
+            initial_v: self.tech.vdd / 2.0,
+            ..DcOptions::default()
+        };
         let op = dc_operating_point(ckt, &dc_opts)?;
         let freqs = log_freqs(1e5, 1e12, 10);
         let resp = ac_sweep(ckt, &op, &freqs, out)?;
@@ -162,8 +164,7 @@ impl Tia {
             let solver = AcSolver::new(ckt, &op);
             let t_stop = 8.0 / cutoff;
             let (t, y) = solver.step_response(out, t_stop, 2048)?;
-            settling_time(&t, &y, 0.02)
-                .unwrap_or(self.specs[spec_index::SETTLING].fail_value)
+            settling_time(&t, &y, 0.02).unwrap_or(self.specs[spec_index::SETTLING].fail_value)
         } else {
             self.specs[spec_index::SETTLING].fail_value
         };

@@ -196,9 +196,7 @@ impl Env for SizingEnv {
     fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
         let target = match &self.cfg.target_mode {
             TargetMode::Uniform => sample_uniform(self.problem.as_ref(), rng),
-            TargetMode::Feasible(tries) => {
-                sample_feasible(self.problem.as_ref(), rng, *tries)
-            }
+            TargetMode::Feasible(tries) => sample_feasible(self.problem.as_ref(), rng, *tries),
             TargetMode::FixedSet(set) => {
                 assert!(!set.is_empty(), "empty target set");
                 set[rng.random_range(0..set.len())].clone()
@@ -218,7 +216,11 @@ impl Env for SizingEnv {
         self.simulate_current();
         let r = self.current_reward();
         let success = is_success(r);
-        let reward = if success { self.cfg.success_bonus + r } else { r };
+        let reward = if success {
+            self.cfg.success_bonus + r
+        } else {
+            r
+        };
         StepResult {
             obs: self.observation(),
             reward,

@@ -48,10 +48,14 @@ pub fn sample_feasible(
         // The design can seed a target if each spec clears the box in its
         // constraint direction: a HardMin measurement above the box top
         // still satisfies the clamped target `hi`, etc.
-        let ok = problem.specs().iter().zip(&specs).all(|(d, &v)| match d.kind {
-            SpecKind::HardMin => v >= d.lo,
-            SpecKind::HardMax | SpecKind::Minimize => v <= d.hi,
-        });
+        let ok = problem
+            .specs()
+            .iter()
+            .zip(&specs)
+            .all(|(d, &v)| match d.kind {
+                SpecKind::HardMin => v >= d.lo,
+                SpecKind::HardMax | SpecKind::Minimize => v <= d.hi,
+            });
         if !ok {
             continue;
         }

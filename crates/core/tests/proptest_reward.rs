@@ -73,6 +73,7 @@ proptest! {
 }
 
 #[test]
+#[allow(clippy::assertions_on_constants)] // guards the constant's invariant
 fn bonus_is_positive_and_dominates_threshold() {
     assert!(SUCCESS_BONUS > 1.0);
 }

@@ -96,10 +96,10 @@ impl Linear {
     /// layer's pre-activation output) and this layer's input `x`; writes the
     /// gradient w.r.t. `x` into `dx`.
     fn backward(&mut self, x: &[f64], dy: &[f64], dx: &mut Vec<f64>) {
+        assert_eq!(dy.len(), self.n_out, "upstream gradient width mismatch");
         dx.clear();
         dx.resize(self.n_in, 0.0);
-        for o in 0..self.n_out {
-            let g = dy[o];
+        for (o, &g) in dy.iter().enumerate() {
             self.gb[o] += g;
             let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
             let grow = &mut self.gw[o * self.n_in..(o + 1) * self.n_in];
@@ -242,7 +242,10 @@ impl Mlp {
             };
             acts.push(buf.iter().map(|&v| act.apply(v)).collect());
         }
-        (acts.last().expect("nonempty").clone(), ForwardCache { acts })
+        (
+            acts.last().expect("nonempty").clone(),
+            ForwardCache { acts },
+        )
     }
 
     /// Accumulates parameter gradients for one sample given the gradient of
@@ -340,7 +343,12 @@ mod tests {
 
     #[test]
     fn forward_shapes() {
-        let net = Mlp::new(&[3, 8, 8, 2], Activation::Tanh, Activation::Linear, &mut rng());
+        let net = Mlp::new(
+            &[3, 8, 8, 2],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng(),
+        );
         assert_eq!(net.n_in(), 3);
         assert_eq!(net.n_out(), 2);
         assert_eq!(net.forward(&[0.0, 0.0, 0.0]).len(), 2);
@@ -453,7 +461,10 @@ mod tests {
         let (y, cache) = a.forward_cache(&x);
         a.backward(&cache, &[y[0] + 1.0]);
         a.adam_step(0.1);
-        assert!((b.forward(&x)[0] - before).abs() < 1e-15, "clone unaffected");
+        assert!(
+            (b.forward(&x)[0] - before).abs() < 1e-15,
+            "clone unaffected"
+        );
         assert!((a.forward(&x)[0] - before).abs() > 1e-9, "original trained");
     }
 }

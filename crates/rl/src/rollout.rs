@@ -1,7 +1,7 @@
 //! Parallel trajectory collection.
 //!
 //! The paper leans on Ray/RLlib to run several simulation environments in
-//! parallel during training; here crossbeam scoped threads play that role.
+//! parallel during training; here std scoped threads play that role.
 //! Each worker owns one environment and a private RNG; the policy and value
 //! networks are shared immutably (plain `Vec<f64>` data, `Sync` for free).
 
@@ -70,13 +70,7 @@ impl Batch {
 /// segment. `dones[i]` marks episode boundaries; `bootstrap` is the value
 /// estimate of the observation *after* the last transition (0 if that
 /// transition ended an episode).
-pub fn compute_gae(
-    seg: &mut [Transition],
-    dones: &[bool],
-    bootstrap: f64,
-    gamma: f64,
-    lam: f64,
-) {
+pub fn compute_gae(seg: &mut [Transition], dones: &[bool], bootstrap: f64, gamma: f64, lam: f64) {
     let n = seg.len();
     assert_eq!(n, dones.len());
     let mut gae = 0.0;
@@ -96,6 +90,9 @@ pub fn compute_gae(
     }
 }
 
+/// One worker's output: transitions, episode returns, lengths, successes.
+type WorkerSegment = (Vec<Transition>, Vec<f64>, Vec<usize>, Vec<bool>);
+
 /// Collects `steps_per_worker` transitions from each environment in
 /// parallel, computing GAE per worker segment.
 pub fn collect_parallel<E: Env + Send>(
@@ -107,67 +104,65 @@ pub fn collect_parallel<E: Env + Send>(
     lam: f64,
     seed: u64,
 ) -> Batch {
-    let results: Vec<(Vec<Transition>, Vec<f64>, Vec<usize>, Vec<bool>)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = envs
-                .iter_mut()
-                .enumerate()
-                .map(|(wi, env)| {
-                    scope.spawn(move |_| {
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ (wi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        );
-                        let mut seg: Vec<Transition> = Vec::with_capacity(steps_per_worker);
-                        let mut dones = Vec::with_capacity(steps_per_worker);
-                        let mut ep_rets = Vec::new();
-                        let mut ep_lens = Vec::new();
-                        let mut ep_succ = Vec::new();
-                        let mut obs = env.reset(&mut rng);
-                        let mut ep_ret = 0.0;
-                        let mut ep_len = 0usize;
-                        for _ in 0..steps_per_worker {
-                            let sampled = policy.act(&obs, &mut rng);
-                            let v = value.value(&obs);
-                            let sr = env.step(&sampled.actions);
-                            ep_ret += sr.reward;
-                            ep_len += 1;
-                            seg.push(Transition {
-                                obs: std::mem::take(&mut obs),
-                                actions: sampled.actions,
-                                logp: sampled.logp,
-                                reward: sr.reward,
-                                value: v,
-                                advantage: 0.0,
-                                ret: 0.0,
-                            });
-                            dones.push(sr.done);
-                            if sr.done {
-                                ep_rets.push(ep_ret);
-                                ep_lens.push(ep_len);
-                                ep_succ.push(sr.success);
-                                ep_ret = 0.0;
-                                ep_len = 0;
-                                obs = env.reset(&mut rng);
-                            } else {
-                                obs = sr.obs;
-                            }
-                        }
-                        let bootstrap = if *dones.last().unwrap_or(&true) {
-                            0.0
+    let results: Vec<WorkerSegment> = std::thread::scope(|scope| {
+        let handles: Vec<_> = envs
+            .iter_mut()
+            .enumerate()
+            .map(|(wi, env)| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (wi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut seg: Vec<Transition> = Vec::with_capacity(steps_per_worker);
+                    let mut dones = Vec::with_capacity(steps_per_worker);
+                    let mut ep_rets = Vec::new();
+                    let mut ep_lens = Vec::new();
+                    let mut ep_succ = Vec::new();
+                    let mut obs = env.reset(&mut rng);
+                    let mut ep_ret = 0.0;
+                    let mut ep_len = 0usize;
+                    for _ in 0..steps_per_worker {
+                        let sampled = policy.act(&obs, &mut rng);
+                        let v = value.value(&obs);
+                        let sr = env.step(&sampled.actions);
+                        ep_ret += sr.reward;
+                        ep_len += 1;
+                        seg.push(Transition {
+                            obs: std::mem::take(&mut obs),
+                            actions: sampled.actions,
+                            logp: sampled.logp,
+                            reward: sr.reward,
+                            value: v,
+                            advantage: 0.0,
+                            ret: 0.0,
+                        });
+                        dones.push(sr.done);
+                        if sr.done {
+                            ep_rets.push(ep_ret);
+                            ep_lens.push(ep_len);
+                            ep_succ.push(sr.success);
+                            ep_ret = 0.0;
+                            ep_len = 0;
+                            obs = env.reset(&mut rng);
                         } else {
-                            value.value(&obs)
-                        };
-                        compute_gae(&mut seg, &dones, bootstrap, gamma, lam);
-                        (seg, ep_rets, ep_lens, ep_succ)
-                    })
+                            obs = sr.obs;
+                        }
+                    }
+                    let bootstrap = if *dones.last().unwrap_or(&true) {
+                        0.0
+                    } else {
+                        value.value(&obs)
+                    };
+                    compute_gae(&mut seg, &dones, bootstrap, gamma, lam);
+                    (seg, ep_rets, ep_lens, ep_succ)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rollout worker panicked"))
-                .collect()
-        })
-        .expect("rollout scope panicked");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rollout worker panicked"))
+            .collect()
+    });
 
     let mut batch = Batch::default();
     for (seg, rets, lens, succ) in results {

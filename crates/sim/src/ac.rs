@@ -99,7 +99,13 @@ impl<'a> AcSolver<'a> {
                         rhs[in_] += Complex::from_re(*ac);
                     }
                 }
-                Element::Vccs { op: o, on, cp, cn, gm } => {
+                Element::Vccs {
+                    op: o,
+                    on,
+                    cp,
+                    cn,
+                    gm,
+                } => {
                     stamp_vccs(&mut g, *o, *on, *cp, *cn, *gm);
                 }
                 Element::Mos(m) => {
@@ -213,8 +219,8 @@ impl<'a> AcSolver<'a> {
             // rhs = 2 b + (2C/h) x - G x
             for r in 0..n {
                 let mut acc = 2.0 * b[r];
-                for c in 0..n {
-                    acc += (2.0 * self.c[(r, c)] / h - self.g[(r, c)]) * x[c];
+                for (c, &xc) in x.iter().enumerate() {
+                    acc += (2.0 * self.c[(r, c)] / h - self.g[(r, c)]) * xc;
                 }
                 rhs[r] = acc;
             }
@@ -378,10 +384,7 @@ mod tests {
         let (t, y) = solver.step_response(o, 5e-6, 2000).unwrap();
         for (ti, yi) in t.iter().zip(&y).skip(10) {
             let expect = 1.0 - (-ti / 1e-6).exp();
-            assert!(
-                (yi - expect).abs() < 5e-3,
-                "at t={ti}: {yi} vs {expect}"
-            );
+            assert!((yi - expect).abs() < 5e-3, "at t={ti}: {yi} vs {expect}");
         }
     }
 

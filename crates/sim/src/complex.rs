@@ -142,6 +142,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b computed as a * b^-1
     fn div(self, o: Complex) -> Complex {
         self * o.recip()
     }

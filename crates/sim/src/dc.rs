@@ -218,7 +218,7 @@ impl<'a> Assembler<'a> {
                     }
                 }
                 Element::Mos(m) => {
-                    let (a_d, a_s, i_ad, gm, gds, _) = eval_mos_oriented(m, &volt);
+                    let (a_d, a_s, i_ad, gm, gds, _) = eval_mos_oriented(m, volt);
                     let _ = ei;
                     // Current leaves a_d, enters a_s.
                     // d i_ad / d v(g) = gm ; d/d v(a_d) = gds ; d/d v(a_s) = -(gm+gds)
@@ -370,16 +370,12 @@ pub fn dc_operating_point(ckt: &Circuit, opts: &DcOptions) -> Result<OpPoint, Si
         }
     };
     let mut node_v = vec![0.0; ckt.num_nodes()];
-    for i in 1..ckt.num_nodes() {
-        node_v[i] = x[i - 1];
-    }
-    let branch_i: Vec<f64> = (0..ckt.num_vsources())
-        .map(|k| x[nv + k])
-        .collect();
+    node_v[1..].copy_from_slice(&x[..ckt.num_nodes() - 1]);
+    let branch_i: Vec<f64> = (0..ckt.num_vsources()).map(|k| x[nv + k]).collect();
     let mut mos = Vec::new();
     for (ei, e) in ckt.elements().iter().enumerate() {
         if let Element::Mos(m) = e {
-            let (a_d, a_s, i_ad, gm, gds, region) = eval_mos_oriented(m, &volt);
+            let (a_d, a_s, i_ad, gm, gds, region) = eval_mos_oriented(m, volt);
             let (cgs, cgd) = m.model.gate_caps(region, m.w, m.l, m.mult);
             let cj = m.model.junction_cap(m.w, m.mult);
             mos.push(MosOp {
@@ -547,7 +543,10 @@ mod tests {
             let (ckt, o) = build(vin);
             let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
             let vo = op.voltage(o);
-            assert!(vo <= prev + 1e-9, "inverter transfer must fall: {vo} after {prev}");
+            assert!(
+                vo <= prev + 1e-9,
+                "inverter transfer must fall: {vo} after {prev}"
+            );
             prev = vo;
         }
         let (lo, o1) = build(0.1);

@@ -402,7 +402,10 @@ mod tests {
                 / (2.0 * h);
             let dgds = (m.eval(vgs, vds + h, w, l, 1.0).id - m.eval(vgs, vds - h, w, l, 1.0).id)
                 / (2.0 * h);
-            assert!((e.gm - dgm).abs() <= 1e-6 * dgm.abs().max(1e-9), "gm mismatch");
+            assert!(
+                (e.gm - dgm).abs() <= 1e-6 * dgm.abs().max(1e-9),
+                "gm mismatch"
+            );
             assert!(
                 (e.gds - dgds).abs() <= 1e-5 * dgds.abs().max(1e-9),
                 "gds mismatch at ({vgs},{vds}): model {} fd {}",

@@ -51,19 +51,29 @@ pub fn to_spice(ckt: &Circuit, title: &str) -> String {
             }
             Element::Vsource { p, n, dc, ac, wave } => {
                 counts[2] += 1;
-                let mut card = format!("V{} {} {} DC {:e} AC {:e}", counts[2], name(*p), name(*n), dc, ac);
+                let mut card = format!(
+                    "V{} {} {} DC {:e} AC {:e}",
+                    counts[2],
+                    name(*p),
+                    name(*n),
+                    dc,
+                    ac
+                );
                 if let Some(w) = wave {
-                    let _ = write!(
-                        card,
-                        " PULSE({:e} {:e} {:e})",
-                        w.v0, w.v1, w.t_delay
-                    );
+                    let _ = write!(card, " PULSE({:e} {:e} {:e})", w.v0, w.v1, w.t_delay);
                 }
                 let _ = writeln!(out, "{card}");
             }
             Element::Isource { p, n, dc, ac, wave } => {
                 counts[3] += 1;
-                let mut card = format!("I{} {} {} DC {:e} AC {:e}", counts[3], name(*p), name(*n), dc, ac);
+                let mut card = format!(
+                    "I{} {} {} DC {:e} AC {:e}",
+                    counts[3],
+                    name(*p),
+                    name(*n),
+                    dc,
+                    ac
+                );
                 if let Some(w) = wave {
                     let _ = write!(card, " PULSE({:e} {:e} {:e})", w.v0, w.v1, w.t_delay);
                 }
@@ -154,7 +164,10 @@ mod tests {
         });
         let deck = to_spice(&ckt, "everything");
         assert!(deck.starts_with("* everything\n"));
-        for marker in ["V1 ", "V2 ", "R1 ", "R2 ", "C1 ", "I1 ", "G1 ", "M1 ", ".model", ".end", "PULSE", "noise=0"] {
+        for marker in [
+            "V1 ", "V2 ", "R1 ", "R2 ", "C1 ", "I1 ", "G1 ", "M1 ", ".model", ".end", "PULSE",
+            "noise=0",
+        ] {
             assert!(deck.contains(marker), "missing {marker} in:\n{deck}");
         }
     }

@@ -144,13 +144,13 @@ impl<T: Scalar> Matrix<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![T::zero(); self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = T::zero();
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (a, b) in row.iter().zip(x) {
                 acc += *a * *b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -204,7 +204,7 @@ impl<T: Scalar> LuFactors<T> {
                     p = i;
                 }
             }
-            if !(best > pivot_floor) || !best.is_finite() {
+            if best <= pivot_floor || !best.is_finite() {
                 return Err(SimError::SingularMatrix { column: k });
             }
             if p != k {
@@ -242,16 +242,16 @@ impl<T: Scalar> LuFactors<T> {
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }

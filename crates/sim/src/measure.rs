@@ -247,8 +247,7 @@ mod tests {
         let h = freqs
             .iter()
             .map(|&f| {
-                Complex::from_re(1000.0)
-                    / (Complex::new(1.0, f / 1e4) * Complex::new(1.0, f / 1e7))
+                Complex::from_re(1000.0) / (Complex::new(1.0, f / 1e4) * Complex::new(1.0, f / 1e7))
             })
             .collect();
         let r = AcResponse {

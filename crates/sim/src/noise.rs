@@ -62,15 +62,13 @@ pub fn noise_analysis(
     let mut mos_iter = op.mosfets().iter();
     for e in ckt.elements() {
         match e {
-            Element::Resistor { p, n, r, noisy } => {
-                if *noisy {
-                    sources.push(NoiseSource {
-                        p: *p,
-                        n: *n,
-                        white: 4.0 * BOLTZMANN * temp_k / r,
-                        flicker_pref: 0.0,
-                    });
-                }
+            Element::Resistor { p, n, r, noisy } if *noisy => {
+                sources.push(NoiseSource {
+                    p: *p,
+                    n: *n,
+                    white: 4.0 * BOLTZMANN * temp_k / r,
+                    flicker_pref: 0.0,
+                });
             }
             Element::Mos(m) => {
                 let mi = mos_iter.next().expect("op out of sync");
@@ -168,7 +166,11 @@ mod tests {
             let nr = noise_analysis(&ckt, &op, o, &freqs, 300.0).unwrap();
             let expect = (BOLTZMANN * 300.0 / c).sqrt();
             let rel = (nr.out_vrms - expect).abs() / expect;
-            assert!(rel < 0.05, "kT/C mismatch at R={r}: {} vs {expect}", nr.out_vrms);
+            assert!(
+                rel < 0.05,
+                "kT/C mismatch at R={r}: {} vs {expect}",
+                nr.out_vrms
+            );
         }
     }
 

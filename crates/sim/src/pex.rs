@@ -90,8 +90,7 @@ pub fn extract(ckt: &Circuit, cfg: &PexConfig) -> Circuit {
                         continue;
                     }
                     let seed = (ei as u64) << 8 | ti | (node.index() as u64) << 32;
-                    let c = (cfg.cap_per_width * w_eff + cfg.cap_fixed)
-                        * jitter(seed, cfg.spread);
+                    let c = (cfg.cap_per_width * w_eff + cfg.cap_fixed) * jitter(seed, cfg.spread);
                     added.push((node, c));
                 }
             }

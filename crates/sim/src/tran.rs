@@ -99,9 +99,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, SimErr
 
     // State vector starts at the operating point.
     let mut x = vec![0.0; dim];
-    for i in 1..nnodes {
-        x[i - 1] = op.voltages()[i];
-    }
+    x[..nv].copy_from_slice(&op.voltages()[1..nnodes]);
     for k in 0..ckt.num_vsources() {
         x[nv + k] = op.vsource_current(k);
     }
@@ -226,7 +224,13 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, SimErr
                             f[in_] -= val;
                         }
                     }
-                    Element::Vccs { op: o, on, cp, cn, gm } => {
+                    Element::Vccs {
+                        op: o,
+                        on,
+                        cp,
+                        cn,
+                        gm,
+                    } => {
                         let i = gm * (volt(*cp) - volt(*cn));
                         if let Some(io) = idx(*o) {
                             f[io] += i;
@@ -248,7 +252,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, SimErr
                         }
                     }
                     Element::Mos(m) => {
-                        let (a_d, a_s, i_ad, gm, gds, _) = eval_mos_oriented(m, &volt);
+                        let (a_d, a_s, i_ad, gm, gds, _) = eval_mos_oriented(m, volt);
                         if let Some(id_) = idx(a_d) {
                             f[id_] += i_ad;
                             if let Some(ig) = idx(m.g) {
@@ -353,9 +357,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, SimErr
             cs.v_prev = vc;
         }
         let mut row = vec![0.0; nnodes];
-        for i in 1..nnodes {
-            row[i] = x[i - 1];
-        }
+        row[1..].copy_from_slice(&x[..nnodes - 1]);
         t_points.push(t);
         v_points.push(row);
     }

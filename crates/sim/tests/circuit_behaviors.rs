@@ -181,13 +181,25 @@ fn pvt_corners_order_device_current() {
         m.eval(0.7, 0.9, 2e-6, 90e-9, 1.0).id
     };
     let nom = Technology::ptm45();
-    let ss = nom.at_corner(Pvt { process: ProcessCorner::Ss, vdd_scale: 1.0, temp_c: 27.0 });
-    let ff = nom.at_corner(Pvt { process: ProcessCorner::Ff, vdd_scale: 1.0, temp_c: 27.0 });
+    let ss = nom.at_corner(Pvt {
+        process: ProcessCorner::Ss,
+        vdd_scale: 1.0,
+        temp_c: 27.0,
+    });
+    let ff = nom.at_corner(Pvt {
+        process: ProcessCorner::Ff,
+        vdd_scale: 1.0,
+        temp_c: 27.0,
+    });
     let (i_ss, i_tt, i_ff) = (id_at(&ss), id_at(&nom), id_at(&ff));
     assert!(i_ss < i_tt && i_tt < i_ff, "{i_ss} < {i_tt} < {i_ff}");
 
     // Heat also degrades drive at fixed corner (mobility dominates).
-    let hot = nom.at_corner(Pvt { process: ProcessCorner::Tt, vdd_scale: 1.0, temp_c: 125.0 });
+    let hot = nom.at_corner(Pvt {
+        process: ProcessCorner::Tt,
+        vdd_scale: 1.0,
+        temp_c: 125.0,
+    });
     // At high vgs the mobility term dominates the vth drop.
     let i_hot = hot.nmos.eval(0.9, 0.9, 2e-6, 90e-9, 1.0).id;
     let i_cold = nom.nmos.eval(0.9, 0.9, 2e-6, 90e-9, 1.0).id;

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         &[20, 40, 80],
         &GaConfig::default(),
     );
-    println!("vanilla GA: reached = {}, {} simulations", ga.reached, ga.sims);
+    println!(
+        "vanilla GA: reached = {}, {} simulations",
+        ga.reached, ga.sims
+    );
 
     // GA boosted with a neural screen (BagNet-style).
     let ml = ga_ml_solve(
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         SimMode::Schematic,
         &GaMlConfig::default(),
     );
-    println!("GA+ML:      reached = {}, {} simulations", ml.reached, ml.sims);
+    println!(
+        "GA+ML:      reached = {}, {} simulations",
+        ml.reached, ml.sims
+    );
 
     if ga.reached && stats.outcomes[0].reached {
         println!(

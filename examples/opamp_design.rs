@@ -29,9 +29,9 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // A "hard" target: high gain, moderate bandwidth, tight power budget.
     let target = vec![
-        320.0, // gain (V/V)
-        1.2e7, // ugbw (Hz)
-        60.0,  // phase margin (deg)
+        320.0,  // gain (V/V)
+        1.2e7,  // ugbw (Hz)
+        60.0,   // phase margin (deg)
         1.5e-4, // bias current budget (A)
     ];
     let stats = deploy(
@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nhard target: gain>=320, ugbw>=12 MHz, pm>=60 deg, ibias<=150 uA");
     println!(
         "agent {} in {} simulations",
-        if o.reached { "reached it" } else { "did not reach it" },
+        if o.reached {
+            "reached it"
+        } else {
+            "did not reach it"
+        },
         o.steps
     );
     println!("final measured specs:");

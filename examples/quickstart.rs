@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         seed: 7,
         ..TrainConfig::default()
     };
-    println!("training (stops when mean episode reward >= {})...", cfg.target_mean_reward);
+    println!(
+        "training (stops when mean episode reward >= {})...",
+        cfg.target_mean_reward
+    );
     let result = train(Arc::clone(&problem), &cfg);
     println!(
         "trained: {} iterations, {} simulations, converged = {}",

@@ -28,7 +28,10 @@ fn ga_solution_satisfies_env_success_rule() {
         .simulate(&out.best_idx, SimMode::Schematic)
         .expect("winning design simulates");
     let r = reward(tia.specs(), &specs, &target);
-    assert!(is_success(r), "GA winner must satisfy the env rule, r = {r}");
+    assert!(
+        is_success(r),
+        "GA winner must satisfy the env rule, r = {r}"
+    );
 }
 
 #[test]

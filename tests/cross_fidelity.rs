@@ -16,7 +16,12 @@ fn pex_degrades_tia_bandwidth() {
     let pex = tia.simulate(&idx, SimMode::Pex).expect("pex");
     // Cutoff frequency falls, settling time grows.
     assert!(pex[1] < sch[1], "cutoff: pex {} vs sch {}", pex[1], sch[1]);
-    assert!(pex[0] > sch[0], "settling: pex {} vs sch {}", pex[0], sch[0]);
+    assert!(
+        pex[0] > sch[0],
+        "settling: pex {} vs sch {}",
+        pex[0],
+        sch[0]
+    );
 }
 
 #[test]

@@ -28,7 +28,11 @@ fn train_then_deploy_beats_random_policy() {
     let result = train(Arc::clone(&problem), &cfg);
     assert!(!result.curve.is_empty());
     // The curve should improve from start to best.
-    let first = result.curve.first().expect("has iterations").mean_episode_reward;
+    let first = result
+        .curve
+        .first()
+        .expect("has iterations")
+        .mean_episode_reward;
     let best = result
         .curve
         .iter()

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API used by the workspace's property suites:
+//! the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], range
+//! strategies over numeric types, and `prop::collection::vec`.
+//!
+//! ## Determinism and regressions
+//!
+//! Unlike upstream proptest, case generation is **fully deterministic**: the
+//! seed of case `i` of test `t` is a pure function of `(file path, test
+//! name, i)`, so every CI run explores the same cases. The number of cases
+//! is bounded (default 64) and can be overridden with the `PROPTEST_CASES`
+//! environment variable.
+//!
+//! Regression handling mirrors upstream: when a case fails, the harness
+//! prints its seed; appending `seed = <n>` to
+//! `<crate>/proptest-regressions/<test file stem>.txt` makes every future
+//! run replay that case first. Regression files are checked into the repo.
+
+/// Range-based value generation for the [`proptest!`] macro.
+pub mod strategy {
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.start..self.end)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, i64, i32, f64);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Number of elements a [`VecStrategy`] draws: exact or sampled from a
+    /// half-open range.
+    #[derive(Clone, Debug)]
+    pub enum SizeRange {
+        /// Always this many elements.
+        Exact(usize),
+        /// Uniformly between `lo` (inclusive) and `hi` (exclusive).
+        Between(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Between(r.start, r.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a strategy for vectors whose elements come from `element` and
+    /// whose length is governed by `size` (a `usize` or `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Between(lo, hi) => rng.random_range(lo..hi),
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The deterministic case runner behind [`proptest!`].
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    /// Generator handed to each test case.
+    pub type TestRng = StdRng;
+
+    /// Cases per property when `PROPTEST_CASES` is unset.
+    pub const DEFAULT_CASES: u64 = 64;
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+
+    /// Path of the regression file for the test source file `file` — the
+    /// crate-local `proptest-regressions/<stem>.txt`.
+    fn regression_path(file: &str) -> Option<PathBuf> {
+        let stem = std::path::Path::new(file).file_stem()?.to_str()?;
+        let root = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        Some(
+            PathBuf::from(root)
+                .join("proptest-regressions")
+                .join(format!("{stem}.txt")),
+        )
+    }
+
+    /// Parses `seed = <n>` / bare `<n>` lines; `#` starts a comment.
+    pub(crate) fn parse_seeds(text: &str) -> Vec<u64> {
+        text.lines()
+            .filter_map(|line| {
+                let line = line.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    return None;
+                }
+                line.rsplit('=').next().unwrap_or(line).trim().parse().ok()
+            })
+            .collect()
+    }
+
+    /// Reads the regression seeds checked in for the test source file
+    /// `file`, if any.
+    fn regression_seeds(file: &str) -> Vec<u64> {
+        let Some(path) = regression_path(file) else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        parse_seeds(&text)
+    }
+
+    /// Runs `case` against the checked-in regression seeds for `file`, then
+    /// against `PROPTEST_CASES` deterministically derived seeds.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first failing case's panic after printing its seed.
+    pub fn run(file: &str, test_name: &str, mut case: impl FnMut(&mut TestRng)) {
+        let base = fnv1a(file) ^ fnv1a(test_name).rotate_left(32);
+        let mut run_one = |label: &str, seed: u64| {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                case(&mut rng);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest: {test_name} failed on {label} case with seed = {seed}\n\
+                     proptest: add `seed = {seed}` to proptest-regressions/<file>.txt to pin it"
+                );
+                resume_unwind(payload);
+            }
+        };
+        for seed in regression_seeds(file) {
+            run_one("regression", seed);
+        }
+        for i in 0..case_count() {
+            run_one(
+                "generated",
+                base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+        }
+    }
+}
+
+/// Runs one or more property tests: each argument is drawn from its
+/// strategy, the body runs once per case, deterministically seeded.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(file!(), stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; failures report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "prop_assert failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property; failures report the case seed.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespaced strategy constructors, mirroring upstream's `prop::`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -3.0..7.0f64, n in 1usize..9) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0.0..1.0f64, 4), w in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(w.len() >= 2 && w.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn regression_file_parsing() {
+        let text = "# header comment\n\
+                    seed = 42\n\
+                    7 # trailing comment\n\
+                    \n\
+                    not a seed\n\
+                    seed = 18446744073709551615\n";
+        assert_eq!(crate::test_runner::parse_seeds(text), vec![42, 7, u64::MAX]);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::test_runner::run(file!(), "det", |rng| {
+            use rand::Rng;
+            first.push(rng.random());
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::test_runner::run(file!(), "det", |rng| {
+            use rand::Rng;
+            second.push(rng.random());
+        });
+        assert_eq!(first, second);
+        assert!(!first.is_empty());
+    }
+}
