@@ -8,15 +8,19 @@
 //! Sample efficiency counts every evaluation as a simulation by default
 //! (a GA driving a real simulator does not memoize — this matches how the
 //! paper's numbers are counted); set `count_duplicates: false` to count
-//! only unique genomes instead. A cache avoids redundant compute either
-//! way, so the evolution itself is identical.
+//! only unique genomes instead. Evaluation goes through the same
+//! [`EvalSession`] pipeline as the RL environments: the memo cache serves
+//! duplicate genomes, so redundant compute is avoided either way and the
+//! evolution itself is identical. Warm-starting is disabled — GA genomes
+//! are arbitrary jumps across the grid, outside the one-notch adjacency
+//! premise that makes the previous operating point a trustworthy Newton
+//! guess.
 
-use autockt_circuits::{SimMode, SizingProblem};
+use autockt_circuits::{EvalSession, SimMode, SizingProblem};
 use autockt_core::{is_success, reward};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Genetic-algorithm hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,10 +76,8 @@ pub struct GaOutcome {
 }
 
 struct Evaluator<'a> {
-    problem: &'a dyn SizingProblem,
+    session: EvalSession<'a>,
     target: &'a [f64],
-    mode: SimMode,
-    cache: HashMap<Vec<usize>, f64>,
     sims: usize,
     fail_reward: f64,
     count_duplicates: bool,
@@ -83,19 +85,16 @@ struct Evaluator<'a> {
 
 impl<'a> Evaluator<'a> {
     fn eval(&mut self, idx: &[usize]) -> f64 {
-        if let Some(r) = self.cache.get(idx) {
-            if self.count_duplicates {
-                self.sims += 1;
-            }
-            return *r;
+        let hits_before = self.session.memo_hits();
+        let res = self.session.evaluate(idx);
+        let was_hit = self.session.memo_hits() > hits_before;
+        if self.count_duplicates || !was_hit {
+            self.sims += 1;
         }
-        self.sims += 1;
-        let r = match self.problem.simulate(idx, self.mode) {
-            Ok(specs) => reward(self.problem.specs(), &specs, self.target),
+        match res {
+            Ok(specs) => reward(self.session.problem().specs(), &specs, self.target),
             Err(_) => self.fail_reward,
-        };
-        self.cache.insert(idx.to_vec(), r);
-        r
+        }
     }
 }
 
@@ -108,11 +107,17 @@ pub fn ga_solve(
 ) -> GaOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let cards = problem.cardinalities();
+    // Memoize duplicate genomes but evaluate fresh ones cold: consecutive
+    // genomes are not grid-adjacent, so the warm-start premise (previous
+    // operating point seeds Newton) does not hold here. The memo is
+    // unbounded like the pre-session cache, so duplicate counting never
+    // drifts with a capacity limit (GA runs evaluate thousands of unique
+    // genomes, not millions).
     let mut ev = Evaluator {
-        problem,
+        session: EvalSession::borrowed(problem, mode)
+            .with_warm_start(false)
+            .with_memo_capacity(usize::MAX),
         target,
-        mode,
-        cache: HashMap::new(),
         sims: 0,
         fail_reward: -5.0,
         count_duplicates: cfg.count_duplicates,

@@ -9,13 +9,12 @@
 //! queries.
 
 use crate::ga::{GaConfig, GaOutcome};
-use autockt_circuits::{SimMode, SizingProblem};
+use autockt_circuits::{EvalSession, SimMode, SizingProblem};
 use autockt_core::{is_success, reward};
 use autockt_rl::mlp::{Activation, Mlp};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Configuration of the GA+ML optimizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,24 +68,35 @@ pub fn ga_ml_solve(
         &mut rng,
     );
 
-    let mut cache: HashMap<Vec<usize>, f64> = HashMap::new();
+    // Evaluate through the shared session pipeline: duplicate genomes are
+    // served from the memo cache and count neither as sims nor as fresh
+    // dataset rows. Warm-starting is off — genomes are arbitrary grid
+    // jumps, not one-notch moves — and the memo is unbounded like the
+    // pre-session cache so that accounting never drifts with a capacity
+    // limit.
+    let mut session = EvalSession::borrowed(problem, mode)
+        .with_warm_start(false)
+        .with_memo_capacity(usize::MAX);
     let mut sims = 0usize;
     let mut dataset: Vec<(Vec<f64>, f64)> = Vec::new();
     let simulate = |idx: &[usize],
                     sims: &mut usize,
                     dataset: &mut Vec<(Vec<f64>, f64)>,
-                    cache: &mut HashMap<Vec<usize>, f64>|
+                    session: &mut EvalSession<'_>|
      -> f64 {
-        if let Some(r) = cache.get(idx) {
-            return *r;
+        let hits_before = session.memo_hits();
+        let res = session.evaluate(idx);
+        let fresh = session.memo_hits() == hits_before;
+        if fresh {
+            *sims += 1;
         }
-        *sims += 1;
-        let r = match problem.simulate(idx, mode) {
+        let r = match res {
             Ok(specs) => reward(problem.specs(), &specs, target),
             Err(_) => -5.0,
         };
-        cache.insert(idx.to_vec(), r);
-        dataset.push((features(idx, &cards), r));
+        if fresh {
+            dataset.push((features(idx, &cards), r));
+        }
         r
     };
 
@@ -98,7 +108,7 @@ pub fn ga_ml_solve(
     let mut pop: Vec<(Vec<usize>, f64)> = (0..cfg.ga.population)
         .map(|_| {
             let g = random_genome(&mut rng);
-            let f = simulate(&g, &mut sims, &mut dataset, &mut cache);
+            let f = simulate(&g, &mut sims, &mut dataset, &mut session);
             (g, f)
         })
         .collect();
@@ -186,7 +196,7 @@ pub fn ga_ml_solve(
         };
         let mut next: Vec<(Vec<usize>, f64)> = pop.iter().take(cfg.ga.elitism).cloned().collect();
         for child in survivors {
-            let f = simulate(&child, &mut sims, &mut dataset, &mut cache);
+            let f = simulate(&child, &mut sims, &mut dataset, &mut session);
             if f > best.1 {
                 best = (child.clone(), f);
             }

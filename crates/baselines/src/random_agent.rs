@@ -43,8 +43,7 @@ pub fn random_agent_deploy(
             horizon,
             mode,
             target_mode: TargetMode::Uniform,
-            sim_fail_reward: -5.0,
-            success_bonus: autockt_core::SUCCESS_BONUS,
+            ..EnvConfig::default()
         },
     );
     let mut rng = StdRng::seed_from_u64(seed);

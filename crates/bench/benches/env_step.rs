@@ -2,60 +2,124 @@
 //! the paper's sample-efficiency numbers count, and the quantity that maps
 //! our wall-clock numbers onto the paper's (their schematic step is a
 //! 25 ms Spectre run; ours is a sub-millisecond MNA solve).
+//!
+//! Three pipeline configurations are measured on the keep-action workload
+//! of the original bench (every step re-evaluates the current grid point —
+//! the revisit-heavy regime of converged policies and replayed
+//! trajectories):
+//!
+//! - `env_step_<topo>` — cold: every step runs the stateless `simulate`
+//!   path, re-solving DC from the `vdd/2` guess (the seed behaviour).
+//! - `env_step_warm_<topo>` — warm: the previous step's operating point
+//!   seeds the Newton iteration and solver buffers are reused.
+//! - `env_step_warm_memo_<topo>` — warm + memo: exact grid revisits are
+//!   served from the session cache without any solve.
+//!
+//! `env_step_walk_*` variants drive a uniform random one-notch walk
+//! instead — the memoization worst case, isolating the warm-start win on
+//! fresh solves.
+//!
+//! `cargo run --release -p autockt_bench --bin bench_env_step` emits the
+//! steps/sec version of this comparison as `results/BENCH_env_step.json`.
 
 use autockt_circuits::{NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
-use autockt_core::{EnvConfig, SizingEnv, TargetMode, SUCCESS_BONUS};
+use autockt_core::{EnvConfig, SizingEnv, TargetMode};
 use autockt_rl::env::Env;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_env(c: &mut Criterion, name: &str, problem: Arc<dyn SizingProblem>, mode: SimMode) {
+/// A fixed random walk of factored one-notch actions, shared by every
+/// pipeline configuration so they all visit the same grid points.
+fn walk_actions(n_params: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| (0..n_params).map(|_| rng.random_range(0..3)).collect())
+        .collect()
+}
+
+fn bench_env(
+    c: &mut Criterion,
+    name: &str,
+    problem: Arc<dyn SizingProblem>,
+    mode: SimMode,
+    warm_start: bool,
+    memoize: bool,
+    walk: bool,
+) {
     let mut env = SizingEnv::new(
         problem,
         EnvConfig {
             horizon: usize::MAX / 2, // never terminate on the horizon
             mode,
             target_mode: TargetMode::Uniform,
-            sim_fail_reward: -5.0,
-            success_bonus: SUCCESS_BONUS,
+            warm_start,
+            memoize,
+            ..EnvConfig::default()
         },
     );
     let mut rng = StdRng::seed_from_u64(11);
     env.reset(&mut rng);
     let n = env.action_dims().len();
-    let keep = vec![1usize; n];
+    let actions = if walk {
+        walk_actions(n, 64, 42)
+    } else {
+        vec![vec![1usize; n]]
+    };
+    let mut i = 0usize;
     c.bench_function(name, |b| {
-        b.iter(|| env.step(black_box(&keep)));
+        b.iter(|| {
+            let a = &actions[i % actions.len()];
+            i += 1;
+            env.step(black_box(a))
+        });
     });
 }
 
 fn benches(c: &mut Criterion) {
-    bench_env(
-        c,
-        "env_step_tia",
-        Arc::new(Tia::default()),
-        SimMode::Schematic,
-    );
-    bench_env(
-        c,
-        "env_step_opamp2",
-        Arc::new(OpAmp2::default()),
-        SimMode::Schematic,
-    );
-    bench_env(
-        c,
-        "env_step_neggm",
-        Arc::new(NegGmOta::default()),
-        SimMode::Schematic,
-    );
+    let topologies: Vec<(&str, Arc<dyn SizingProblem>)> = vec![
+        ("tia", Arc::new(Tia::default())),
+        ("opamp2", Arc::new(OpAmp2::default())),
+        ("neggm", Arc::new(NegGmOta::default())),
+    ];
+    for (name, problem) in &topologies {
+        for (prefix, warm, memo, walk) in [
+            ("env_step_", false, false, false),
+            ("env_step_warm_", true, false, false),
+            ("env_step_warm_memo_", true, true, false),
+            ("env_step_walk_", false, false, true),
+            ("env_step_walk_warm_", true, false, true),
+        ] {
+            bench_env(
+                c,
+                &format!("{prefix}{name}"),
+                Arc::clone(problem),
+                SimMode::Schematic,
+                warm,
+                memo,
+                walk,
+            );
+        }
+    }
     bench_env(
         c,
         "env_step_neggm_pex_worstcase",
         Arc::new(NegGmOta::default()),
         SimMode::PexWorstCase,
+        false,
+        false,
+        false,
+    );
+    bench_env(
+        c,
+        "env_step_warm_neggm_pex_worstcase",
+        Arc::new(NegGmOta::default()),
+        SimMode::PexWorstCase,
+        true,
+        false,
+        false,
     );
 }
 

@@ -4,7 +4,7 @@
 //! "likely due to the agent benefiting from more exploration of the design
 //! space".
 //!
-//! Run: `cargo run --release -p autockt-bench --bin ablation_pm_range`
+//! Run: `cargo run --release -p autockt_bench --bin ablation_pm_range`
 
 use autockt_bench::exp::{deploy_and_report, train_agent, uniform_targets};
 use autockt_bench::write_csv;

@@ -2,7 +2,7 @@
 //! shortfall reward. The bonus is what turns "get close" into "finish the
 //! job"; without it the policy has little gradient to close the final gap.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin ablation_reward`
+//! Run: `cargo run --release -p autockt_bench --bin ablation_reward`
 
 use autockt_bench::exp::uniform_targets;
 use autockt_bench::write_csv;
@@ -26,8 +26,8 @@ fn train_with_bonus(problem: Arc<dyn SizingProblem>, bonus: f64, seed: u64) -> P
         horizon: cfg.horizon,
         mode: SimMode::Schematic,
         target_mode: TargetMode::FixedSet(targets),
-        sim_fail_reward: -5.0,
         success_bonus: bonus,
+        ..EnvConfig::default()
     };
     let mut envs: Vec<SizingEnv> = (0..cfg.num_workers)
         .map(|_| SizingEnv::new(Arc::clone(&problem), env_cfg.clone()))

@@ -2,7 +2,7 @@
 //! AutoCkt need? The paper settled on 50 via a hyperparameter sweep; this
 //! binary reproduces the sweep on the TIA.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin ablation_targets`
+//! Run: `cargo run --release -p autockt_bench --bin ablation_targets`
 
 use autockt_bench::exp::{deploy_and_report, uniform_targets};
 use autockt_bench::write_csv;

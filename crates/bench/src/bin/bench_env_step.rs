@@ -1,0 +1,201 @@
+//! Steps/sec benchmark of the environment evaluation pipeline, the number
+//! the ROADMAP's perf trajectory tracks. Two workloads are driven through
+//! three pipeline configurations each:
+//!
+//! Workloads (episodes restart from the grid center every `--episode`
+//! steps, as in training):
+//!
+//! - **revisit** — all-keep actions, the workload of the original
+//!   `env_step` criterion bench: every step re-evaluates the current grid
+//!   point. This is where the memo cache pays outright (a converged policy
+//!   holding position, replayed trajectories on the fixed training-target
+//!   set, GA duplicate genomes).
+//! - **explore** — a uniform random one-notch walk, the worst case for
+//!   memoization (exact revisits of a 6–7-dimensional index vector are
+//!   rare); this isolates the warm-start + workspace win on fresh solves.
+//!
+//! Configurations:
+//!
+//! - **cold** — every step runs the stateless [`SizingProblem::simulate`]
+//!   path, re-solving DC from the `vdd/2` guess (the seed behaviour);
+//! - **warm** — the previous step's operating point seeds Newton and all
+//!   matrix/LU buffers are reused across steps;
+//! - **warm+memo** — additionally, exact grid revisits are served from the
+//!   session memo cache without any solve.
+//!
+//! Prints a comparison table and writes `results/BENCH_env_step.json`
+//! (schema `autockt/bench_env_step/v1`) so CI can archive the trajectory.
+//!
+//! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
+//! (`--steps N`, `--episode H`, `--seed S` to override).
+
+use autockt_bench::{arg_value, results_dir};
+use autockt_circuits::{NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
+use autockt_core::{EnvConfig, SizingEnv, TargetMode};
+use autockt_rl::env::Env;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Walk {
+    Revisit,
+    Explore,
+}
+
+struct RunStats {
+    steps_per_sec: f64,
+    solves: u64,
+    memo_hits: u64,
+}
+
+/// Drives `steps` environment steps of a fixed action schedule, resetting
+/// every `episode` steps, and reports throughput plus session counters.
+fn run_walk(
+    problem: &Arc<dyn SizingProblem>,
+    walk: Walk,
+    warm_start: bool,
+    memoize: bool,
+    steps: usize,
+    episode: usize,
+    seed: u64,
+) -> RunStats {
+    let mut env = SizingEnv::new(
+        Arc::clone(problem),
+        EnvConfig {
+            horizon: usize::MAX / 2, // episode boundaries are driven below
+            mode: SimMode::Schematic,
+            target_mode: TargetMode::Uniform,
+            warm_start,
+            memoize,
+            ..EnvConfig::default()
+        },
+    );
+    let n_params = env.action_dims().len();
+    let mut action_rng = StdRng::seed_from_u64(seed ^ 0xACC5);
+    let actions: Vec<Vec<usize>> = (0..steps)
+        .map(|_| match walk {
+            Walk::Revisit => vec![1; n_params],
+            Walk::Explore => (0..n_params)
+                .map(|_| action_rng.random_range(0..3))
+                .collect(),
+        })
+        .collect();
+    let mut reset_rng = StdRng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    env.reset(&mut reset_rng);
+    for (i, a) in actions.iter().enumerate() {
+        if i > 0 && i % episode == 0 {
+            env.reset(&mut reset_rng);
+        }
+        env.step(a);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    RunStats {
+        steps_per_sec: steps as f64 / dt,
+        solves: env.solve_count(),
+        memo_hits: env.memo_hits(),
+    }
+}
+
+fn main() {
+    let steps: usize = arg_value("--steps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let episode: usize = arg_value("--episode")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+
+    let topologies: Vec<(&str, Arc<dyn SizingProblem>)> = vec![
+        ("tia", Arc::new(Tia::default())),
+        ("opamp2", Arc::new(OpAmp2::default())),
+        ("neggm", Arc::new(NegGmOta::default())),
+    ];
+
+    println!(
+        "{:<8} {:<8} {:>12} {:>12} {:>14} {:>8} {:>11} {:>9}",
+        "problem",
+        "walk",
+        "cold st/s",
+        "warm st/s",
+        "warm+memo st/s",
+        "warm x",
+        "warm+memo x",
+        "hit rate"
+    );
+    let mut rows = Vec::new();
+    for (name, problem) in &topologies {
+        for (walk, walk_name) in [(Walk::Revisit, "revisit"), (Walk::Explore, "explore")] {
+            let cold = run_walk(problem, walk, false, false, steps, episode, seed);
+            let warm = run_walk(problem, walk, true, false, steps, episode, seed);
+            let memo = run_walk(problem, walk, true, true, steps, episode, seed);
+            let warm_speedup = warm.steps_per_sec / cold.steps_per_sec;
+            let memo_speedup = memo.steps_per_sec / cold.steps_per_sec;
+            let hit_rate = memo.memo_hits as f64 / (memo.memo_hits + memo.solves).max(1) as f64;
+            println!(
+                "{:<8} {:<8} {:>12.0} {:>12.0} {:>14.0} {:>7.2}x {:>10.2}x {:>8.1}%",
+                name,
+                walk_name,
+                cold.steps_per_sec,
+                warm.steps_per_sec,
+                memo.steps_per_sec,
+                warm_speedup,
+                memo_speedup,
+                100.0 * hit_rate
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"problem\": \"{}\",\n",
+                    "      \"walk\": \"{}\",\n",
+                    "      \"mode\": \"schematic\",\n",
+                    "      \"cold_steps_per_sec\": {:.1},\n",
+                    "      \"warm_steps_per_sec\": {:.1},\n",
+                    "      \"warm_memo_steps_per_sec\": {:.1},\n",
+                    "      \"warm_speedup\": {:.3},\n",
+                    "      \"warm_memo_speedup\": {:.3},\n",
+                    "      \"memo_hit_rate\": {:.4}\n",
+                    "    }}"
+                ),
+                name,
+                walk_name,
+                cold.steps_per_sec,
+                warm.steps_per_sec,
+                memo.steps_per_sec,
+                warm_speedup,
+                memo_speedup,
+                hit_rate
+            ));
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"autockt/bench_env_step/v1\",\n",
+            "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
+            "-- --steps {} --episode {} --seed {}\",\n",
+            "  \"steps_per_config\": {},\n",
+            "  \"episode_len\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        steps,
+        episode,
+        seed,
+        steps,
+        episode,
+        seed,
+        rows.join(",\n")
+    );
+    let path = results_dir().join("BENCH_env_step.json");
+    let mut f = std::fs::File::create(&path).expect("create bench json");
+    f.write_all(json.as_bytes()).expect("write bench json");
+    println!("\nwrote {}", path.display());
+}

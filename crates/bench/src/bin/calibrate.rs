@@ -7,7 +7,7 @@
 //! percentages are comparable), and to report the fraction of random
 //! designs that fail to simulate.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin calibrate [-- --n 400]`
+//! Run: `cargo run --release -p autockt_bench --bin calibrate [-- --n 400]`
 
 use autockt_circuits::prelude::*;
 use rand::rngs::StdRng;

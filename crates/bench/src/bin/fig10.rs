@@ -2,7 +2,7 @@
 //! effect of the episode horizon `H` on deployment success and on the
 //! number of simulations per reached target.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin fig10`
+//! Run: `cargo run --release -p autockt_bench --bin fig10`
 
 use autockt_bench::exp::{deploy_and_report, train_agent, uniform_targets};
 use autockt_bench::write_csv;

@@ -1,7 +1,7 @@
 //! Fig. 11 — mean episode reward over environment steps for the
 //! negative-gm OTA.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin fig11`
+//! Run: `cargo run --release -p autockt_bench --bin fig11`
 
 use autockt_bench::exp::train_agent;
 use autockt_bench::write_csv;

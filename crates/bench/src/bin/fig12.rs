@@ -2,7 +2,7 @@
 //! negative-gm OTA (the paper reports *no* unreached targets for this
 //! circuit).
 //!
-//! Run: `cargo run --release -p autockt-bench --bin fig12 [-- --full]`
+//! Run: `cargo run --release -p autockt_bench --bin fig12 [-- --full]`
 
 use autockt_bench::exp::{deploy_and_report, train_agent, uniform_targets};
 use autockt_bench::write_csv;

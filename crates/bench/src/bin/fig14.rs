@@ -2,7 +2,7 @@
 //! PEX environment toward one target, and (b) the histogram of
 //! schematic-vs-PEX percent differences over 50 random designs.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin fig14`
+//! Run: `cargo run --release -p autockt_bench --bin fig14`
 
 use autockt_bench::exp::{train_agent, uniform_targets};
 use autockt_bench::write_csv;
@@ -25,8 +25,7 @@ fn main() {
             horizon: 60,
             mode: SimMode::PexWorstCase,
             target_mode: TargetMode::Uniform,
-            sim_fail_reward: -5.0,
-            success_bonus: autockt_core::SUCCESS_BONUS,
+            ..EnvConfig::default()
         },
     );
     let mut rng = StdRng::seed_from_u64(0x1415);

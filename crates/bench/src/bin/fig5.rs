@@ -2,7 +2,7 @@
 //! a negative floor to above zero as the agent learns to reach its target
 //! set.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin fig5`
+//! Run: `cargo run --release -p autockt_bench --bin fig5`
 
 use autockt_bench::exp::train_agent;
 use autockt_bench::write_csv;

@@ -2,7 +2,7 @@
 //! The paper notes ~1e4 steps to reach mean reward 0 and a 1.3 h wall
 //! clock on 8 cores; this binary also reports our wall clock.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin fig7`
+//! Run: `cargo run --release -p autockt_bench --bin fig7`
 
 use autockt_bench::exp::train_agent;
 use autockt_bench::write_csv;

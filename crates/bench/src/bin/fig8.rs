@@ -4,7 +4,7 @@
 //! very low; this binary reproduces the data and quantifies that
 //! concentration.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin fig8 [-- --full]`
+//! Run: `cargo run --release -p autockt_bench --bin fig8 [-- --full]`
 
 use autockt_bench::exp::{deploy_and_report, train_agent, uniform_targets};
 use autockt_bench::write_csv;

@@ -3,7 +3,7 @@
 //!
 //! Paper: GA 376 sims; AutoCkt 15 sims; generalization 487/500 (97.4%).
 //!
-//! Run: `cargo run --release -p autockt-bench --bin table1 [-- --full]`
+//! Run: `cargo run --release -p autockt_bench --bin table1 [-- --full]`
 
 use autockt_baselines::{ga_solve_sweep, GaConfig};
 use autockt_bench::exp::{deploy_and_report, mean_sims_reached, train_agent, uniform_targets};

@@ -2,7 +2,7 @@
 //! op-amp: vanilla GA (1063 sims) vs a random RL agent (38/1000) vs
 //! AutoCkt (27 sims, 963/1000 = 96.3%).
 //!
-//! Run: `cargo run --release -p autockt-bench --bin table2 [-- --full]`
+//! Run: `cargo run --release -p autockt_bench --bin table2 [-- --full]`
 
 use autockt_baselines::{ga_solve_sweep, random_agent_deploy, GaConfig};
 use autockt_bench::exp::{deploy_and_report, mean_sims_reached, train_agent, uniform_targets};

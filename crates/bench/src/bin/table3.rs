@@ -2,7 +2,7 @@
 //! with negative-gm load: GA 406 sims; random agent 4/500; AutoCkt 10
 //! sims, 500/500.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin table3 [-- --full]`
+//! Run: `cargo run --release -p autockt_bench --bin table3 [-- --full]`
 
 use autockt_baselines::{ga_solve_sweep, random_agent_deploy, GaConfig};
 use autockt_bench::exp::{deploy_and_report, mean_sims_reached, train_agent, uniform_targets};

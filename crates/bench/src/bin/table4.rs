@@ -6,7 +6,7 @@
 //! AutoCkt PEX 23 sims (40/40); vanilla GA is "too sample inefficient"
 //! (N/A).
 //!
-//! Run: `cargo run --release -p autockt-bench --bin table4 [-- --full]`
+//! Run: `cargo run --release -p autockt_bench --bin table4 [-- --full]`
 
 use autockt_baselines::{ga_ml_solve, GaConfig, GaMlConfig};
 use autockt_bench::exp::{deploy_and_report, mean_sims_reached, train_agent, uniform_targets};

@@ -2,7 +2,7 @@
 //! budget and prints the reward curve plus a deployment check. Useful for
 //! hyperparameter iteration before running the full table experiments.
 //!
-//! Run: `cargo run --release -p autockt-bench --bin train_probe -- \
+//! Run: `cargo run --release -p autockt_bench --bin train_probe -- \
 //!        --problem tia --iters 25 --steps 2048 --deploy 100`
 
 use autockt_bench::arg_value;

@@ -1,4 +1,4 @@
-//! # autockt-bench — experiment harness
+//! # autockt_bench — experiment harness
 //!
 //! Shared plumbing for the binaries that regenerate every table and figure
 //! of the AutoCkt paper (see DESIGN.md for the per-experiment index), plus

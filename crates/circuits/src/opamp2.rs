@@ -13,8 +13,8 @@
 
 use crate::problem::{ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
 use crate::tia::worst_case;
-use autockt_sim::ac::{ac_sweep, log_freqs};
-use autockt_sim::dc::{dc_operating_point, DcOptions};
+use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcWorkspace};
+use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
 use autockt_sim::device::{MosPolarity, Pvt, Technology};
 use autockt_sim::netlist::{Circuit, Mosfet, Node, GND};
 use autockt_sim::pex::{extract, PexConfig};
@@ -169,15 +169,79 @@ impl OpAmp2 {
         (ckt, out, 0)
     }
 
-    fn measure(&self, ckt: &Circuit, out: Node, vdd_src: usize) -> Result<Vec<f64>, SimError> {
-        let dc_opts = DcOptions {
+    fn dc_opts(&self) -> DcOptions {
+        DcOptions {
             initial_v: self.vdd / 2.0,
             ..DcOptions::default()
+        }
+    }
+
+    fn measure(&self, ckt: &Circuit, out: Node, vdd_src: usize) -> Result<Vec<f64>, SimError> {
+        let op = dc_operating_point(ckt, &self.dc_opts())?;
+        self.measure_at(ckt, out, vdd_src, &op, None)
+    }
+
+    fn measure_warm(
+        &self,
+        ckt: &Circuit,
+        out: Node,
+        vdd_src: usize,
+        slot: usize,
+        state: &mut WarmState,
+    ) -> Result<Vec<f64>, SimError> {
+        let op = state.solve(slot, ckt, &self.dc_opts())?;
+        self.measure_at(ckt, out, vdd_src, &op, Some(state.ac_workspace()))
+    }
+
+    /// Shared body of `simulate`/`simulate_warm`: `state` selects the
+    /// warm (session-threaded) or cold measurement path.
+    fn simulate_inner(
+        &self,
+        idx: &[usize],
+        mode: SimMode,
+        mut state: Option<&mut WarmState>,
+    ) -> Result<Vec<f64>, SimError> {
+        let measure = |ckt: &Circuit, out, vs, slot, state: Option<&mut WarmState>| match state {
+            Some(st) => self.measure_warm(ckt, out, vs, slot, st),
+            None => self.measure(ckt, out, vs),
         };
-        let op = dc_operating_point(ckt, &dc_opts)?;
+        match mode {
+            SimMode::Schematic => {
+                let (ckt, out, vs) = self.build(idx, &self.tech);
+                measure(&ckt, out, vs, 0, state)
+            }
+            SimMode::Pex => {
+                let (ckt, out, vs) = self.build(idx, &self.tech);
+                let ex = extract(&ckt, &self.pex);
+                measure(&ex, out, vs, 0, state)
+            }
+            SimMode::PexWorstCase => {
+                let mut rows = Vec::new();
+                for (slot, pvt) in Pvt::corner_set().iter().enumerate() {
+                    let tech = self.tech.at_corner(*pvt);
+                    let (ckt, out, vs) = self.build(idx, &tech);
+                    let ex = extract(&ckt, &self.pex);
+                    rows.push(measure(&ex, out, vs, slot, state.as_deref_mut())?);
+                }
+                Ok(worst_case(&self.specs, &rows))
+            }
+        }
+    }
+
+    fn measure_at(
+        &self,
+        ckt: &Circuit,
+        out: Node,
+        vdd_src: usize,
+        op: &OpPoint,
+        ac_ws: Option<&mut AcWorkspace>,
+    ) -> Result<Vec<f64>, SimError> {
         let ibias = op.vsource_current(vdd_src).abs();
         let freqs = log_freqs(1e2, 1e10, 10);
-        let resp = ac_sweep(ckt, &op, &freqs, out)?;
+        let resp = match ac_ws {
+            Some(ws) => ac_sweep_ws(ckt, op, &freqs, out, ws)?,
+            None => ac_sweep(ckt, op, &freqs, out)?,
+        };
         let gain = resp.dc_gain();
         let ugbw = resp
             .ugbw()
@@ -203,27 +267,16 @@ impl SizingProblem for OpAmp2 {
     }
 
     fn simulate(&self, idx: &[usize], mode: SimMode) -> Result<Vec<f64>, SimError> {
-        match mode {
-            SimMode::Schematic => {
-                let (ckt, out, vs) = self.build(idx, &self.tech);
-                self.measure(&ckt, out, vs)
-            }
-            SimMode::Pex => {
-                let (ckt, out, vs) = self.build(idx, &self.tech);
-                let ex = extract(&ckt, &self.pex);
-                self.measure(&ex, out, vs)
-            }
-            SimMode::PexWorstCase => {
-                let mut rows = Vec::new();
-                for pvt in Pvt::corner_set() {
-                    let tech = self.tech.at_corner(pvt);
-                    let (ckt, out, vs) = self.build(idx, &tech);
-                    let ex = extract(&ckt, &self.pex);
-                    rows.push(self.measure(&ex, out, vs)?);
-                }
-                Ok(worst_case(&self.specs, &rows))
-            }
-        }
+        self.simulate_inner(idx, mode, None)
+    }
+
+    fn simulate_warm(
+        &self,
+        idx: &[usize],
+        mode: SimMode,
+        state: &mut WarmState,
+    ) -> Result<Vec<f64>, SimError> {
+        self.simulate_inner(idx, mode, Some(state))
     }
 }
 

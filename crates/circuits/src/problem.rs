@@ -7,7 +7,10 @@
 //! sampling ranges, and a black-box `parameters -> measured specs`
 //! evaluation (schematic or post-layout).
 
+use autockt_sim::dc::WarmState;
 use autockt_sim::SimError;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One tunable circuit parameter with its discrete grid of physical values
 /// (the paper's `[start, end, increment]` notation expanded).
@@ -28,12 +31,13 @@ impl ParamSpec {
     /// Panics unless `start <= end` and `increment > 0`.
     pub fn swept(name: &'static str, start: f64, end: f64, increment: f64, scale: f64) -> Self {
         assert!(start <= end && increment > 0.0, "bad sweep for {name}");
-        let mut values = Vec::new();
-        let mut v = start;
-        while v <= end + 1e-9 * increment {
-            values.push(v * scale);
-            v += increment;
-        }
+        // Generate by integer index: repeated `v += increment` accumulates
+        // rounding error, so long sweeps could gain or lose a grid point
+        // relative to the paper's `[start, end, increment]` notation.
+        let steps = ((end - start) / increment + 1e-6).floor() as usize;
+        let values = (0..=steps)
+            .map(|i| (start + i as f64 * increment) * scale)
+            .collect();
         ParamSpec { name, values }
     }
 
@@ -114,6 +118,29 @@ pub trait SizingProblem: Send + Sync {
     /// informative observation.
     fn simulate(&self, idx: &[usize], mode: SimMode) -> Result<Vec<f64>, SimError>;
 
+    /// Like [`SizingProblem::simulate`], threading warm-start state through
+    /// the DC solve(s): the previous operating point seeds the Newton
+    /// iteration, with the usual cold start + gmin homotopy as fallback.
+    ///
+    /// The default implementation ignores `state` and evaluates cold.
+    /// Overrides must converge to the same measured specs as `simulate`
+    /// up to solver tolerance (the warm path changes the iteration
+    /// trajectory, not the fixed point), and must key `state` slots per
+    /// circuit variant (e.g. one per PVT corner).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SizingProblem::simulate`].
+    fn simulate_warm(
+        &self,
+        idx: &[usize],
+        mode: SimMode,
+        state: &mut WarmState,
+    ) -> Result<Vec<f64>, SimError> {
+        let _ = state;
+        self.simulate(idx, mode)
+    }
+
     /// Grid cardinalities `K_i`, convenience over [`SizingProblem::params`].
     fn cardinalities(&self) -> Vec<usize> {
         self.params().iter().map(ParamSpec::cardinality).collect()
@@ -135,6 +162,235 @@ pub trait SizingProblem: Send + Sync {
             .iter()
             .map(|p| (p.cardinality() as f64).log10())
             .sum()
+    }
+}
+
+/// One memoized evaluation: the measured specs plus the warm-start slots
+/// as of the solve, restored on cache hits so that a later cache miss
+/// still warm-starts from the operating point of the *adjacent* grid
+/// point just revisited (never from one arbitrarily many notches back).
+#[derive(Clone)]
+struct MemoEntry {
+    specs: Result<Vec<f64>, SimError>,
+    warm: Vec<Option<Vec<f64>>>,
+}
+
+/// How an [`EvalSession`] holds its problem.
+#[derive(Clone)]
+enum ProblemRef<'p> {
+    Borrowed(&'p dyn SizingProblem),
+    Shared(Arc<dyn SizingProblem>),
+}
+
+impl<'p> ProblemRef<'p> {
+    fn get(&self) -> &dyn SizingProblem {
+        match self {
+            ProblemRef::Borrowed(p) => *p,
+            ProblemRef::Shared(p) => p.as_ref(),
+        }
+    }
+}
+
+/// A stateful evaluation pipeline bound to one problem and fidelity: a
+/// memo cache of exact parameter-grid revisits consulted before any solve
+/// (simulation is deterministic, so revisits are free), plus warm-start
+/// state threaded through consecutive DC solves.
+///
+/// One session per environment/optimizer instance: the RL envs, the GA
+/// baselines, and the random agent all evaluate through this type, so
+/// they share the same warm+memo pipeline. Warm-started solves converge
+/// to the same specs as cold ones up to solver tolerance; memoization
+/// makes revisits *exactly* reproducible within a session.
+///
+/// # Examples
+///
+/// ```
+/// use autockt_circuits::prelude::*;
+/// use autockt_circuits::problem::EvalSession;
+///
+/// # fn main() -> Result<(), autockt_sim::SimError> {
+/// let tia = Tia::default();
+/// let mut session = EvalSession::borrowed(&tia, SimMode::Schematic);
+/// let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+/// let first = session.evaluate(&idx)?;
+/// let replay = session.evaluate(&idx)?; // memo hit: identical, no solve
+/// assert_eq!(first, replay);
+/// assert_eq!(session.solve_count(), 1);
+/// assert_eq!(session.memo_hits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct EvalSession<'p> {
+    problem: ProblemRef<'p>,
+    mode: SimMode,
+    warm_start: bool,
+    memoize: bool,
+    memo_capacity: usize,
+    warm: WarmState,
+    memo: HashMap<Vec<usize>, MemoEntry>,
+    solves: u64,
+    memo_hits: u64,
+}
+
+impl std::fmt::Debug for EvalSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalSession")
+            .field("problem", &self.problem.get().name())
+            .field("mode", &self.mode)
+            .field("warm_start", &self.warm_start)
+            .field("memoize", &self.memoize)
+            .field("memo_len", &self.memo.len())
+            .field("solves", &self.solves)
+            .field("memo_hits", &self.memo_hits)
+            .finish()
+    }
+}
+
+impl<'p> EvalSession<'p> {
+    fn with(problem: ProblemRef<'p>, mode: SimMode) -> Self {
+        EvalSession {
+            problem,
+            mode,
+            warm_start: true,
+            memoize: true,
+            memo_capacity: EvalSession::DEFAULT_MEMO_CAPACITY,
+            warm: WarmState::new(),
+            memo: HashMap::new(),
+            solves: 0,
+            memo_hits: 0,
+        }
+    }
+
+    /// Creates a session borrowing the problem (optimizer-style callers).
+    pub fn borrowed(problem: &'p dyn SizingProblem, mode: SimMode) -> Self {
+        EvalSession::with(ProblemRef::Borrowed(problem), mode)
+    }
+
+    /// Creates a session sharing ownership of the problem (environments
+    /// that must be `'static` and `Clone`).
+    pub fn shared(problem: Arc<dyn SizingProblem>, mode: SimMode) -> EvalSession<'static> {
+        EvalSession::with(ProblemRef::Shared(problem), mode)
+    }
+
+    /// Disables or enables warm-starting (on by default); the cold path is
+    /// exactly [`SizingProblem::simulate`].
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Disables or enables the memo cache (on by default).
+    pub fn with_memo(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
+    /// Default bound on memoized grid points (see
+    /// [`EvalSession::with_memo_capacity`]): ~50 MB per session at the
+    /// largest topology's entry size, far above any revisit-relevant
+    /// working set.
+    pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 18;
+
+    /// Bounds the memo cache to `cap` distinct grid points. At capacity,
+    /// evaluations still run (and existing entries keep serving hits) but
+    /// new results are no longer cached, so explore-heavy workloads —
+    /// where exact revisits are rare and nearly every step would insert a
+    /// never-reused entry — cannot grow memory linearly with training
+    /// length. Episodes restart from the grid center, so the earliest
+    /// entries are also the likeliest to be revisited.
+    pub fn with_memo_capacity(mut self, cap: usize) -> Self {
+        self.memo_capacity = cap;
+        self
+    }
+
+    /// The problem being evaluated.
+    pub fn problem(&self) -> &dyn SizingProblem {
+        self.problem.get()
+    }
+
+    /// The simulation fidelity of every evaluation in this session.
+    pub fn mode(&self) -> SimMode {
+        self.mode
+    }
+
+    /// Evaluates grid indices `idx`, serving exact revisits from the memo
+    /// cache and warm-starting the solver otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SizingProblem::simulate`]; errors are memoized
+    /// too (an unsolvable grid point stays unsolvable).
+    pub fn evaluate(&mut self, idx: &[usize]) -> Result<Vec<f64>, SimError> {
+        if self.memoize {
+            if let Some(hit) = self.memo.get(idx) {
+                self.memo_hits += 1;
+                if self.warm_start {
+                    // Re-arm the warm state as of this grid point's solve:
+                    // the next cache miss is one notch from *here*, not
+                    // from wherever the last fresh solve happened.
+                    self.warm.restore(&hit.warm);
+                }
+                return hit.specs.clone();
+            }
+        }
+        self.solves += 1;
+        let res = if self.warm_start {
+            self.problem
+                .get()
+                .simulate_warm(idx, self.mode, &mut self.warm)
+        } else {
+            self.problem.get().simulate(idx, self.mode)
+        };
+        if self.memoize && self.memo.len() < self.memo_capacity {
+            let warm = if self.warm_start {
+                self.warm.snapshot()
+            } else {
+                Vec::new()
+            };
+            self.memo.insert(
+                idx.to_vec(),
+                MemoEntry {
+                    specs: res.clone(),
+                    warm,
+                },
+            );
+        }
+        res
+    }
+
+    /// Whether `idx` is already memoized (no solve would be spent on it).
+    pub fn is_memoized(&self, idx: &[usize]) -> bool {
+        self.memoize && self.memo.contains_key(idx)
+    }
+
+    /// Clears warm-start state (episode reset), keeping the memo cache —
+    /// the grid is the same circuit family across episodes.
+    pub fn reset_warm(&mut self) {
+        self.warm.reset();
+    }
+
+    /// Clears warm state *and* the memo cache.
+    pub fn clear(&mut self) {
+        self.warm.reset();
+        self.memo.clear();
+        self.solves = 0;
+        self.memo_hits = 0;
+    }
+
+    /// Evaluations that actually ran the simulator.
+    pub fn solve_count(&self) -> u64 {
+        self.solves
+    }
+
+    /// Evaluations served from the memo cache.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Distinct grid points memoized so far.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
     }
 }
 
@@ -162,5 +418,86 @@ mod tests {
     #[should_panic(expected = "bad sweep")]
     fn swept_rejects_zero_increment() {
         let _ = ParamSpec::swept("x", 1.0, 2.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn swept_long_sweep_keeps_endpoint_despite_float_error() {
+        // increment tiny relative to the values: accumulation `v += inc`
+        // drifts past the old `end + 1e-9 * inc` guard and drops the final
+        // grid point; index-based generation keeps it.
+        let p = ParamSpec::swept("x", 1000.0, 1000.1, 0.001, 1.0);
+        assert_eq!(p.cardinality(), 101);
+        assert!((p.values[100] - 1000.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swept_values_are_exact_multiples_of_the_increment() {
+        let p = ParamSpec::swept("cc", 0.1, 10.0, 0.1, 1e-12);
+        assert_eq!(p.cardinality(), 100);
+        for (i, v) in p.values.iter().enumerate() {
+            let expect = (0.1 + i as f64 * 0.1) * 1e-12;
+            assert!((v - expect).abs() < 1e-24, "index {i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn session_memo_serves_exact_revisits() {
+        let tia = crate::Tia::default();
+        let mut s = EvalSession::borrowed(&tia, SimMode::Schematic);
+        let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+        let a = s.evaluate(&idx).unwrap();
+        let b = s.evaluate(&idx).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.solve_count(), 1);
+        assert_eq!(s.memo_hits(), 1);
+        assert_eq!(s.memo_len(), 1);
+        assert!(s.is_memoized(&idx));
+    }
+
+    #[test]
+    fn session_reset_warm_keeps_memo() {
+        let tia = crate::Tia::default();
+        let mut s = EvalSession::borrowed(&tia, SimMode::Schematic);
+        let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+        s.evaluate(&idx).unwrap();
+        s.reset_warm();
+        assert!(s.is_memoized(&idx));
+        s.evaluate(&idx).unwrap();
+        assert_eq!(s.solve_count(), 1, "revisit after reset must be a hit");
+        s.clear();
+        assert!(!s.is_memoized(&idx));
+    }
+
+    #[test]
+    fn session_memo_capacity_bounds_insertions() {
+        let tia = crate::Tia::default();
+        let mut s = EvalSession::borrowed(&tia, SimMode::Schematic).with_memo_capacity(2);
+        let cards = tia.cardinalities();
+        let point = |i: usize| -> Vec<usize> { cards.iter().map(|k| i % k).collect() };
+        for i in 0..4 {
+            let _ = s.evaluate(&point(i));
+        }
+        assert_eq!(s.memo_len(), 2, "insertions stop at capacity");
+        // Entries admitted below capacity still serve hits.
+        let solves = s.solve_count();
+        let _ = s.evaluate(&point(0));
+        assert_eq!(s.solve_count(), solves);
+        assert!(s.memo_hits() >= 1);
+    }
+
+    #[test]
+    fn session_without_memo_always_solves() {
+        let tia = crate::Tia::default();
+        let mut s = EvalSession::borrowed(&tia, SimMode::Schematic).with_memo(false);
+        let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+        let a = s.evaluate(&idx).unwrap();
+        let b = s.evaluate(&idx).unwrap();
+        assert_eq!(s.solve_count(), 2);
+        assert_eq!(s.memo_hits(), 0);
+        // Revisiting the identical grid point warm-started must reproduce
+        // the same fixed point to solver tolerance.
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+        }
     }
 }

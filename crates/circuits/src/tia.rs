@@ -10,12 +10,12 @@
 //! output noise.
 
 use crate::problem::{ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
-use autockt_sim::ac::{ac_sweep, log_freqs, AcSolver};
-use autockt_sim::dc::{dc_operating_point, DcOptions};
+use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcSolver, AcWorkspace};
+use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
 use autockt_sim::device::{MosPolarity, Pvt, Technology};
 use autockt_sim::measure::settling_time;
 use autockt_sim::netlist::{Circuit, Mosfet, Node, GND};
-use autockt_sim::noise::noise_analysis;
+use autockt_sim::noise::{noise_analysis, noise_analysis_ws};
 use autockt_sim::pex::{extract, PexConfig};
 use autockt_sim::SimError;
 
@@ -146,14 +146,85 @@ impl Tia {
         (ckt, out)
     }
 
-    fn measure(&self, ckt: &Circuit, out: Node, temp_k: f64) -> Result<Vec<f64>, SimError> {
-        let dc_opts = DcOptions {
+    fn dc_opts(&self) -> DcOptions {
+        DcOptions {
             initial_v: self.tech.vdd / 2.0,
             ..DcOptions::default()
+        }
+    }
+
+    fn measure(&self, ckt: &Circuit, out: Node, temp_k: f64) -> Result<Vec<f64>, SimError> {
+        let op = dc_operating_point(ckt, &self.dc_opts())?;
+        self.measure_at(ckt, out, temp_k, &op, None)
+    }
+
+    fn measure_warm(
+        &self,
+        ckt: &Circuit,
+        out: Node,
+        temp_k: f64,
+        slot: usize,
+        state: &mut WarmState,
+    ) -> Result<Vec<f64>, SimError> {
+        let op = state.solve(slot, ckt, &self.dc_opts())?;
+        self.measure_at(ckt, out, temp_k, &op, Some(state.ac_workspace()))
+    }
+
+    /// Shared body of `simulate`/`simulate_warm`: `state` selects the
+    /// warm (session-threaded) or cold measurement path.
+    fn simulate_inner(
+        &self,
+        idx: &[usize],
+        mode: SimMode,
+        mut state: Option<&mut WarmState>,
+    ) -> Result<Vec<f64>, SimError> {
+        let measure = |ckt: &Circuit, out, temp_k, slot, state: Option<&mut WarmState>| match state
+        {
+            Some(st) => self.measure_warm(ckt, out, temp_k, slot, st),
+            None => self.measure(ckt, out, temp_k),
         };
-        let op = dc_operating_point(ckt, &dc_opts)?;
+        match mode {
+            SimMode::Schematic => {
+                let (ckt, out) = self.build(idx, &self.tech);
+                measure(&ckt, out, 300.15, 0, state)
+            }
+            SimMode::Pex => {
+                let (ckt, out) = self.build(idx, &self.tech);
+                let ex = extract(&ckt, &self.pex);
+                measure(&ex, out, 300.15, 0, state)
+            }
+            SimMode::PexWorstCase => {
+                let mut rows = Vec::new();
+                for (slot, pvt) in Pvt::corner_set().iter().enumerate() {
+                    let tech = self.tech.at_corner(*pvt);
+                    let (ckt, out) = self.build(idx, &tech);
+                    let ex = extract(&ckt, &self.pex);
+                    rows.push(measure(
+                        &ex,
+                        out,
+                        pvt.temp_kelvin(),
+                        slot,
+                        state.as_deref_mut(),
+                    )?);
+                }
+                Ok(worst_case(&self.specs, &rows))
+            }
+        }
+    }
+
+    fn measure_at(
+        &self,
+        ckt: &Circuit,
+        out: Node,
+        temp_k: f64,
+        op: &OpPoint,
+        mut ac_ws: Option<&mut AcWorkspace>,
+    ) -> Result<Vec<f64>, SimError> {
         let freqs = log_freqs(1e5, 1e12, 10);
-        let resp = ac_sweep(ckt, &op, &freqs, out)?;
+        let resp = match ac_ws.as_deref_mut() {
+            Some(ws) => ac_sweep_ws(ckt, op, &freqs, out, ws)?,
+            None => ac_sweep(ckt, op, &freqs, out)?,
+        };
         let cutoff = resp
             .f_3db()
             .unwrap_or(self.specs[spec_index::CUTOFF].fail_value);
@@ -161,7 +232,7 @@ impl Tia {
         // Settling: window scaled to the measured bandwidth so both 5 ps
         // and 500 ps responses resolve on a 2048-step grid.
         let settling = if cutoff > 0.0 {
-            let solver = AcSolver::new(ckt, &op);
+            let solver = AcSolver::new(ckt, op);
             let t_stop = 8.0 / cutoff;
             let (t, y) = solver.step_response(out, t_stop, 2048)?;
             settling_time(&t, &y, 0.02).unwrap_or(self.specs[spec_index::SETTLING].fail_value)
@@ -171,9 +242,12 @@ impl Tia {
 
         // Integrated output noise across the amplifier band.
         let nfreqs = log_freqs(1e4, 1e11, 8);
-        let noise = noise_analysis(ckt, &op, out, &nfreqs, temp_k)
-            .map(|n| n.out_vrms)
-            .unwrap_or(self.specs[spec_index::NOISE].fail_value);
+        let noise = match ac_ws {
+            Some(ws) => noise_analysis_ws(ckt, op, out, &nfreqs, temp_k, ws),
+            None => noise_analysis(ckt, op, out, &nfreqs, temp_k),
+        }
+        .map(|n| n.out_vrms)
+        .unwrap_or(self.specs[spec_index::NOISE].fail_value);
 
         Ok(vec![settling, cutoff, noise])
     }
@@ -210,27 +284,16 @@ impl SizingProblem for Tia {
     }
 
     fn simulate(&self, idx: &[usize], mode: SimMode) -> Result<Vec<f64>, SimError> {
-        match mode {
-            SimMode::Schematic => {
-                let (ckt, out) = self.build(idx, &self.tech);
-                self.measure(&ckt, out, 300.15)
-            }
-            SimMode::Pex => {
-                let (ckt, out) = self.build(idx, &self.tech);
-                let ex = extract(&ckt, &self.pex);
-                self.measure(&ex, out, 300.15)
-            }
-            SimMode::PexWorstCase => {
-                let mut rows = Vec::new();
-                for pvt in Pvt::corner_set() {
-                    let tech = self.tech.at_corner(pvt);
-                    let (ckt, out) = self.build(idx, &tech);
-                    let ex = extract(&ckt, &self.pex);
-                    rows.push(self.measure(&ex, out, pvt.temp_kelvin())?);
-                }
-                Ok(worst_case(&self.specs, &rows))
-            }
-        }
+        self.simulate_inner(idx, mode, None)
+    }
+
+    fn simulate_warm(
+        &self,
+        idx: &[usize],
+        mode: SimMode,
+        state: &mut WarmState,
+    ) -> Result<Vec<f64>, SimError> {
+        self.simulate_inner(idx, mode, Some(state))
     }
 }
 

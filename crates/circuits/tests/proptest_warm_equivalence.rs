@@ -1,0 +1,120 @@
+//! Property: warm-started and cold DC solves converge to the same
+//! operating point — the measured specs agree within solver tolerance —
+//! across random parameter-grid walks for all three topologies. The walk
+//! moves each parameter at most one grid notch per step, exactly like the
+//! RL environment, so the warm state threads realistic previous-step
+//! operating points into every solve.
+
+use autockt_circuits::prelude::*;
+use autockt_sim::dc::WarmState;
+use proptest::prelude::*;
+
+/// Relative spec tolerance: warm and cold Newton both stop at an update
+/// norm of 1e-9, and the measurement layer (crossing interpolation,
+/// settling-grid snapping) amplifies the operating-point difference by a
+/// few orders of magnitude at most.
+const REL_TOL: f64 = 5e-3;
+
+fn specs_close(w: &[f64], c: &[f64]) -> bool {
+    w.len() == c.len()
+        && w.iter()
+            .zip(c)
+            .all(|(a, b)| (a - b).abs() <= REL_TOL * (1.0 + a.abs().max(b.abs())))
+}
+
+/// Walks the grid from a fractional starting point, evaluating every
+/// visited point both warm (session-threaded) and cold (stateless), and
+/// reports the first divergence.
+fn check_walk(problem: &dyn SizingProblem, fracs: &[f64], moves: &[usize]) -> Result<(), String> {
+    let cards = problem.cardinalities();
+    let mut idx: Vec<usize> = cards
+        .iter()
+        .zip(fracs.iter().cycle())
+        .map(|(k, f)| (((*k as f64 - 1.0) * f) as usize).min(k - 1))
+        .collect();
+    let mut state = WarmState::new();
+    for step in moves.chunks(cards.len()) {
+        for ((i, k), m) in idx.iter_mut().zip(&cards).zip(step.iter().cycle()) {
+            let delta = *m as i64 - 1;
+            *i = (*i as i64 + delta).clamp(0, *k as i64 - 1) as usize;
+        }
+        let warm = problem.simulate_warm(&idx, SimMode::Schematic, &mut state);
+        let cold = problem.simulate(&idx, SimMode::Schematic);
+        match (warm, cold) {
+            (Ok(w), Ok(c)) => {
+                if !specs_close(&w, &c) {
+                    return Err(format!(
+                        "specs diverge at {idx:?}: warm {w:?} vs cold {c:?}"
+                    ));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (w, c) => {
+                return Err(format!(
+                    "outcome diverges at {idx:?}: warm {w:?} vs cold {c:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn tia_warm_matches_cold(
+        fracs in prop::collection::vec(0.0..1.0f64, 6),
+        moves in prop::collection::vec(0usize..3, 24),
+    ) {
+        let r = check_walk(&Tia::default(), &fracs, &moves);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn opamp2_warm_matches_cold(
+        fracs in prop::collection::vec(0.0..1.0f64, 7),
+        moves in prop::collection::vec(0usize..3, 28),
+    ) {
+        let r = check_walk(&OpAmp2::default(), &fracs, &moves);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn neggm_warm_matches_cold(
+        fracs in prop::collection::vec(0.0..1.0f64, 6),
+        moves in prop::collection::vec(0usize..3, 24),
+    ) {
+        let r = check_walk(&NegGmOta::default(), &fracs, &moves);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn session_memo_replay_is_exact(
+        fracs in prop::collection::vec(0.0..1.0f64, 6),
+        moves in prop::collection::vec(0usize..3, 18),
+    ) {
+        // Evaluating the same walk twice through one session must return
+        // bit-identical spec vectors: the memo serves the second pass.
+        let tia = Tia::default();
+        let mut session = EvalSession::borrowed(&tia, SimMode::Schematic);
+        let cards = tia.cardinalities();
+        let mut idx: Vec<usize> = cards
+            .iter()
+            .zip(&fracs)
+            .map(|(k, f)| (((*k as f64 - 1.0) * f) as usize).min(k - 1))
+            .collect();
+        let mut visited = Vec::new();
+        for step in moves.chunks(cards.len()) {
+            for ((i, k), m) in idx.iter_mut().zip(&cards).zip(step) {
+                let delta = *m as i64 - 1;
+                *i = (*i as i64 + delta).clamp(0, *k as i64 - 1) as usize;
+            }
+            visited.push(idx.clone());
+        }
+        let first: Vec<_> = visited.iter().map(|v| session.evaluate(v).ok()).collect();
+        let solves_after_first = session.solve_count();
+        session.reset_warm();
+        let second: Vec<_> = visited.iter().map(|v| session.evaluate(v).ok()).collect();
+        prop_assert!(first == second, "memo replay diverged");
+        prop_assert!(session.solve_count() == solves_after_first, "replay re-solved");
+    }
+}

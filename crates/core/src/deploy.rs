@@ -148,8 +148,7 @@ pub fn deploy(
         horizon: cfg.horizon,
         mode: cfg.mode,
         target_mode: TargetMode::Uniform, // unused; targets are explicit
-        sim_fail_reward: -5.0,
-        success_bonus: crate::reward::SUCCESS_BONUS,
+        ..EnvConfig::default()
     };
     let mut env = SizingEnv::new(problem, env_cfg);
     let mut rng = StdRng::seed_from_u64(cfg.seed);

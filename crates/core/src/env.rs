@@ -8,7 +8,7 @@
 
 use crate::reward::{is_success, reward, SUCCESS_BONUS};
 use crate::target::{sample_feasible, sample_uniform};
-use autockt_circuits::{SimMode, SizingProblem};
+use autockt_circuits::{EvalSession, SimMode, SizingProblem};
 use autockt_rl::env::{Env, StepResult};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -42,6 +42,16 @@ pub struct EnvConfig {
     /// Terminal bonus granted on success (paper: +10; the reward-shaping
     /// ablation sets this to 0).
     pub success_bonus: f64,
+    /// Warm-start consecutive DC solves from the previous step's operating
+    /// point (reset clears the warm state). The cold path is bit-identical
+    /// to [`SizingProblem::simulate`]; warm results agree to solver
+    /// tolerance.
+    pub warm_start: bool,
+    /// Memoize measured specs per grid point: simulation is deterministic,
+    /// so exact revisits are served from the cache without a solve. The
+    /// cache persists across episodes (it belongs to the circuit family,
+    /// not the target).
+    pub memoize: bool,
 }
 
 impl Default for EnvConfig {
@@ -52,6 +62,8 @@ impl Default for EnvConfig {
             target_mode: TargetMode::Feasible(50),
             sim_fail_reward: -5.0,
             success_bonus: SUCCESS_BONUS,
+            warm_start: true,
+            memoize: true,
         }
     }
 }
@@ -61,6 +73,7 @@ impl Default for EnvConfig {
 #[derive(Clone)]
 pub struct SizingEnv {
     problem: Arc<dyn SizingProblem>,
+    session: EvalSession<'static>,
     cfg: EnvConfig,
     cards: Vec<usize>,
     idx: Vec<usize>,
@@ -86,8 +99,12 @@ impl SizingEnv {
     pub fn new(problem: Arc<dyn SizingProblem>, cfg: EnvConfig) -> Self {
         let cards = problem.cardinalities();
         let nspecs = problem.specs().len();
+        let session = EvalSession::shared(Arc::clone(&problem), cfg.mode)
+            .with_warm_start(cfg.warm_start)
+            .with_memo(cfg.memoize);
         SizingEnv {
             problem,
+            session,
             cfg,
             cards: cards.clone(),
             idx: cards.iter().map(|k| k / 2).collect(),
@@ -103,9 +120,28 @@ impl SizingEnv {
         &self.problem
     }
 
-    /// Total simulations performed (the paper's sample-efficiency unit).
+    /// The evaluation session (warm-start + memo pipeline) backing this
+    /// environment's simulations.
+    pub fn session(&self) -> &EvalSession<'static> {
+        &self.session
+    }
+
+    /// Total simulations requested (the paper's sample-efficiency unit —
+    /// every env evaluation counts, whether it hit the memo cache or ran
+    /// the solver; see [`SizingEnv::solve_count`] for solver work actually
+    /// spent).
     pub fn sim_count(&self) -> u64 {
         self.sims
+    }
+
+    /// Evaluations that actually ran the simulator (memo misses).
+    pub fn solve_count(&self) -> u64 {
+        self.session.solve_count()
+    }
+
+    /// Evaluations served from the memo cache.
+    pub fn memo_hits(&self) -> u64 {
+        self.session.memo_hits()
     }
 
     /// Current parameter indices.
@@ -130,13 +166,17 @@ impl SizingEnv {
         self.target = target;
         self.idx = self.cards.iter().map(|k| k / 2).collect();
         self.t = 0;
+        // New episode: the previous operating point is no longer adjacent
+        // to the (re-centered) design, so warm state is dropped; the memo
+        // cache survives because the grid -> specs map is episode-invariant.
+        self.session.reset_warm();
         self.simulate_current();
         self.observation()
     }
 
     fn simulate_current(&mut self) {
         self.sims += 1;
-        match self.problem.simulate(&self.idx, self.cfg.mode) {
+        match self.session.evaluate(&self.idx) {
             Ok(specs) => self.last_specs = specs,
             Err(_) => {
                 self.last_specs = self.problem.specs().iter().map(|s| s.fail_value).collect();
@@ -241,10 +281,8 @@ mod tests {
             Arc::new(Tia::default()),
             EnvConfig {
                 horizon: 10,
-                mode: SimMode::Schematic,
                 target_mode,
-                sim_fail_reward: -5.0,
-                success_bonus: SUCCESS_BONUS,
+                ..EnvConfig::default()
             },
         )
     }
@@ -335,6 +373,67 @@ mod tests {
         e.step(&[1; 6]);
         e.step(&[1; 6]);
         assert_eq!(e.sim_count(), c0 + 2);
+    }
+
+    #[test]
+    fn memoized_revisits_do_not_resolve() {
+        let mut e = env(TargetMode::Uniform);
+        let mut rng = StdRng::seed_from_u64(12);
+        e.reset(&mut rng);
+        assert_eq!(e.solve_count(), 1);
+        // Keep actions stay on the same grid point: memo hits, no solves.
+        e.step(&[1; 6]);
+        e.step(&[1; 6]);
+        assert_eq!(e.solve_count(), 1);
+        assert_eq!(e.memo_hits(), 2);
+        assert_eq!(e.sim_count(), 3);
+    }
+
+    #[test]
+    fn memo_survives_episode_reset() {
+        let mut e = env(TargetMode::Uniform);
+        let mut rng = StdRng::seed_from_u64(13);
+        e.reset(&mut rng);
+        let solves = e.solve_count();
+        // A new episode re-simulates the center design: memo hit.
+        e.reset(&mut rng);
+        assert_eq!(e.solve_count(), solves);
+        assert!(e.memo_hits() >= 1);
+    }
+
+    #[test]
+    fn cold_env_matches_warm_env_rewards() {
+        let mk = |warm: bool, memo: bool| {
+            SizingEnv::new(
+                Arc::new(Tia::default()),
+                EnvConfig {
+                    horizon: 10,
+                    target_mode: TargetMode::Uniform,
+                    warm_start: warm,
+                    memoize: memo,
+                    ..EnvConfig::default()
+                },
+            )
+        };
+        let mut cold = mk(false, false);
+        let mut warm = mk(true, true);
+        let target = {
+            let mut rng = StdRng::seed_from_u64(14);
+            crate::target::sample_uniform(cold.problem().as_ref(), &mut rng)
+        };
+        cold.reset_with_target(target.clone());
+        warm.reset_with_target(target);
+        let walk = [[0, 1, 2, 1, 0, 2], [2, 1, 0, 1, 2, 0], [1, 1, 1, 1, 1, 1]];
+        for a in walk.iter().cycle().take(9) {
+            let rc = cold.step(a);
+            let rw = warm.step(a);
+            assert!(
+                (rc.reward - rw.reward).abs() < 1e-6 * (1.0 + rc.reward.abs()),
+                "cold {} vs warm {}",
+                rc.reward,
+                rw.reward
+            );
+        }
     }
 
     #[test]

@@ -92,8 +92,7 @@ pub fn train(problem: Arc<dyn SizingProblem>, cfg: &TrainConfig) -> TrainResult 
         horizon: cfg.horizon,
         mode: cfg.mode,
         target_mode: TargetMode::FixedSet(targets.clone()),
-        sim_fail_reward: -5.0,
-        success_bonus: crate::reward::SUCCESS_BONUS,
+        ..EnvConfig::default()
     };
     let mut envs: Vec<SizingEnv> = (0..cfg.num_workers.max(1))
         .map(|_| SizingEnv::new(Arc::clone(&problem), env_cfg.clone()))

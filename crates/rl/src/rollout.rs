@@ -4,6 +4,14 @@
 //! parallel during training; here std scoped threads play that role.
 //! Each worker owns one environment and a private RNG; the policy and value
 //! networks are shared immutably (plain `Vec<f64>` data, `Sync` for free).
+//!
+//! Because each worker *owns* its environment across the whole collection
+//! loop (episodes reset in place rather than re-constructing the env), any
+//! per-env evaluation state — the warm-start/memoization `EvalSession`
+//! inside the sizing environment — persists across episode boundaries
+//! within a worker and accumulates over training iterations. That is what
+//! turns the memo cache into a real hot-path win: revisited grid points
+//! anywhere in a worker's history cost no simulator time.
 
 use crate::env::Env;
 use crate::policy::{PolicyNet, ValueNet};

@@ -13,6 +13,26 @@ use crate::error::SimError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
 
+/// Reusable buffers for repeated AC factor/solve calls: the complex system
+/// matrix lives inside the LU factors and is stamped in place per
+/// frequency from a sparse pattern collected once per linearization, so a
+/// whole sweep (and consecutive sweeps of a warm evaluation session)
+/// performs no per-point allocation.
+#[derive(Debug, Clone, Default)]
+pub struct AcWorkspace {
+    pub(crate) lu: LuFactors<Complex>,
+    pub(crate) pattern: Vec<(usize, usize, f64, f64)>,
+    pub(crate) x: Vec<Complex>,
+    pub(crate) rhs: Vec<Complex>,
+}
+
+impl AcWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        AcWorkspace::default()
+    }
+}
+
 /// A reusable small-signal solver bound to a circuit and operating point.
 #[derive(Debug)]
 pub struct AcSolver<'a> {
@@ -170,6 +190,56 @@ impl<'a> AcSolver<'a> {
         Ok(self.factor_at(f)?.solve(&self.rhs))
     }
 
+    /// Collects this linearization's sparse `(row, col, g, c)` stamp
+    /// pattern into `ws`; call once before any `_ws` solve.
+    pub fn prepare_workspace(&self, ws: &mut AcWorkspace) {
+        ws.pattern.clear();
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                let gg = self.g[(r, c)];
+                let cc = self.c[(r, c)];
+                if gg != 0.0 || cc != 0.0 {
+                    ws.pattern.push((r, c, gg, cc));
+                }
+            }
+        }
+    }
+
+    /// Factors `G + j*2*pi*f*C` into the workspace buffers — identical
+    /// result to [`AcSolver::factor_at`], with zero per-point allocation.
+    /// [`AcSolver::prepare_workspace`] must have been called for this
+    /// solver first.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SingularMatrix`] for a singular small-signal system.
+    pub fn factor_at_ws(&self, f: f64, ws: &mut AcWorkspace) -> Result<(), SimError> {
+        let w = 2.0 * std::f64::consts::PI * f;
+        let AcWorkspace { lu, pattern, .. } = ws;
+        lu.refactor_with(self.dim, 1e-300, |m| {
+            for &(r, c, gg, cc) in pattern.iter() {
+                m[(r, c)] = Complex::new(gg, w * cc);
+            }
+        })
+    }
+
+    /// Like [`AcSolver::solve_sources`], reusing workspace buffers; the
+    /// solution lives in the workspace and is returned as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix failures from the factorization.
+    pub fn solve_sources_ws<'w>(
+        &self,
+        f: f64,
+        ws: &'w mut AcWorkspace,
+    ) -> Result<&'w [Complex], SimError> {
+        self.factor_at_ws(f, ws)?;
+        let AcWorkspace { lu, x, .. } = ws;
+        lu.solve_into(&self.rhs, x);
+        Ok(x)
+    }
+
     /// Extracts the voltage of `node` from an MNA solution vector.
     pub fn voltage(&self, x: &[Complex], node: Node) -> Complex {
         match self.ckt.mna_index(node) {
@@ -224,7 +294,9 @@ impl<'a> AcSolver<'a> {
                 }
                 rhs[r] = acc;
             }
-            x = lu.solve(&rhs);
+            // `rhs` is fully formed, so `x` can be overwritten in place —
+            // one allocation for the whole record instead of one per step.
+            lu.solve_into(&rhs, &mut x);
             t_out.push(s as f64 * h);
             y_out.push(oi.map_or(0.0, |i| x[i]));
         }
@@ -283,6 +355,35 @@ pub fn ac_sweep(
     for &f in freqs {
         let x = solver.solve_sources(f)?;
         h.push(solver.voltage(&x, out));
+    }
+    Ok(AcResponse {
+        freqs: freqs.to_vec(),
+        h,
+    })
+}
+
+/// [`ac_sweep`] with reusable workspace buffers: the complex system is
+/// stamped and factored in place per point, so the sweep allocates nothing
+/// per frequency. Produces results identical to [`ac_sweep`] (same
+/// assembly, same elimination order); the warm evaluation sessions route
+/// their sweeps through this entry point.
+///
+/// # Errors
+///
+/// Propagates solver failures at any frequency point.
+pub fn ac_sweep_ws(
+    ckt: &Circuit,
+    op: &OpPoint,
+    freqs: &[f64],
+    out: Node,
+    ws: &mut AcWorkspace,
+) -> Result<AcResponse, SimError> {
+    let solver = AcSolver::new(ckt, op);
+    solver.prepare_workspace(ws);
+    let mut h = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let x = solver.solve_sources_ws(f, ws)?;
+        h.push(solver.voltage(x, out));
     }
     Ok(AcResponse {
         freqs: freqs.to_vec(),

@@ -9,6 +9,127 @@ use crate::error::SimError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Mosfet, Node};
 
+/// Reusable buffers for repeated DC solves of same-dimension circuits:
+/// the Newton Jacobian, residual, right-hand side, update vector, and LU
+/// factors. One workspace serves any sequence of solves (buffers are
+/// resized on dimension change), so an evaluation session allocates the
+/// matrices once per environment instead of once per Newton iteration.
+#[derive(Debug, Clone)]
+pub struct DcWorkspace {
+    j: Matrix<f64>,
+    f: Vec<f64>,
+    rhs: Vec<f64>,
+    dx: Vec<f64>,
+    lu: LuFactors<f64>,
+}
+
+impl DcWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        DcWorkspace {
+            j: Matrix::zeros(0, 0),
+            f: Vec::new(),
+            rhs: Vec::new(),
+            dx: Vec::new(),
+            lu: LuFactors::empty(),
+        }
+    }
+}
+
+impl Default for DcWorkspace {
+    fn default() -> Self {
+        DcWorkspace::new()
+    }
+}
+
+/// Warm-start state threaded through consecutive DC solves by an
+/// evaluation session: the previous MNA solution per *slot* (one slot per
+/// circuit variant — e.g. one per PVT corner — since their solution
+/// vectors are not interchangeable) plus a shared [`DcWorkspace`].
+///
+/// RL actions move each parameter at most one grid notch, so the previous
+/// operating point is an excellent Newton initial guess for the next one;
+/// [`WarmState::solve`] falls back to the cold start + gmin homotopy of
+/// [`dc_operating_point`] whenever the warm guess does not converge.
+#[derive(Debug, Clone, Default)]
+pub struct WarmState {
+    slots: Vec<Option<Vec<f64>>>,
+    ws: DcWorkspace,
+    ac: crate::ac::AcWorkspace,
+}
+
+impl WarmState {
+    /// Creates an empty warm state.
+    pub fn new() -> Self {
+        WarmState::default()
+    }
+
+    /// Solves the operating point of `ckt`, seeding Newton with the last
+    /// solution stored in `slot` (if any) and storing the new solution
+    /// back on success. On failure the slot is cleared so the next solve
+    /// starts cold.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`dc_operating_point`].
+    pub fn solve(
+        &mut self,
+        slot: usize,
+        ckt: &Circuit,
+        opts: &DcOptions,
+    ) -> Result<OpPoint, SimError> {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, None);
+        }
+        let warm = self.slots[slot].take();
+        let res = dc_operating_point_warm(ckt, opts, warm.as_deref(), &mut self.ws);
+        if let Ok(op) = &res {
+            self.slots[slot] = Some(op.mna_vector());
+        }
+        res
+    }
+
+    /// Drops all stored solutions (e.g. on episode reset) while keeping
+    /// the workspace allocations.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Whether any slot currently holds a previous solution.
+    pub fn is_warm(&self) -> bool {
+        self.slots.iter().any(Option::is_some)
+    }
+
+    /// Snapshot of the per-slot solutions, for save/restore by a memoizing
+    /// evaluation session: restoring the snapshot taken right after a grid
+    /// point was solved keeps warm guesses adjacent even when intervening
+    /// evaluations were served from a cache.
+    pub fn snapshot(&self) -> Vec<Option<Vec<f64>>> {
+        self.slots.clone()
+    }
+
+    /// Restores a snapshot taken by [`WarmState::snapshot`], reusing the
+    /// existing slot allocations (this runs on every memo-cache hit).
+    pub fn restore(&mut self, snapshot: &[Option<Vec<f64>>]) {
+        self.slots.resize(snapshot.len(), None);
+        for (dst, src) in self.slots.iter_mut().zip(snapshot) {
+            match src {
+                Some(s) => match dst {
+                    Some(v) => v.clone_from(s),
+                    None => *dst = Some(s.clone()),
+                },
+                None => *dst = None,
+            }
+        }
+    }
+
+    /// The session's reusable AC-analysis buffers, for routing sweeps and
+    /// noise analyses through the allocation-free `_ws` entry points.
+    pub fn ac_workspace(&mut self) -> &mut crate::ac::AcWorkspace {
+        &mut self.ac
+    }
+}
+
 /// Options for the DC solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DcOptions {
@@ -73,6 +194,7 @@ pub struct OpPoint {
     branch_i: Vec<f64>,
     mos: Vec<MosOp>,
     iterations: usize,
+    warm_started: bool,
 }
 
 impl OpPoint {
@@ -101,6 +223,23 @@ impl OpPoint {
     /// Newton iterations spent (across all gmin stages).
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Whether the solve converged from a warm initial guess (rather than
+    /// the cold `initial_v` start or the gmin homotopy).
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
+    }
+
+    /// The raw MNA solution vector — node voltages excluding ground
+    /// followed by voltage-source branch currents — usable as the
+    /// warm-start guess for a subsequent solve of a same-structure circuit.
+    pub fn mna_vector(&self) -> Vec<f64> {
+        self.node_v[1..]
+            .iter()
+            .chain(self.branch_i.iter())
+            .copied()
+            .collect()
     }
 }
 
@@ -271,18 +410,24 @@ fn newton_solve(
     x: &mut [f64],
     gmin: f64,
     opts: &DcOptions,
+    ws: &mut DcWorkspace,
 ) -> Result<usize, SimError> {
     let dim = asm.dim;
     let nv = asm.nnodes - 1;
-    let mut j = Matrix::zeros(dim, dim);
-    let mut f = vec![0.0; dim];
+    if ws.j.rows() != dim || ws.j.cols() != dim {
+        ws.j = Matrix::zeros(dim, dim);
+    }
+    ws.f.resize(dim, 0.0);
+    ws.rhs.resize(dim, 0.0);
     for it in 0..opts.max_iter {
-        asm.assemble(x, gmin, &mut j, &mut f);
-        let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-        let lu = LuFactors::factor(j.clone(), 1e-30)?;
-        let dx = lu.solve(&rhs);
+        asm.assemble(x, gmin, &mut ws.j, &mut ws.f);
+        for (r, v) in ws.rhs.iter_mut().zip(&ws.f) {
+            *r = -v;
+        }
+        ws.lu.refactor(&ws.j, 1e-30)?;
+        ws.lu.solve_into(&ws.rhs, &mut ws.dx);
         let mut maxd = 0.0f64;
-        for (i, d) in dx.iter().enumerate() {
+        for (i, d) in ws.dx.iter().enumerate() {
             let step = if i < nv {
                 d.clamp(-opts.dv_max, opts.dv_max)
             } else {
@@ -301,7 +446,7 @@ fn newton_solve(
             return Ok(it + 1);
         }
     }
-    let residual = f.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+    let residual = ws.f.iter().fold(0.0f64, |a, b| a.max(b.abs()));
     Err(SimError::DcNoConvergence {
         iterations: opts.max_iter,
         residual,
@@ -336,28 +481,73 @@ fn newton_solve(
 /// # }
 /// ```
 pub fn dc_operating_point(ckt: &Circuit, opts: &DcOptions) -> Result<OpPoint, SimError> {
+    dc_operating_point_warm(ckt, opts, None, &mut DcWorkspace::new())
+}
+
+/// Solves the DC operating point of `ckt`, optionally seeding Newton with
+/// a previous solution.
+///
+/// `warm` is a full MNA solution vector (see [`OpPoint::mna_vector`]) from
+/// a previous solve of a same-structure circuit; when it converges the
+/// cold start is skipped entirely. A warm guess of the wrong dimension is
+/// ignored, and warm non-convergence falls back to the cold
+/// `initial_v` start followed by the gmin homotopy, so the result contract
+/// is identical to [`dc_operating_point`]. `ws` supplies the reusable
+/// matrix/LU buffers.
+///
+/// Caveat: the fallback fires on *non-convergence only*. For a circuit
+/// with multiple valid operating points (e.g. cross-coupled loads), a
+/// warm guess near a different solution branch than the cold homotopy
+/// would settle on converges cleanly to that branch and is accepted.
+/// Callers must therefore supply warm vectors from *nearby* solutions —
+/// one grid notch away in the sizing environments — where staying on the
+/// cold branch is the overwhelmingly likely outcome (property-tested per
+/// topology in `autockt_circuits`); arbitrary jumps should solve cold.
+///
+/// # Errors
+///
+/// Same contract as [`dc_operating_point`].
+pub fn dc_operating_point_warm(
+    ckt: &Circuit,
+    opts: &DcOptions,
+    warm: Option<&[f64]>,
+    ws: &mut DcWorkspace,
+) -> Result<OpPoint, SimError> {
     let asm = Assembler::new(ckt);
     let dim = asm.dim;
     let nv = asm.nnodes - 1;
     let mut x = vec![0.0; dim];
-    x[..nv].iter_mut().for_each(|v| *v = opts.initial_v);
 
     let mut total_iters = 0usize;
-    let direct = newton_solve(&asm, &mut x, opts.gmin, opts);
-    match direct {
-        Ok(it) => total_iters += it,
-        Err(_) => {
-            // gmin stepping homotopy.
-            x.iter_mut().for_each(|v| *v = 0.0);
-            x[..nv].iter_mut().for_each(|v| *v = opts.initial_v);
-            let mut g = 1e-3;
-            loop {
-                let it = newton_solve(&asm, &mut x, g, opts)?;
+    let mut warm_started = false;
+    if let Some(w) = warm {
+        if w.len() == dim && w.iter().all(|v| v.is_finite()) {
+            x.copy_from_slice(w);
+            if let Ok(it) = newton_solve(&asm, &mut x, opts.gmin, opts, ws) {
                 total_iters += it;
-                if g <= opts.gmin * 1.0001 {
-                    break;
+                warm_started = true;
+            }
+        }
+    }
+    if !warm_started {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        x[..nv].iter_mut().for_each(|v| *v = opts.initial_v);
+        let direct = newton_solve(&asm, &mut x, opts.gmin, opts, ws);
+        match direct {
+            Ok(it) => total_iters += it,
+            Err(_) => {
+                // gmin stepping homotopy.
+                x.iter_mut().for_each(|v| *v = 0.0);
+                x[..nv].iter_mut().for_each(|v| *v = opts.initial_v);
+                let mut g = 1e-3;
+                loop {
+                    let it = newton_solve(&asm, &mut x, g, opts, ws)?;
+                    total_iters += it;
+                    if g <= opts.gmin * 1.0001 {
+                        break;
+                    }
+                    g = (g * 0.1).max(opts.gmin);
                 }
-                g = (g * 0.1).max(opts.gmin);
             }
         }
     }
@@ -399,6 +589,7 @@ pub fn dc_operating_point(ckt: &Circuit, opts: &DcOptions) -> Result<OpPoint, Si
         branch_i,
         mos,
         iterations: total_iters,
+        warm_started,
     })
 }
 
@@ -585,6 +776,91 @@ mod tests {
         ckt.vsource(a, GND, 2.0, 0.0);
         let r = dc_operating_point(&ckt, &DcOptions::default());
         assert!(r.is_err());
+    }
+
+    fn nmos_diode_circuit(r: f64) -> (Circuit, Node) {
+        let t = Technology::ptm45();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("gate");
+        ckt.vsource(vdd, GND, 1.0, 0.0);
+        ckt.resistor(vdd, g, r);
+        ckt.mosfet(Mosfet {
+            polarity: MosPolarity::Nmos,
+            d: g,
+            g,
+            s: GND,
+            w: 2e-6,
+            l: t.lmin,
+            mult: 1.0,
+            model: t.nmos,
+        });
+        (ckt, g)
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solution() {
+        let (a, ga) = nmos_diode_circuit(10.0e3);
+        let cold_a = dc_operating_point(&a, &DcOptions::default()).unwrap();
+        // A slightly different circuit (nudged resistor), solved warm from
+        // the first solution, must agree with its own cold solve.
+        let (b, gb) = nmos_diode_circuit(11.0e3);
+        let mut ws = DcWorkspace::new();
+        let warm = cold_a.mna_vector();
+        let warm_b =
+            dc_operating_point_warm(&b, &DcOptions::default(), Some(&warm), &mut ws).unwrap();
+        let cold_b = dc_operating_point(&b, &DcOptions::default()).unwrap();
+        assert!(warm_b.warm_started());
+        assert!(!cold_b.warm_started());
+        assert!((warm_b.voltage(gb) - cold_b.voltage(gb)).abs() < 1e-7);
+        assert!(warm_b.iterations() <= cold_b.iterations());
+        let _ = ga;
+    }
+
+    #[test]
+    fn warm_guess_of_wrong_dimension_is_ignored() {
+        let (ckt, g) = nmos_diode_circuit(10.0e3);
+        let mut ws = DcWorkspace::new();
+        let bogus = vec![0.5; 99];
+        let op =
+            dc_operating_point_warm(&ckt, &DcOptions::default(), Some(&bogus), &mut ws).unwrap();
+        assert!(!op.warm_started());
+        let cold = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        assert!((op.voltage(g) - cold.voltage(g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_state_slots_round_trip() {
+        let (ckt, _) = nmos_diode_circuit(10.0e3);
+        let mut state = WarmState::new();
+        assert!(!state.is_warm());
+        let first = state.solve(0, &ckt, &DcOptions::default()).unwrap();
+        assert!(!first.warm_started());
+        assert!(state.is_warm());
+        let second = state.solve(0, &ckt, &DcOptions::default()).unwrap();
+        assert!(second.warm_started());
+        // Warm revisit of the identical circuit converges immediately.
+        assert!(second.iterations() <= first.iterations());
+        state.reset();
+        assert!(!state.is_warm());
+        let third = state.solve(0, &ckt, &DcOptions::default()).unwrap();
+        assert!(!third.warm_started());
+    }
+
+    #[test]
+    fn warm_state_failure_clears_slot() {
+        // An inconsistent netlist fails to solve; the slot must not retain
+        // stale state afterwards.
+        let mut bad = Circuit::new();
+        let a = bad.node("a");
+        bad.vsource(a, GND, 1.0, 0.0);
+        bad.vsource(a, GND, 2.0, 0.0);
+        let mut state = WarmState::new();
+        let (good, _) = nmos_diode_circuit(10.0e3);
+        state.solve(0, &good, &DcOptions::default()).unwrap();
+        assert!(state.is_warm());
+        assert!(state.solve(0, &bad, &DcOptions::default()).is_err());
+        assert!(!state.is_warm());
     }
 
     #[test]

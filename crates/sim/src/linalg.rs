@@ -136,6 +136,16 @@ impl<T: Scalar> Matrix<T> {
         self.data.fill(T::zero());
     }
 
+    /// Copies `src` into `self`, reusing the existing allocation when the
+    /// capacity suffices (the DC Newton loop overwrites the same matrix
+    /// every iteration).
+    pub fn copy_from(&mut self, src: &Matrix<T>) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix-vector product `self * x`.
     ///
     /// # Panics
@@ -182,6 +192,12 @@ pub struct LuFactors<T> {
     perm: Vec<usize>,
 }
 
+impl<T: Scalar> Default for LuFactors<T> {
+    fn default() -> Self {
+        LuFactors::empty()
+    }
+}
+
 impl<T: Scalar> LuFactors<T> {
     /// Factors `a` in place (consuming it).
     ///
@@ -189,16 +205,75 @@ impl<T: Scalar> LuFactors<T> {
     ///
     /// Returns [`SimError::SingularMatrix`] if no usable pivot is found in
     /// some column (matrix is singular to working precision).
-    pub fn factor(mut a: Matrix<T>, pivot_floor: f64) -> Result<Self, SimError> {
-        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
-        let n = a.rows();
-        let mut perm: Vec<usize> = (0..n).collect();
+    pub fn factor(a: Matrix<T>, pivot_floor: f64) -> Result<Self, SimError> {
+        let mut f = LuFactors {
+            lu: a,
+            perm: Vec::new(),
+        };
+        f.eliminate(pivot_floor)?;
+        Ok(f)
+    }
+
+    /// Creates an empty factorization whose buffers [`LuFactors::refactor`]
+    /// fills; solving before a successful refactor panics on the dimension
+    /// check.
+    pub fn empty() -> Self {
+        LuFactors {
+            lu: Matrix::zeros(0, 0),
+            perm: Vec::new(),
+        }
+    }
+
+    /// Re-factors `a` into this object's buffers, reusing the matrix and
+    /// permutation allocations (the DC Newton loop refactors a
+    /// same-dimension Jacobian every iteration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SingularMatrix`] like [`LuFactors::factor`]; on
+    /// error the stored factorization is garbage and must be refactored
+    /// before the next solve.
+    pub fn refactor(&mut self, a: &Matrix<T>, pivot_floor: f64) -> Result<(), SimError> {
+        self.lu.copy_from(a);
+        self.eliminate(pivot_floor)
+    }
+
+    /// Re-factors an `n x n` system assembled in place by `fill` (invoked
+    /// on a zeroed matrix), reusing this object's buffers. This skips the
+    /// separate assembly matrix entirely — the AC sweep stamps its sparse
+    /// pattern straight into the factorization buffer once per frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LuFactors::refactor`].
+    pub fn refactor_with(
+        &mut self,
+        n: usize,
+        pivot_floor: f64,
+        fill: impl FnOnce(&mut Matrix<T>),
+    ) -> Result<(), SimError> {
+        if self.lu.rows != n || self.lu.cols != n {
+            self.lu = Matrix::zeros(n, n);
+        } else {
+            self.lu.fill_zero();
+        }
+        fill(&mut self.lu);
+        self.eliminate(pivot_floor)
+    }
+
+    fn eliminate(&mut self, pivot_floor: f64) -> Result<(), SimError> {
+        let LuFactors { lu: a, perm } = self;
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        perm.clear();
+        perm.extend(0..n);
+        let data = &mut a.data;
         for k in 0..n {
             // Partial pivoting: pick the largest magnitude in column k.
             let mut p = k;
-            let mut best = a[(k, k)].abs();
+            let mut best = data[k * n + k].abs();
             for i in (k + 1)..n {
-                let v = a[(i, k)].abs();
+                let v = data[i * n + k].abs();
                 if v > best {
                     best = v;
                     p = i;
@@ -208,25 +283,25 @@ impl<T: Scalar> LuFactors<T> {
                 return Err(SimError::SingularMatrix { column: k });
             }
             if p != k {
-                for c in 0..n {
-                    let tmp = a[(k, c)];
-                    a[(k, c)] = a[(p, c)];
-                    a[(p, c)] = tmp;
-                }
+                let (lo, hi) = data.split_at_mut(p * n);
+                lo[k * n..(k + 1) * n].swap_with_slice(&mut hi[..n]);
                 perm.swap(k, p);
             }
-            let pivot = a[(k, k)];
-            for i in (k + 1)..n {
-                let m = a[(i, k)] / pivot;
-                a[(i, k)] = m;
-                for c in (k + 1)..n {
-                    let akc = a[(k, c)];
-                    let v = m * akc;
-                    a[(i, c)] -= v;
+            // Row elimination over contiguous slices: the bounds checks of
+            // per-element `(i, c)` indexing dominate this kernel otherwise.
+            let pivot = data[k * n + k];
+            let (top, bottom) = data.split_at_mut((k + 1) * n);
+            let row_k = &top[k * n + k + 1..];
+            for row_i in bottom.chunks_exact_mut(n) {
+                let m = row_i[k] / pivot;
+                row_i[k] = m;
+                for (x, &y) in row_i[k + 1..].iter_mut().zip(row_k) {
+                    let v = m * y;
+                    *x -= v;
                 }
             }
         }
-        Ok(LuFactors { lu: a, perm })
+        Ok(())
     }
 
     /// Solves `A x = b` for the factored `A`.
@@ -235,27 +310,42 @@ impl<T: Scalar> LuFactors<T> {
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
-        let n = self.lu.rows();
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer, reusing its
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) {
+        let n = self.lu.rows;
         assert_eq!(b.len(), n, "dimension mismatch");
         // Apply permutation.
-        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        let data = &self.lu.data;
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
+            let row = &data[i * n..i * n + i];
             let mut acc = x[i];
-            for (j, &xj) in x.iter().enumerate().take(i) {
-                acc -= self.lu[(i, j)] * xj;
+            for (l, &xj) in row.iter().zip(x.iter()) {
+                acc -= *l * xj;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
+            let row = &data[i * n..(i + 1) * n];
             let mut acc = x[i];
-            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
-                acc -= self.lu[(i, j)] * xj;
+            for (j, l) in row.iter().enumerate().skip(i + 1) {
+                acc -= *l * x[j];
             }
-            x[i] = acc / self.lu[(i, i)];
+            x[i] = acc / row[i];
         }
-        x
     }
 }
 
@@ -332,6 +422,34 @@ mod tests {
             assert!((back[0] - b[0]).abs() < 1e-12);
             assert!((back[1] - b[1]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn refactor_reuses_buffers_across_systems() {
+        let mut lu = LuFactors::<f64>::empty();
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        lu.refactor(&a, 1e-300).unwrap();
+        let mut x = Vec::new();
+        lu.solve_into(&[5.0, 10.0], &mut x);
+        let back = a.mul_vec(&x);
+        assert!((back[0] - 5.0).abs() < 1e-12);
+        assert!((back[1] - 10.0).abs() < 1e-12);
+        // A different same-size system lands in the same buffers.
+        let b = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        lu.refactor(&b, 1e-300).unwrap();
+        lu.solve_into(&[5.0, 10.0], &mut x);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_from_tracks_source_dimensions() {
+        let src = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut dst = Matrix::<f64>::zeros(5, 5);
+        dst.copy_from(&src);
+        assert_eq!(dst.rows(), 2);
+        assert_eq!(dst.cols(), 2);
+        assert_eq!(dst[(1, 0)], 3.0);
     }
 
     #[test]

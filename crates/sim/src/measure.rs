@@ -42,14 +42,29 @@ impl AcResponse {
         out
     }
 
+    /// Returns an error unless the grid has at least two points — no
+    /// crossing or interpolation measurement is defined on an empty or
+    /// single-point sweep (previously these paths panicked on unchecked
+    /// `freqs[0]` indexing).
+    fn require_grid(&self) -> Result<(), SimError> {
+        if self.freqs.len() < 2 || self.h.len() < 2 {
+            return Err(SimError::MeasureFailed {
+                what: "fewer than two frequency points in sweep",
+            });
+        }
+        Ok(())
+    }
+
     /// Frequency at which the magnitude first falls to `1/sqrt(2)` of the
     /// low-frequency gain (the -3 dB bandwidth), log-interpolated.
     ///
     /// # Errors
     ///
     /// [`SimError::MeasureFailed`] if the response never drops below the
-    /// -3 dB level inside the sweep.
+    /// -3 dB level inside the sweep, or the sweep has fewer than two
+    /// points.
     pub fn f_3db(&self) -> Result<f64, SimError> {
+        self.require_grid()?;
         let target = self.dc_gain() * std::f64::consts::FRAC_1_SQRT_2;
         self.crossing_down(target).ok_or(SimError::MeasureFailed {
             what: "no -3 dB crossing in sweep",
@@ -62,8 +77,10 @@ impl AcResponse {
     /// # Errors
     ///
     /// [`SimError::MeasureFailed`] if the gain never crosses unity from
-    /// above (e.g. the amplifier has sub-unity DC gain).
+    /// above (e.g. the amplifier has sub-unity DC gain) or the sweep has
+    /// fewer than two points.
     pub fn ugbw(&self) -> Result<f64, SimError> {
+        self.require_grid()?;
         if self.dc_gain() < 1.0 {
             return Err(SimError::MeasureFailed {
                 what: "dc gain below unity; no ugbw",
@@ -88,34 +105,62 @@ impl AcResponse {
         Ok(180.0 - shift)
     }
 
-    /// Magnitude at an arbitrary frequency inside the grid, interpolated in
-    /// (log f, dB) space.
-    pub fn gain_at(&self, f: f64) -> f64 {
-        let mags: Vec<f64> = self.magnitudes().iter().map(|m| db20(*m)).collect();
-        let db = self.interp_at(&mags, f);
-        10f64.powf(db / 20.0)
-    }
-
-    /// Linear interpolation of a per-point quantity `y` at frequency `f`
-    /// using log-frequency as the abscissa. Clamps outside the grid.
-    fn interp_at(&self, y: &[f64], f: f64) -> f64 {
-        let n = self.freqs.len();
-        if f <= self.freqs[0] {
-            return y[0];
+    /// Bracketing segment of `f` on the first `n` grid points with its
+    /// log-frequency interpolation weight: `Ok((i, t))` means
+    /// `freqs[i] <= f <= freqs[i + 1]` with `t` in `[0, 1]`; `Err(j)`
+    /// means `f` clamps to grid index `j` (outside the grid, or a
+    /// single-point grid). Callers must guarantee `1 <= n <= freqs.len()`.
+    fn bracket(&self, n: usize, f: f64) -> Result<(usize, f64), usize> {
+        if n == 1 || f <= self.freqs[0] {
+            return Err(0);
         }
         if f >= self.freqs[n - 1] {
-            return y[n - 1];
+            return Err(n - 1);
         }
         let lf = f.ln();
         for i in 0..n - 1 {
             if f <= self.freqs[i + 1] {
                 let l0 = self.freqs[i].ln();
                 let l1 = self.freqs[i + 1].ln();
-                let t = (lf - l0) / (l1 - l0);
-                return y[i] + t * (y[i + 1] - y[i]);
+                let t = if l1 > l0 { (lf - l0) / (l1 - l0) } else { 0.5 };
+                return Ok((i, t));
             }
         }
-        y[n - 1]
+        Err(n - 1)
+    }
+
+    /// Magnitude at an arbitrary frequency inside the grid, interpolated in
+    /// (log f, dB) space using only the two bracketing points (no per-call
+    /// allocation). An empty response reads as zero gain; outside the grid
+    /// the nearest endpoint is returned.
+    pub fn gain_at(&self, f: f64) -> f64 {
+        let n = self.freqs.len().min(self.h.len());
+        if n == 0 {
+            return 0.0;
+        }
+        match self.bracket(n, f) {
+            Err(j) => self.h[j].norm(),
+            Ok((i, t)) => {
+                let d0 = db20(self.h[i].norm());
+                let d1 = db20(self.h[i + 1].norm());
+                10f64.powf((d0 + t * (d1 - d0)) / 20.0)
+            }
+        }
+    }
+
+    /// Linear interpolation of a per-point quantity `y` at frequency `f`
+    /// using log-frequency as the abscissa. Clamps outside the grid; a
+    /// degenerate grid (empty or single-point) reads as the first sample
+    /// or zero.
+    fn interp_at(&self, y: &[f64], f: f64) -> f64 {
+        let n = self.freqs.len().min(y.len());
+        if n == 0 {
+            return 0.0;
+        }
+        match self.bracket(n, f) {
+            Err(j) => y[j],
+            Ok((i, t)) => y[i] + t * (y[i + 1] - y[i]),
+        }
     }
 
     /// First index `i` where `|h[i]| >= level > |h[i+1]|`, interpolated in
@@ -127,11 +172,29 @@ impl AcResponse {
                 let d0 = db20(mags[i]);
                 let d1 = db20(mags[i + 1]);
                 let dl = db20(level);
-                let t = if (d1 - d0).abs() < 1e-18 {
+                // A magnitude sample of exactly 0 pins db20 at its floor
+                // (and a raw dB conversion would yield -inf, making
+                // `t = inf/inf` NaN); such segments carry no log-domain
+                // information, so interpolate them linearly in magnitude.
+                let degenerate = !d0.is_finite()
+                    || !d1.is_finite()
+                    || !dl.is_finite()
+                    || mags[i] <= 0.0
+                    || mags[i + 1] <= 0.0
+                    || level <= 0.0;
+                let t = if degenerate {
+                    let denom = mags[i + 1] - mags[i];
+                    if denom.abs() < 1e-300 {
+                        0.5
+                    } else {
+                        (level - mags[i]) / denom
+                    }
+                } else if (d1 - d0).abs() < 1e-18 {
                     0.5
                 } else {
                     (dl - d0) / (d1 - d0)
                 };
+                let t = t.clamp(0.0, 1.0);
                 let l0 = self.freqs[i].ln();
                 let l1 = self.freqs[i + 1].ln();
                 return Some((l0 + t * (l1 - l0)).exp());
@@ -287,6 +350,91 @@ mod tests {
         let x = [0.0, 1.0, 2.0, 4.0];
         let y = [3.0, 3.0, 3.0, 3.0];
         assert!((integrate_trapezoid(&x, &y) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_grid_reports_measure_failed_not_panic() {
+        let r = AcResponse {
+            freqs: vec![],
+            h: vec![],
+        };
+        assert!(matches!(r.f_3db(), Err(SimError::MeasureFailed { .. })));
+        assert!(matches!(r.ugbw(), Err(SimError::MeasureFailed { .. })));
+        assert!(matches!(
+            r.phase_margin_deg(),
+            Err(SimError::MeasureFailed { .. })
+        ));
+        assert_eq!(r.gain_at(1e6), 0.0);
+        assert_eq!(r.dc_gain(), 0.0);
+    }
+
+    #[test]
+    fn single_point_grid_reports_measure_failed_not_panic() {
+        let r = AcResponse {
+            freqs: vec![1e3],
+            h: vec![Complex::from_re(100.0)],
+        };
+        assert!(matches!(r.f_3db(), Err(SimError::MeasureFailed { .. })));
+        assert!(matches!(r.ugbw(), Err(SimError::MeasureFailed { .. })));
+        assert!(matches!(
+            r.phase_margin_deg(),
+            Err(SimError::MeasureFailed { .. })
+        ));
+        // Interpolation clamps to the single sample at any frequency.
+        assert!((r.gain_at(1.0) - 100.0).abs() < 1e-12);
+        assert!((r.gain_at(1e9) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_zero_magnitude_sample_yields_finite_crossings() {
+        // A response that plunges to exactly 0 mid-sweep: the crossing
+        // interpolation must stay finite and inside the bracketing segment.
+        let freqs = crate::ac::log_freqs(1e2, 1e8, 10);
+        let mut h: Vec<Complex> = freqs
+            .iter()
+            .map(|&f| Complex::from_re(100.0) / Complex::new(1.0, f / 1e4))
+            .collect();
+        let cut = h.len() / 2;
+        for c in h.iter_mut().skip(cut) {
+            *c = Complex::ZERO;
+        }
+        let r = AcResponse {
+            freqs: freqs.clone(),
+            h,
+        };
+        let fu = r.ugbw().unwrap();
+        assert!(fu.is_finite(), "ugbw = {fu}");
+        assert!(fu >= freqs[0] && fu <= freqs[freqs.len() - 1]);
+        let f3 = r.f_3db().unwrap();
+        assert!(f3.is_finite(), "f_3db = {f3}");
+        assert!(f3 >= freqs[0] && f3 <= freqs[freqs.len() - 1]);
+    }
+
+    #[test]
+    fn all_zero_response_has_no_spurious_crossing() {
+        let freqs = crate::ac::log_freqs(1e2, 1e6, 5);
+        let h = vec![Complex::ZERO; freqs.len()];
+        let r = AcResponse { freqs, h };
+        // dc gain 0 => target level 0; nothing is ever strictly below it.
+        assert!(r.f_3db().is_err());
+        assert!(r.ugbw().is_err());
+    }
+
+    #[test]
+    fn gain_at_matches_bracketing_interpolation() {
+        let freqs = crate::ac::log_freqs(1e2, 1e10, 40);
+        let r = single_pole(100.0, 1e5, &freqs);
+        // On-grid query returns the sample magnitude exactly.
+        let i = freqs.len() / 3;
+        assert!((r.gain_at(freqs[i]) - r.h[i].norm()).abs() / r.h[i].norm() < 1e-9);
+        // Off-grid query lies between the bracketing magnitudes.
+        let f = (freqs[i] * freqs[i + 1]).sqrt();
+        let g = r.gain_at(f);
+        let (lo, hi) = (
+            r.h[i + 1].norm().min(r.h[i].norm()),
+            r.h[i + 1].norm().max(r.h[i].norm()),
+        );
+        assert!(g >= lo && g <= hi, "{g} outside [{lo}, {hi}]");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! is the output noise PSD, and dividing by the squared signal gain refers
 //! it to the input.
 
-use crate::ac::AcSolver;
+use crate::ac::{AcSolver, AcWorkspace};
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::device::BOLTZMANN;
@@ -54,7 +54,26 @@ pub fn noise_analysis(
     freqs: &[f64],
     temp_k: f64,
 ) -> Result<NoiseResult, SimError> {
+    noise_analysis_ws(ckt, op, out, freqs, temp_k, &mut AcWorkspace::new())
+}
+
+/// [`noise_analysis`] with reusable workspace buffers — no per-frequency
+/// or per-source allocation; results are identical. Warm evaluation
+/// sessions route their noise analyses through this entry point.
+///
+/// # Errors
+///
+/// Same contract as [`noise_analysis`].
+pub fn noise_analysis_ws(
+    ckt: &Circuit,
+    op: &OpPoint,
+    out: Node,
+    freqs: &[f64],
+    temp_k: f64,
+    ws: &mut AcWorkspace,
+) -> Result<NoiseResult, SimError> {
     let solver = AcSolver::new(ckt, op);
+    solver.prepare_workspace(ws);
     let dim = solver.dim();
 
     // Enumerate noise sources.
@@ -89,14 +108,16 @@ pub fn noise_analysis(
     let mut out_psd = Vec::with_capacity(freqs.len());
     let mut gain = Vec::with_capacity(freqs.len());
     for &f in freqs {
-        let lu = solver.factor_at(f)?;
+        solver.factor_at_ws(f, ws)?;
+        let AcWorkspace { lu, x, rhs, .. } = &mut *ws;
         // Signal gain.
-        let xs = lu.solve(solver.source_rhs());
-        let g = solver.voltage(&xs, out).norm();
+        lu.solve_into(solver.source_rhs(), x);
+        let g = solver.voltage(x, out).norm();
         gain.push(g);
         // Sum over noise sources.
         let mut psd = 0.0;
-        let mut rhs = vec![Complex::ZERO; dim];
+        rhs.clear();
+        rhs.resize(dim, Complex::ZERO);
         for s in &sources {
             rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
             // Unit AC current from p to n inside the source.
@@ -106,8 +127,8 @@ pub fn noise_analysis(
             if let Some(in_) = ckt.mna_index(s.n) {
                 rhs[in_] += Complex::ONE;
             }
-            let x = lu.solve(&rhs);
-            let h2 = solver.voltage(&x, out).norm_sqr();
+            lu.solve_into(rhs, x);
+            let h2 = solver.voltage(x, out).norm_sqr();
             let s_psd = s.white + s.flicker_pref / f.max(1e-3);
             psd += h2 * s_psd;
         }

@@ -45,8 +45,7 @@ fn env_counts_simulations_like_the_tables_do() {
             horizon: 7,
             mode: SimMode::Schematic,
             target_mode: TargetMode::Uniform,
-            sim_fail_reward: -5.0,
-            success_bonus: autockt::core::SUCCESS_BONUS,
+            ..EnvConfig::default()
         },
     );
     let mut rng = StdRng::seed_from_u64(65);
