@@ -52,9 +52,13 @@ pub fn random_agent_deploy(
         .iter()
         .map(|t| {
             env.reset_with_target(t.clone());
+            let sim_failed = env.last_sim_failed();
             let mut spec_trajectory = vec![env.last_specs().to_vec()];
             let mut reached = false;
             let mut steps = 0;
+            // An unsolvable starting point is reported as an unreached
+            // outcome with zero steps, matching `deploy::run_trajectory`.
+            let horizon = if sim_failed { 0 } else { horizon };
             for _ in 0..horizon {
                 let action: Vec<usize> = (0..n_params).map(|_| rng.random_range(0..3)).collect();
                 let sr = env.step(&action);
@@ -75,6 +79,7 @@ pub fn random_agent_deploy(
                 final_specs: env.last_specs().to_vec(),
                 final_params: env.param_indices().to_vec(),
                 spec_trajectory,
+                sim_failed,
             }
         })
         .collect();

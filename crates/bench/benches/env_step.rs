@@ -19,12 +19,26 @@
 //! instead — the memoization worst case, isolating the warm-start win on
 //! fresh solves.
 //!
+//! `env_step_shared_memo_*` steps an environment whose session caches into
+//! a pooled [`autockt_circuits::SharedMemo`] instead of a private map —
+//! the overhead check for the concurrent sharded cache on the revisit
+//! workload (a shard lock + probe per step instead of a plain `HashMap`
+//! probe).
+//!
+//! `ac_lu_generic_*` / `ac_lu_soa_*` time one AC frequency-point
+//! refactor + solve of the real MNA system through the two complex LU
+//! layouts — interleaved `Complex` storage vs the vectorized split re/im
+//! (SoA) kernel — both with fully reused buffers.
+//!
 //! `cargo run --release -p autockt_bench --bin bench_env_step` emits the
 //! steps/sec version of this comparison as `results/BENCH_env_step.json`.
 
-use autockt_circuits::{NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
+use autockt_bench::{ac_kernel_cases, AcKernelCase};
+use autockt_circuits::{NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
 use autockt_core::{EnvConfig, SizingEnv, TargetMode};
 use autockt_rl::env::Env;
+use autockt_sim::complex::Complex;
+use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,7 +63,9 @@ fn bench_env(
     memoize: bool,
     walk: bool,
 ) {
-    let mut env = SizingEnv::new(
+    bench_env_cfg(
+        c,
+        name,
         problem,
         EnvConfig {
             horizon: usize::MAX / 2, // never terminate on the horizon
@@ -59,7 +75,18 @@ fn bench_env(
             memoize,
             ..EnvConfig::default()
         },
+        walk,
     );
+}
+
+fn bench_env_cfg(
+    c: &mut Criterion,
+    name: &str,
+    problem: Arc<dyn SizingProblem>,
+    cfg: EnvConfig,
+    walk: bool,
+) {
+    let mut env = SizingEnv::new(problem, cfg);
     let mut rng = StdRng::seed_from_u64(11);
     env.reset(&mut rng);
     let n = env.action_dims().len();
@@ -103,6 +130,23 @@ fn benches(c: &mut Criterion) {
             );
         }
     }
+    // Pooled-memo variant of the revisit workload: same hits, served
+    // through the concurrent sharded map instead of the private HashMap.
+    for (name, problem) in &topologies {
+        bench_env_cfg(
+            c,
+            &format!("env_step_shared_memo_{name}"),
+            Arc::clone(problem),
+            EnvConfig {
+                horizon: usize::MAX / 2,
+                mode: SimMode::Schematic,
+                target_mode: TargetMode::Uniform,
+                shared_memo: Some(Arc::new(SharedMemo::with_default_capacity())),
+                ..EnvConfig::default()
+            },
+            false,
+        );
+    }
     bench_env(
         c,
         "env_step_neggm_pex_worstcase",
@@ -123,5 +167,52 @@ fn benches(c: &mut Criterion) {
     );
 }
 
-criterion_group!(bench_group, benches);
+/// One AC frequency point, stamped + refactored + solved with reused
+/// buffers through both complex LU layouts over the identical MNA system
+/// — the same [`AcKernelCase`] workloads as `bench_env_step`'s soa-lu
+/// section, so the two harnesses cannot drift apart.
+fn bench_ac_kernels(c: &mut Criterion) {
+    for case in ac_kernel_cases() {
+        let AcKernelCase {
+            name,
+            n,
+            w,
+            pattern,
+            rhs,
+        } = case;
+        // Generic interleaved-Complex kernel (the pre-SoA per-point path).
+        let mut lu = LuFactors::<Complex>::empty();
+        let mut x = Vec::new();
+        c.bench_function(&format!("ac_lu_generic_{name}_dim{n}"), |b| {
+            b.iter(|| {
+                lu.refactor_with(n, 1e-300, |m| {
+                    for &(r, col, gg, cc) in &pattern {
+                        m[(r, col)] = Complex::new(gg, w * cc);
+                    }
+                })
+                .expect("nonsingular");
+                lu.solve_into(&rhs, &mut x);
+                black_box(x.last().copied())
+            });
+        });
+        // Split re/im SoA kernel (the live AC-sweep path).
+        let mut soa = ComplexLuSoa::empty();
+        let mut xs = Vec::new();
+        c.bench_function(&format!("ac_lu_soa_{name}_dim{n}"), |b| {
+            b.iter(|| {
+                soa.refactor_with(n, 1e-300, |re, im| {
+                    for &(r, col, gg, cc) in &pattern {
+                        re[r * n + col] = gg;
+                        im[r * n + col] = w * cc;
+                    }
+                })
+                .expect("nonsingular");
+                soa.solve_into(&rhs, &mut xs);
+                black_box(xs.last().copied())
+            });
+        });
+    }
+}
+
+criterion_group!(bench_group, benches, bench_ac_kernels);
 criterion_main!(bench_group);

@@ -23,18 +23,32 @@
 //! - **warm+memo** — additionally, exact grid revisits are served from the
 //!   session memo cache without any solve.
 //!
+//! Two further sections extend the trajectory:
+//!
+//! - **shared-memo** — `W` workers (1 vs 8) drive *identical* lockstep
+//!   walks concurrently, once with per-env private memos and once pooled
+//!   through one concurrent sharded [`SharedMemo`]: with pooling, the
+//!   first worker to reach a grid point solves it and every sibling's
+//!   revisit is a cross-worker cache hit.
+//! - **soa-lu** — one AC frequency point of the real MNA system,
+//!   refactored + solved with reused buffers through the interleaved
+//!   `Complex` LU versus the vectorized split re/im (SoA) kernel.
+//!
 //! Prints a comparison table and writes `results/BENCH_env_step.json`
-//! (schema `autockt/bench_env_step/v1`) so CI can archive the trajectory.
+//! (schema `autockt/bench_env_step/v2`) so CI can archive the trajectory.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
 //! (`--steps N`, `--episode H`, `--seed S` to override).
 
-use autockt_bench::{arg_value, results_dir};
-use autockt_circuits::{NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
+use autockt_bench::{ac_kernel_cases, arg_value, dense_kernel_case, results_dir, AcKernelCase};
+use autockt_circuits::{NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
 use autockt_core::{EnvConfig, SizingEnv, TargetMode};
 use autockt_rl::env::Env;
+use autockt_sim::complex::Complex;
+use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::hint::black_box;
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -97,6 +111,133 @@ fn run_walk(
         steps_per_sec: steps as f64 / dt,
         solves: env.solve_count(),
         memo_hits: env.memo_hits(),
+    }
+}
+
+struct MultiStats {
+    agg_steps_per_sec: f64,
+    solves: u64,
+    cross_hits: u64,
+}
+
+/// Drives `workers` environments through *identical* lockstep walks
+/// concurrently (same action schedule, same reset targets), either each
+/// with a private memo or all pooled through `shared`. Identical
+/// trajectories are the pooling best case the training workers approach:
+/// every grid point any worker needs has usually been solved by a sibling.
+fn run_multi(
+    problem: &Arc<dyn SizingProblem>,
+    walk: Walk,
+    workers: usize,
+    shared: Option<&Arc<SharedMemo>>,
+    steps: usize,
+    episode: usize,
+    seed: u64,
+) -> MultiStats {
+    let mk_env = || {
+        SizingEnv::new(
+            Arc::clone(problem),
+            EnvConfig {
+                horizon: usize::MAX / 2,
+                mode: SimMode::Schematic,
+                target_mode: TargetMode::Uniform,
+                shared_memo: shared.map(Arc::clone),
+                ..EnvConfig::default()
+            },
+        )
+    };
+    let mut envs: Vec<SizingEnv> = (0..workers).map(|_| mk_env()).collect();
+    let n_params = envs[0].action_dims().len();
+    let mut action_rng = StdRng::seed_from_u64(seed ^ 0xACC5);
+    let actions: Vec<Vec<usize>> = (0..steps)
+        .map(|_| match walk {
+            Walk::Revisit => vec![1; n_params],
+            Walk::Explore => (0..n_params)
+                .map(|_| action_rng.random_range(0..3))
+                .collect(),
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for env in envs.iter_mut() {
+            let actions = &actions;
+            scope.spawn(move || {
+                let mut reset_rng = StdRng::seed_from_u64(seed);
+                env.reset(&mut reset_rng);
+                for (i, a) in actions.iter().enumerate() {
+                    if i > 0 && i % episode == 0 {
+                        env.reset(&mut reset_rng);
+                    }
+                    env.step(a);
+                }
+            });
+        }
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    MultiStats {
+        agg_steps_per_sec: (workers * steps) as f64 / dt,
+        solves: envs.iter().map(SizingEnv::solve_count).sum(),
+        cross_hits: envs.iter().map(SizingEnv::cross_memo_hits).sum(),
+    }
+}
+
+struct KernelStats {
+    dim: usize,
+    generic_ns: f64,
+    soa_ns: f64,
+}
+
+/// Stamp + refactor + one solve per iteration through both complex LU
+/// layouts, buffers fully reused, over a shared [`AcKernelCase`] workload
+/// (the criterion `ac_lu_*` benches drive the identical cases).
+fn time_lu_kernels(case: &AcKernelCase, iters: u32) -> KernelStats {
+    let AcKernelCase {
+        n, w, pattern, rhs, ..
+    } = case;
+    let (n, w) = (*n, *w);
+    let mut lu = LuFactors::<Complex>::empty();
+    let mut x = Vec::new();
+    let stamp = |lu: &mut LuFactors<Complex>| {
+        lu.refactor_with(n, 1e-300, |m| {
+            for &(r, c, gg, cc) in pattern {
+                m[(r, c)] = Complex::new(gg, w * cc);
+            }
+        })
+        .expect("nonsingular")
+    };
+    stamp(&mut lu); // warm the buffers
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        stamp(black_box(&mut lu));
+        lu.solve_into(rhs, &mut x);
+        black_box(x.last());
+    }
+    let generic_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+
+    let mut soa = ComplexLuSoa::empty();
+    let mut xs = Vec::new();
+    let stamp_soa = |soa: &mut ComplexLuSoa| {
+        soa.refactor_with(n, 1e-300, |re, im| {
+            for &(r, c, gg, cc) in pattern {
+                re[r * n + c] = gg;
+                im[r * n + c] = w * cc;
+            }
+        })
+        .expect("nonsingular")
+    };
+    stamp_soa(&mut soa);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        stamp_soa(black_box(&mut soa));
+        soa.solve_into(rhs, &mut xs);
+        black_box(xs.last());
+    }
+    let soa_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+
+    KernelStats {
+        dim: n,
+        generic_ns,
+        soa_ns,
     }
 }
 
@@ -174,16 +315,107 @@ fn main() {
         }
     }
 
+    // Shared-memo multi-worker workloads: identical lockstep walks, 1 vs
+    // 8 workers, per-env private memos vs one pooled concurrent map.
+    println!(
+        "\n{:<8} {:<8} {:>3} {:>15} {:>14} {:>8} {:>11} {:>12}",
+        "problem", "walk", "W", "per-env st/s", "pooled st/s", "pool x", "cross hits", "solves p/e"
+    );
+    let mut memo_rows = Vec::new();
+    for (name, problem) in &topologies {
+        for (walk, walk_name) in [(Walk::Revisit, "revisit"), (Walk::Explore, "explore")] {
+            for workers in [1usize, 8] {
+                let per_env = run_multi(problem, walk, workers, None, steps, episode, seed);
+                let memo = Arc::new(SharedMemo::with_default_capacity());
+                let pooled = run_multi(problem, walk, workers, Some(&memo), steps, episode, seed);
+                let speedup = pooled.agg_steps_per_sec / per_env.agg_steps_per_sec;
+                println!(
+                    "{:<8} {:<8} {:>3} {:>15.0} {:>14.0} {:>7.2}x {:>11} {:>5}/{:<5}",
+                    name,
+                    walk_name,
+                    workers,
+                    per_env.agg_steps_per_sec,
+                    pooled.agg_steps_per_sec,
+                    speedup,
+                    pooled.cross_hits,
+                    pooled.solves,
+                    per_env.solves,
+                );
+                memo_rows.push(format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"problem\": \"{}\",\n",
+                        "      \"walk\": \"{}\",\n",
+                        "      \"workers\": {},\n",
+                        "      \"per_env_steps_per_sec\": {:.1},\n",
+                        "      \"pooled_steps_per_sec\": {:.1},\n",
+                        "      \"pooled_speedup\": {:.3},\n",
+                        "      \"cross_worker_hits\": {},\n",
+                        "      \"pooled_solves\": {},\n",
+                        "      \"per_env_solves\": {}\n",
+                        "    }}"
+                    ),
+                    name,
+                    walk_name,
+                    workers,
+                    per_env.agg_steps_per_sec,
+                    pooled.agg_steps_per_sec,
+                    speedup,
+                    pooled.cross_hits,
+                    pooled.solves,
+                    per_env.solves,
+                ));
+            }
+        }
+    }
+
+    // SoA complex-LU kernel vs the generic interleaved layout, per AC
+    // frequency point on the real center-design MNA systems.
+    println!(
+        "\n{:<8} {:>4} {:>16} {:>14} {:>8}",
+        "problem", "dim", "generic ns/pt", "soa ns/pt", "soa x"
+    );
+    let mut kernel_rows = Vec::new();
+    let mut kernels: Vec<(String, KernelStats)> = ac_kernel_cases()
+        .iter()
+        .map(|case| (case.name.clone(), time_lu_kernels(case, 200_000)))
+        .collect();
+    // A denser system than today's MNA dims: where the vectorized rank-1
+    // update has rows long enough to amortize.
+    let dense = dense_kernel_case(32);
+    kernels.push((dense.name.clone(), time_lu_kernels(&dense, 20_000)));
+    for (name, k) in &kernels {
+        let speedup = k.generic_ns / k.soa_ns;
+        println!(
+            "{:<8} {:>4} {:>16.1} {:>14.1} {:>7.2}x",
+            name, k.dim, k.generic_ns, k.soa_ns, speedup
+        );
+        kernel_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"problem\": \"{}\",\n",
+                "      \"dim\": {},\n",
+                "      \"generic_ns_per_point\": {:.1},\n",
+                "      \"soa_ns_per_point\": {:.1},\n",
+                "      \"soa_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            name, k.dim, k.generic_ns, k.soa_ns, speedup
+        ));
+    }
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"autockt/bench_env_step/v1\",\n",
+            "  \"schema\": \"autockt/bench_env_step/v2\",\n",
             "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
             "-- --steps {} --episode {} --seed {}\",\n",
             "  \"steps_per_config\": {},\n",
             "  \"episode_len\": {},\n",
             "  \"seed\": {},\n",
-            "  \"results\": [\n{}\n  ]\n",
+            "  \"results\": [\n{}\n  ],\n",
+            "  \"shared_memo\": [\n{}\n  ],\n",
+            "  \"soa_lu\": [\n{}\n  ]\n",
             "}}\n"
         ),
         steps,
@@ -192,7 +424,9 @@ fn main() {
         steps,
         episode,
         seed,
-        rows.join(",\n")
+        rows.join(",\n"),
+        memo_rows.join(",\n"),
+        kernel_rows.join(",\n")
     );
     let path = results_dir().join("BENCH_env_step.json");
     let mut f = std::fs::File::create(&path).expect("create bench json");

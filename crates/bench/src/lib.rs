@@ -9,9 +9,120 @@
 
 pub mod exp;
 
+use autockt_circuits::{OpAmp2, SizingProblem, Tia};
+use autockt_sim::ac::AcSolver;
+use autockt_sim::complex::Complex;
+use autockt_sim::dc::{dc_operating_point, DcOptions};
+use autockt_sim::device::Technology;
+use autockt_sim::netlist::Circuit;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// One AC-kernel workload: the MNA dimension, angular frequency, sparse
+/// `(row, col, g, c)` stamp pattern, and source right-hand side of a
+/// linearized system — shared by the criterion `ac_lu_*` benches and the
+/// `bench_env_step` soa-lu section so both measure the *same* stamp +
+/// refactor + solve kernel and cannot drift apart.
+pub struct AcKernelCase {
+    /// Label for bench names and JSON rows.
+    pub name: String,
+    /// MNA dimension.
+    pub n: usize,
+    /// Angular frequency `2*pi*f` of the stamped point.
+    pub w: f64,
+    /// Sparse `(row, col, g, c)` stamp pattern; the system entry is
+    /// `g + j*w*c`.
+    pub pattern: Vec<(usize, usize, f64, f64)>,
+    /// Source-driven right-hand side.
+    pub rhs: Vec<Complex>,
+}
+
+/// The real center-design MNA systems: the TIA (dim 4) and the two-stage
+/// op-amp (dim 11, the ROADMAP's per-point reference).
+///
+/// # Panics
+///
+/// Panics if a center design fails to solve — these are the bench's fixed
+/// reference circuits, so that is a setup bug.
+pub fn ac_kernel_cases() -> Vec<AcKernelCase> {
+    let tech = Technology::ptm45();
+    let tia = Tia::default();
+    let tidx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+    let (tia_ckt, _) = tia.build(&tidx, &tech);
+    let opamp = OpAmp2::default();
+    let oidx: Vec<usize> = opamp.cardinalities().iter().map(|k| k / 2).collect();
+    let (op_ckt, _, _) = opamp.build(&oidx, &tech);
+    vec![
+        ac_kernel_case("tia", &tia_ckt, 0.5),
+        ac_kernel_case("opamp2", &op_ckt, 0.6),
+    ]
+}
+
+fn ac_kernel_case(name: &str, ckt: &Circuit, initial_v: f64) -> AcKernelCase {
+    let op = dc_operating_point(
+        ckt,
+        &DcOptions {
+            initial_v,
+            ..DcOptions::default()
+        },
+    )
+    .expect("center design solves");
+    let solver = AcSolver::new(ckt, &op);
+    let n = solver.dim();
+    let freq = 1e9;
+    let w = 2.0 * std::f64::consts::PI * freq;
+    // Recover the sparse stamp pattern from the dense system matrix so
+    // the bench loops re-assemble per point exactly like the AC sweep's
+    // hot path does (entry = g + j*w*c, so c = im / w).
+    let y = solver.system_matrix(freq);
+    let mut pattern = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            let v = y[(r, c)];
+            if v != Complex::ZERO {
+                pattern.push((r, c, v.re, v.im / w));
+            }
+        }
+    }
+    AcKernelCase {
+        name: name.to_string(),
+        n,
+        w,
+        pattern,
+        rhs: solver.source_rhs().to_vec(),
+    }
+}
+
+/// A synthetic dense diagonally-dominant complex system of dimension `n`,
+/// showing how the LU layouts scale past today's MNA dims (the SoA
+/// kernel's vectorized rank-1 update needs longer rows to amortize).
+pub fn dense_kernel_case(n: usize) -> AcKernelCase {
+    let w = 2.0 * std::f64::consts::PI * 1e9;
+    let mut pattern = Vec::new();
+    for r in 0..n {
+        let mut rowsum = 0.0;
+        for c in 0..n {
+            if r != c {
+                let gg = (((r * 31 + c * 17) % 13) as f64 - 6.0) / 7.0;
+                let cc = ((((r * 7 + c * 29) % 11) as f64) - 5.0) * 1e-12;
+                rowsum += Complex::new(gg, w * cc).norm();
+                pattern.push((r, c, gg, cc));
+            }
+        }
+        pattern.push((r, r, rowsum + 1.0, 1e-12));
+    }
+    let rhs: Vec<Complex> = (0..n)
+        .map(|i| Complex::new(1.0 + i as f64, 0.5 - i as f64 / n as f64))
+        .collect();
+    AcKernelCase {
+        name: format!("dense{n}"),
+        n,
+        w,
+        pattern,
+        rhs,
+    }
+}
 
 /// Returns the `results/` directory at the workspace root, creating it if
 /// needed.

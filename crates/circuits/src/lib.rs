@@ -34,13 +34,15 @@ pub mod tia;
 
 pub use neggm::NegGmOta;
 pub use opamp2::OpAmp2;
-pub use problem::{EvalSession, ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
+pub use problem::{EvalSession, ParamSpec, SharedMemo, SimMode, SizingProblem, SpecDef, SpecKind};
 pub use tia::Tia;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::neggm::NegGmOta;
     pub use crate::opamp2::OpAmp2;
-    pub use crate::problem::{EvalSession, ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
+    pub use crate::problem::{
+        EvalSession, ParamSpec, SharedMemo, SimMode, SizingProblem, SpecDef, SpecKind,
+    };
     pub use crate::tia::Tia;
 }

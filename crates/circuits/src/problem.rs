@@ -9,8 +9,10 @@
 
 use autockt_sim::dc::WarmState;
 use autockt_sim::SimError;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One tunable circuit parameter with its discrete grid of physical values
 /// (the paper's `[start, end, increment]` notation expanded).
@@ -175,6 +177,251 @@ struct MemoEntry {
     warm: Vec<Option<Vec<f64>>>,
 }
 
+/// One entry of a [`SharedMemo`]: like the per-session `MemoEntry`, plus
+/// the id of the worker that inserted it (for cross-worker hit accounting).
+#[derive(Clone)]
+struct SharedEntry {
+    specs: Result<Vec<f64>, SimError>,
+    warm: Vec<Option<Vec<f64>>>,
+    owner: u64,
+}
+
+/// One mutex-guarded shard of a [`SharedMemo`]: the key -> entry map plus
+/// an insertion-order queue driving FIFO eviction at capacity.
+#[derive(Default)]
+struct MemoShard {
+    map: HashMap<Vec<usize>, SharedEntry>,
+    order: VecDeque<Vec<usize>>,
+}
+
+/// A concurrent evaluation memo shared by every rollout worker of a
+/// training run: `N` mutex-guarded shards keyed by the discrete parameter
+/// index vector, so the 8 training environments pool their grid revisits
+/// instead of each re-solving points a sibling already evaluated (episodes
+/// all restart from the grid center, so cross-worker overlap is heavy).
+///
+/// Sharding keeps contention negligible — a key's shard is chosen by hash,
+/// and a lock is held only for the microseconds of a map probe or insert,
+/// never across a solve. Each shard is capacity-bounded like the per-env
+/// memo; at capacity the *oldest* entry in the shard is evicted FIFO (the
+/// shared map outlives episodes and workers, so unlike the per-session
+/// cache it cannot simply stop inserting without eventually pinning a
+/// stale working set).
+///
+/// Warm-start state stays private per worker: the memo stores warm
+/// *snapshots* (restored on hits so a later miss still warm-starts from an
+/// adjacent grid point), but each session keeps its own [`WarmState`].
+/// With warm-starting disabled, pooled results are bitwise-identical to
+/// per-env memo runs (solves are pure); with it enabled, a hit may serve
+/// specs solved from another worker's warm trajectory, which agree within
+/// solver tolerance (the same contract as `simulate_warm` itself).
+///
+/// # Examples
+///
+/// ```
+/// use autockt_circuits::prelude::*;
+/// use autockt_circuits::problem::{EvalSession, SharedMemo};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), autockt_sim::SimError> {
+/// let tia = Tia::default();
+/// let memo = Arc::new(SharedMemo::new(8, 1 << 16));
+/// let mut a = EvalSession::borrowed(&tia, SimMode::Schematic)
+///     .with_shared_memo(Arc::clone(&memo));
+/// let mut b = EvalSession::borrowed(&tia, SimMode::Schematic)
+///     .with_shared_memo(Arc::clone(&memo));
+/// let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+/// let first = a.evaluate(&idx)?; // solved by session a
+/// let pooled = b.evaluate(&idx)?; // served from the shared memo
+/// assert_eq!(first, pooled);
+/// assert_eq!(b.solve_count(), 0);
+/// assert_eq!(b.cross_memo_hits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SharedMemo {
+    shards: Vec<Mutex<MemoShard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    cross_hits: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    next_worker: AtomicU64,
+}
+
+impl std::fmt::Debug for SharedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMemo")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("cross_hits", &self.cross_hits())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+impl SharedMemo {
+    /// Default shard count: comfortably above the 8 training workers, so
+    /// two workers probing simultaneously almost never contend.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a memo with `shards` shards (rounded up to a power of two,
+    /// minimum 1) bounding `capacity` total entries across all shards.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        SharedMemo {
+            shards: (0..shards)
+                .map(|_| Mutex::new(MemoShard::default()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(shards).max(1),
+            hits: AtomicU64::new(0),
+            cross_hits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            next_worker: AtomicU64::new(0),
+        }
+    }
+
+    /// A memo sized like the per-session default
+    /// ([`EvalSession::DEFAULT_MEMO_CAPACITY`]) over
+    /// [`SharedMemo::DEFAULT_SHARDS`] shards.
+    pub fn with_default_capacity() -> Self {
+        SharedMemo::new(
+            SharedMemo::DEFAULT_SHARDS,
+            EvalSession::DEFAULT_MEMO_CAPACITY,
+        )
+    }
+
+    /// Registers a new worker, returning its id (used to distinguish
+    /// cross-worker hits from a worker re-reading its own insertions).
+    pub fn register_worker(&self) -> u64 {
+        self.next_worker.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard(&self, idx: &[usize]) -> &Mutex<MemoShard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        idx.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up `idx`, cloning the entry out (the lock is never held
+    /// across a solve). Returns the specs, the warm snapshot taken at the
+    /// original solve, and whether the entry was inserted by a *different*
+    /// worker than `worker`.
+    #[allow(clippy::type_complexity)]
+    fn get(
+        &self,
+        idx: &[usize],
+        worker: u64,
+    ) -> Option<(Result<Vec<f64>, SimError>, Vec<Option<Vec<f64>>>, bool)> {
+        let shard = self.shard(idx).lock().expect("memo shard poisoned");
+        let e = shard.map.get(idx)?;
+        let cross = e.owner != worker;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if cross {
+            self.cross_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((e.specs.clone(), e.warm.clone(), cross))
+    }
+
+    /// Whether `idx` is currently memoized.
+    pub fn contains(&self, idx: &[usize]) -> bool {
+        self.shard(idx)
+            .lock()
+            .expect("memo shard poisoned")
+            .map
+            .contains_key(idx)
+    }
+
+    fn insert(
+        &self,
+        idx: &[usize],
+        specs: Result<Vec<f64>, SimError>,
+        warm: Vec<Option<Vec<f64>>>,
+        worker: u64,
+    ) {
+        let mut shard = self.shard(idx).lock().expect("memo shard poisoned");
+        if shard.map.contains_key(idx) {
+            // A sibling solved the same point concurrently; keep the
+            // first insertion so every later hit serves one consistent
+            // value.
+            return;
+        }
+        if shard.map.len() >= self.per_shard_capacity {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.order.push_back(idx.to_vec());
+        shard.map.insert(
+            idx.to_vec(),
+            SharedEntry {
+                specs,
+                warm,
+                owner: worker,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Distinct grid points currently memoized across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookup hits across all workers.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits served to a worker other than the one that solved the entry —
+    /// the pooling win that a per-env memo cannot provide.
+    pub fn cross_hits(&self) -> u64 {
+        self.cross_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total insertions (solves that were cached).
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted FIFO at shard capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entry capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Drops every entry, keeping counters (useful between benchmark
+    /// configurations sharing one memo allocation).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock().expect("memo shard poisoned");
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+}
+
 /// How an [`EvalSession`] holds its problem.
 #[derive(Clone)]
 enum ProblemRef<'p> {
@@ -229,8 +476,11 @@ pub struct EvalSession<'p> {
     memo_capacity: usize,
     warm: WarmState,
     memo: HashMap<Vec<usize>, MemoEntry>,
+    shared: Option<Arc<SharedMemo>>,
+    worker_id: u64,
     solves: u64,
     memo_hits: u64,
+    cross_hits: u64,
 }
 
 impl std::fmt::Debug for EvalSession<'_> {
@@ -240,9 +490,11 @@ impl std::fmt::Debug for EvalSession<'_> {
             .field("mode", &self.mode)
             .field("warm_start", &self.warm_start)
             .field("memoize", &self.memoize)
+            .field("shared", &self.shared.is_some())
             .field("memo_len", &self.memo.len())
             .field("solves", &self.solves)
             .field("memo_hits", &self.memo_hits)
+            .field("cross_hits", &self.cross_hits)
             .finish()
     }
 }
@@ -257,8 +509,11 @@ impl<'p> EvalSession<'p> {
             memo_capacity: EvalSession::DEFAULT_MEMO_CAPACITY,
             warm: WarmState::new(),
             memo: HashMap::new(),
+            shared: None,
+            worker_id: 0,
             solves: 0,
             memo_hits: 0,
+            cross_hits: 0,
         }
     }
 
@@ -283,6 +538,21 @@ impl<'p> EvalSession<'p> {
     /// Disables or enables the memo cache (on by default).
     pub fn with_memo(mut self, on: bool) -> Self {
         self.memoize = on;
+        self
+    }
+
+    /// Attaches a [`SharedMemo`] pooled across sessions: lookups and
+    /// insertions go to the concurrent sharded map instead of this
+    /// session's private cache, so grid points solved by *any* attached
+    /// worker serve every other worker's revisits. Implies memoization;
+    /// warm-start state remains private to this session (hits restore the
+    /// entry's warm snapshot exactly as the private memo does). The
+    /// session registers itself as a distinct worker for
+    /// [`EvalSession::cross_memo_hits`] accounting.
+    pub fn with_shared_memo(mut self, memo: Arc<SharedMemo>) -> Self {
+        self.worker_id = memo.register_worker();
+        self.shared = Some(memo);
+        self.memoize = true;
         self
     }
 
@@ -323,7 +593,18 @@ impl<'p> EvalSession<'p> {
     /// too (an unsolvable grid point stays unsolvable).
     pub fn evaluate(&mut self, idx: &[usize]) -> Result<Vec<f64>, SimError> {
         if self.memoize {
-            if let Some(hit) = self.memo.get(idx) {
+            if let Some(shared) = &self.shared {
+                if let Some((specs, warm, cross)) = shared.get(idx, self.worker_id) {
+                    self.memo_hits += 1;
+                    if cross {
+                        self.cross_hits += 1;
+                    }
+                    if self.warm_start {
+                        self.warm.restore(&warm);
+                    }
+                    return specs;
+                }
+            } else if let Some(hit) = self.memo.get(idx) {
                 self.memo_hits += 1;
                 if self.warm_start {
                     // Re-arm the warm state as of this grid point's solve:
@@ -342,26 +623,34 @@ impl<'p> EvalSession<'p> {
         } else {
             self.problem.get().simulate(idx, self.mode)
         };
-        if self.memoize && self.memo.len() < self.memo_capacity {
+        if self.memoize {
             let warm = if self.warm_start {
                 self.warm.snapshot()
             } else {
                 Vec::new()
             };
-            self.memo.insert(
-                idx.to_vec(),
-                MemoEntry {
-                    specs: res.clone(),
-                    warm,
-                },
-            );
+            if let Some(shared) = &self.shared {
+                shared.insert(idx, res.clone(), warm, self.worker_id);
+            } else if self.memo.len() < self.memo_capacity {
+                self.memo.insert(
+                    idx.to_vec(),
+                    MemoEntry {
+                        specs: res.clone(),
+                        warm,
+                    },
+                );
+            }
         }
         res
     }
 
     /// Whether `idx` is already memoized (no solve would be spent on it).
     pub fn is_memoized(&self, idx: &[usize]) -> bool {
-        self.memoize && self.memo.contains_key(idx)
+        self.memoize
+            && match &self.shared {
+                Some(shared) => shared.contains(idx),
+                None => self.memo.contains_key(idx),
+            }
     }
 
     /// Clears warm-start state (episode reset), keeping the memo cache —
@@ -370,12 +659,16 @@ impl<'p> EvalSession<'p> {
         self.warm.reset();
     }
 
-    /// Clears warm state *and* the memo cache.
+    /// Clears warm state *and* this session's private memo cache and
+    /// counters. An attached [`SharedMemo`] is left untouched — it belongs
+    /// to every worker, not this session; clear it via
+    /// [`SharedMemo::clear`] if that is really intended.
     pub fn clear(&mut self) {
         self.warm.reset();
         self.memo.clear();
         self.solves = 0;
         self.memo_hits = 0;
+        self.cross_hits = 0;
     }
 
     /// Evaluations that actually ran the simulator.
@@ -383,14 +676,29 @@ impl<'p> EvalSession<'p> {
         self.solves
     }
 
-    /// Evaluations served from the memo cache.
+    /// Evaluations served from the memo cache (private or shared).
     pub fn memo_hits(&self) -> u64 {
         self.memo_hits
     }
 
-    /// Distinct grid points memoized so far.
+    /// Shared-memo hits served from an entry solved by a *different*
+    /// worker — always 0 without [`EvalSession::with_shared_memo`].
+    pub fn cross_memo_hits(&self) -> u64 {
+        self.cross_hits
+    }
+
+    /// The attached shared memo, if any.
+    pub fn shared_memo(&self) -> Option<&Arc<SharedMemo>> {
+        self.shared.as_ref()
+    }
+
+    /// Distinct grid points memoized so far (across all workers when a
+    /// shared memo is attached).
     pub fn memo_len(&self) -> usize {
-        self.memo.len()
+        match &self.shared {
+            Some(shared) => shared.len(),
+            None => self.memo.len(),
+        }
     }
 }
 
@@ -483,6 +791,62 @@ mod tests {
         let _ = s.evaluate(&point(0));
         assert_eq!(s.solve_count(), solves);
         assert!(s.memo_hits() >= 1);
+    }
+
+    #[test]
+    fn shared_memo_shard_capacity_evicts_fifo() {
+        let memo = SharedMemo::new(1, 2); // single shard bounding 2 entries
+        memo.insert(&[0], Ok(vec![0.0]), Vec::new(), 0);
+        memo.insert(&[1], Ok(vec![1.0]), Vec::new(), 0);
+        assert_eq!(memo.len(), 2);
+        memo.insert(&[2], Ok(vec![2.0]), Vec::new(), 0);
+        assert_eq!(memo.len(), 2, "capacity bound holds");
+        assert_eq!(memo.evictions(), 1);
+        assert!(!memo.contains(&[0]), "oldest entry evicted first");
+        assert!(memo.contains(&[1]) && memo.contains(&[2]));
+        // Duplicate insertion keeps the first value (first-solve-wins).
+        memo.insert(&[2], Ok(vec![9.0]), Vec::new(), 1);
+        let (specs, _, _) = memo.get(&[2], 0).unwrap();
+        assert_eq!(specs.unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn shared_memo_rounds_shards_to_power_of_two() {
+        let memo = SharedMemo::new(5, 100);
+        assert_eq!(memo.num_shards(), 8);
+        assert!(memo.capacity() >= 100);
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn shared_memo_pools_across_sessions() {
+        let tia = crate::Tia::default();
+        let memo = Arc::new(SharedMemo::new(4, 1024));
+        let mut a =
+            EvalSession::borrowed(&tia, SimMode::Schematic).with_shared_memo(Arc::clone(&memo));
+        let mut b =
+            EvalSession::borrowed(&tia, SimMode::Schematic).with_shared_memo(Arc::clone(&memo));
+        let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+        let x = a.evaluate(&idx).unwrap();
+        let y = b.evaluate(&idx).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(a.solve_count(), 1);
+        assert_eq!(b.solve_count(), 0, "pooled revisit must not solve");
+        assert_eq!(b.memo_hits(), 1);
+        assert_eq!(b.cross_memo_hits(), 1);
+        // A worker re-reading its own insertion is a hit, not a cross hit.
+        a.evaluate(&idx).unwrap();
+        assert_eq!(a.memo_hits(), 1);
+        assert_eq!(a.cross_memo_hits(), 0);
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.cross_hits(), 1);
+        assert!(a.is_memoized(&idx));
+        assert_eq!(a.memo_len(), 1);
+        // Session clear leaves the pooled entries alone.
+        a.clear();
+        assert!(a.is_memoized(&idx));
+        memo.clear();
+        assert!(!a.is_memoized(&idx));
     }
 
     #[test]

@@ -14,9 +14,10 @@ use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcSolver, AcWorkspace};
 use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
 use autockt_sim::device::{MosPolarity, Pvt, Technology};
 use autockt_sim::measure::settling_time;
-use autockt_sim::netlist::{Circuit, Mosfet, Node, GND};
+use autockt_sim::netlist::{Circuit, Mosfet, Node, Step, GND};
 use autockt_sim::noise::{noise_analysis, noise_analysis_ws};
 use autockt_sim::pex::{extract, PexConfig};
+use autockt_sim::tran::{transient, transient_warm, TranOptions};
 use autockt_sim::SimError;
 
 /// Index constants into the TIA spec vector.
@@ -42,6 +43,7 @@ pub struct Tia {
     /// Load capacitance at the output (F).
     pub c_load: f64,
     pex: PexConfig,
+    transient_settling: bool,
 }
 
 impl Default for Tia {
@@ -96,12 +98,48 @@ impl Tia {
             c_in: 40e-15,
             c_load: 25e-15,
             pex: PexConfig::default(),
+            transient_settling: false,
         }
+    }
+
+    /// Measures settling with the nonlinear transient engine (a small step
+    /// of photodiode current integrated through Newton time stepping)
+    /// instead of the small-signal linear step response. Off by default —
+    /// the linear response is exact for small-signal settling and orders
+    /// of magnitude cheaper — but the transient path exercises large-signal
+    /// effects and, evaluated through a session, warm-starts its initial
+    /// DC operating point from the session's [`WarmState`] instead of
+    /// cold-starting (applies to `Schematic` and `Pex` modes; the
+    /// worst-case PVT sweep keeps the linear measurement).
+    pub fn with_transient_settling(mut self, on: bool) -> Self {
+        self.transient_settling = on;
+        self
     }
 
     /// Builds the netlist at the given grid indices for a technology
     /// variant. Returns the circuit and its output node.
     pub fn build(&self, idx: &[usize], tech: &Technology) -> (Circuit, Node) {
+        self.build_inner(idx, tech, None)
+    }
+
+    /// Like [`Tia::build`], with the photodiode replaced by a step current
+    /// source (`0 -> i_step` at `t = 0`) for nonlinear transient settling
+    /// measurements. Element and node order match `build` exactly, so the
+    /// MNA structure — and therefore a session's warm-start slot — is
+    /// interchangeable with the AC variant's.
+    pub fn build_step(&self, idx: &[usize], tech: &Technology, i_step: f64) -> (Circuit, Node) {
+        self.build_inner(
+            idx,
+            tech,
+            Some(Step {
+                v0: 0.0,
+                v1: i_step,
+                t_delay: 0.0,
+            }),
+        )
+    }
+
+    fn build_inner(&self, idx: &[usize], tech: &Technology, step: Option<Step>) -> (Circuit, Node) {
         assert_eq!(idx.len(), self.params.len(), "wrong parameter count");
         let w_n = self.params[0].values[idx[0]];
         let m_n = self.params[1].values[idx[1]];
@@ -118,7 +156,10 @@ impl Tia {
         ckt.vsource(vdd, GND, tech.vdd, 0.0);
         // Photodiode: AC test current of 1 A (linearity makes magnitude
         // irrelevant), zero DC so the inverter self-biases through Rf.
-        ckt.isource(GND, vin, 0.0, 1.0);
+        match step {
+            None => ckt.isource(GND, vin, 0.0, 1.0),
+            Some(s) => ckt.isource_step(GND, vin, s, 1.0),
+        }
         ckt.capacitor(vin, GND, self.c_in);
         ckt.capacitor(out, GND, self.c_load);
         ckt.resistor(out, vin, rf);
@@ -186,12 +227,25 @@ impl Tia {
         match mode {
             SimMode::Schematic => {
                 let (ckt, out) = self.build(idx, &self.tech);
-                measure(&ckt, out, 300.15, 0, state)
+                let mut specs = measure(&ckt, out, 300.15, 0, state.as_deref_mut())?;
+                if self.transient_settling {
+                    let (sckt, sout) = self.build_step(idx, &self.tech, Tia::STEP_CURRENT);
+                    specs[spec_index::SETTLING] =
+                        self.settling_transient(&sckt, sout, specs[spec_index::CUTOFF], state)?;
+                }
+                Ok(specs)
             }
             SimMode::Pex => {
                 let (ckt, out) = self.build(idx, &self.tech);
                 let ex = extract(&ckt, &self.pex);
-                measure(&ex, out, 300.15, 0, state)
+                let mut specs = measure(&ex, out, 300.15, 0, state.as_deref_mut())?;
+                if self.transient_settling {
+                    let (sckt, sout) = self.build_step(idx, &self.tech, Tia::STEP_CURRENT);
+                    let sex = extract(&sckt, &self.pex);
+                    specs[spec_index::SETTLING] =
+                        self.settling_transient(&sex, sout, specs[spec_index::CUTOFF], state)?;
+                }
+                Ok(specs)
             }
             SimMode::PexWorstCase => {
                 let mut rows = Vec::new();
@@ -210,6 +264,44 @@ impl Tia {
                 Ok(worst_case(&self.specs, &rows))
             }
         }
+    }
+
+    /// Step amplitude for the nonlinear transient settling measurement:
+    /// small enough that the response stays in the small-signal regime
+    /// (output deviation of a few millivolts), so it cross-checks the
+    /// linear step response rather than measuring slewing.
+    pub const STEP_CURRENT: f64 = 1e-6;
+
+    /// Settling time from a nonlinear transient of the step-driven
+    /// netlist, warm-starting the initial DC operating point from the
+    /// session's state when available (the step circuit shares the AC
+    /// variant's MNA structure and operating point, so the slot is hot).
+    /// Transient non-convergence and an unsettled record report the spec's
+    /// fail value; only an unsolvable operating point is an error.
+    fn settling_transient(
+        &self,
+        ckt: &Circuit,
+        out: Node,
+        cutoff: f64,
+        state: Option<&mut WarmState>,
+    ) -> Result<f64, SimError> {
+        let fail = self.specs[spec_index::SETTLING].fail_value;
+        if cutoff <= 0.0 {
+            return Ok(fail);
+        }
+        let mut opts = TranOptions::new(8.0 / cutoff, 512);
+        opts.dc = self.dc_opts();
+        let res = match state {
+            Some(st) => transient_warm(ckt, &opts, 0, st),
+            None => transient(ckt, &opts),
+        };
+        let res = match res {
+            Ok(r) => r,
+            Err(SimError::TranNoConvergence { .. }) => return Ok(fail),
+            Err(e) => return Err(e),
+        };
+        let w = res.node_waveform(out);
+        Ok(settling_time(&res.t, &w, 0.02).unwrap_or(fail))
     }
 
     fn measure_at(
@@ -330,6 +422,40 @@ mod tests {
             s_hi[spec_index::CUTOFF],
             s_lo[spec_index::CUTOFF]
         );
+    }
+
+    #[test]
+    fn transient_settling_cross_checks_linear_and_threads_warm_state() {
+        let lin = Tia::default();
+        let tran = Tia::default().with_transient_settling(true);
+        let idx: Vec<usize> = lin.cardinalities().iter().map(|k| k / 2).collect();
+        let s_lin = lin.simulate(&idx, SimMode::Schematic).unwrap();
+        // Cold reference path.
+        let s_cold = tran.simulate(&idx, SimMode::Schematic).unwrap();
+        // Session path: the WarmState threads through the transient's DC.
+        let mut session = crate::problem::EvalSession::borrowed(&tran, SimMode::Schematic);
+        let s_warm = session.evaluate(&idx).unwrap();
+        let (lin_t, cold_t, warm_t) = (
+            s_lin[spec_index::SETTLING],
+            s_cold[spec_index::SETTLING],
+            s_warm[spec_index::SETTLING],
+        );
+        assert!(cold_t > 0.0 && cold_t < 1e-6, "settling {cold_t}");
+        // A small-amplitude step stays small-signal: the nonlinear
+        // settling must agree with the linear response up to integration
+        // and device-cap modelling differences.
+        assert!(
+            (cold_t - lin_t).abs() <= 0.5 * lin_t.max(cold_t),
+            "transient settling {cold_t} vs linear {lin_t}"
+        );
+        // Warm and cold transient converge to the same fixed point.
+        assert!(
+            (warm_t - cold_t).abs() <= 5e-3 * (1.0 + cold_t.abs()),
+            "warm {warm_t} vs cold {cold_t}"
+        );
+        // The flag leaves the other specs untouched.
+        assert_eq!(s_cold[spec_index::CUTOFF], s_lin[spec_index::CUTOFF]);
+        assert_eq!(s_cold[spec_index::NOISE], s_lin[spec_index::NOISE]);
     }
 
     #[test]

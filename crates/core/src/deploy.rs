@@ -55,6 +55,11 @@ pub struct DeployOutcome {
     pub final_params: Vec<usize>,
     /// Per-step trajectory of measured specs (for Fig. 14-style plots).
     pub spec_trajectory: Vec<Vec<f64>>,
+    /// Whether the trajectory's starting design failed to simulate at all
+    /// (no operating point at this fidelity): the target is reported
+    /// unreached with zero steps rather than panicking or scoring the
+    /// fail-value placeholder specs as a measurement.
+    pub sim_failed: bool,
 }
 
 /// Aggregate deployment statistics.
@@ -97,6 +102,11 @@ impl DeployStats {
 }
 
 /// Runs one trajectory against `target`, returning its outcome.
+///
+/// All evaluation goes through the environment's `EvalSession` (the
+/// warm-start and memo pipeline); a starting design whose operating point
+/// cannot be solved at this fidelity — possible for PEX worst-case
+/// corners — is propagated as an unreached outcome instead of panicking.
 pub fn run_trajectory(
     policy: &PolicyNet,
     env: &mut SizingEnv,
@@ -105,6 +115,17 @@ pub fn run_trajectory(
     rng: &mut StdRng,
 ) -> DeployOutcome {
     let mut obs = env.reset_with_target(target.clone());
+    if env.last_sim_failed() {
+        return DeployOutcome {
+            target,
+            reached: false,
+            steps: 0,
+            final_specs: env.last_specs().to_vec(),
+            final_params: env.param_indices().to_vec(),
+            spec_trajectory: vec![env.last_specs().to_vec()],
+            sim_failed: true,
+        };
+    }
     let mut spec_trajectory = vec![env.last_specs().to_vec()];
     let mut reached = false;
     let mut steps = 0;
@@ -133,6 +154,7 @@ pub fn run_trajectory(
         final_specs: env.last_specs().to_vec(),
         final_params: env.param_indices().to_vec(),
         spec_trajectory,
+        sim_failed: false,
     }
 }
 
@@ -162,8 +184,65 @@ pub fn deploy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autockt_circuits::{SimMode, Tia};
+    use autockt_circuits::{ParamSpec, SimMode, SpecDef, SpecKind, Tia};
     use autockt_rl::policy::PolicyNet;
+    use autockt_sim::SimError;
+
+    /// A sizing problem whose operating point never solves — models a PEX
+    /// worst-case corner that cannot converge.
+    struct Unsolvable {
+        params: Vec<ParamSpec>,
+        specs: Vec<SpecDef>,
+    }
+
+    impl Unsolvable {
+        fn new() -> Self {
+            Unsolvable {
+                params: vec![ParamSpec::swept("w", 1.0, 5.0, 1.0, 1.0)],
+                specs: vec![SpecDef {
+                    name: "gain",
+                    unit: "V/V",
+                    kind: SpecKind::HardMin,
+                    lo: 1.0,
+                    hi: 2.0,
+                    fail_value: 0.0,
+                }],
+            }
+        }
+    }
+
+    impl SizingProblem for Unsolvable {
+        fn name(&self) -> &'static str {
+            "unsolvable"
+        }
+        fn params(&self) -> &[ParamSpec] {
+            &self.params
+        }
+        fn specs(&self) -> &[SpecDef] {
+            &self.specs
+        }
+        fn simulate(&self, _idx: &[usize], _mode: SimMode) -> Result<Vec<f64>, SimError> {
+            Err(SimError::DcNoConvergence {
+                iterations: 1,
+                residual: 1.0,
+            })
+        }
+    }
+
+    #[test]
+    fn unsolvable_start_is_an_unreached_outcome_not_a_panic() {
+        let problem: Arc<dyn SizingProblem> = Arc::new(Unsolvable::new());
+        let mut rng = StdRng::seed_from_u64(6);
+        let policy = PolicyNet::new(3, &[3], &[8], &mut rng);
+        let stats = deploy(&policy, problem, &[vec![1.5]], &DeployConfig::default());
+        assert_eq!(stats.total(), 1);
+        let o = &stats.outcomes[0];
+        assert!(o.sim_failed);
+        assert!(!o.reached);
+        assert_eq!(o.steps, 0);
+        assert_eq!(o.spec_trajectory.len(), 1);
+        assert_eq!(stats.reached(), 0);
+    }
 
     #[test]
     fn untrained_policy_still_produces_valid_outcomes() {
@@ -193,7 +272,12 @@ mod tests {
     fn self_target_is_reached_in_one_step() {
         let problem: Arc<dyn SizingProblem> = Arc::new(Tia::default());
         let center: Vec<usize> = problem.cardinalities().iter().map(|k| k / 2).collect();
-        let specs = problem.simulate(&center, SimMode::Schematic).unwrap();
+        // Evaluate through the session pipeline like deployment itself
+        // does — a SimFailed center is a test failure with context, not a
+        // bare unwrap panic on the stateless cold path.
+        let specs = autockt_circuits::EvalSession::shared(Arc::clone(&problem), SimMode::Schematic)
+            .evaluate(&center)
+            .expect("center design must simulate at schematic fidelity");
         let mut rng = StdRng::seed_from_u64(5);
         let policy = PolicyNet::new(12, &[3; 6], &[16], &mut rng);
         let cfg = DeployConfig {

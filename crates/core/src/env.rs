@@ -8,7 +8,7 @@
 
 use crate::reward::{is_success, reward, SUCCESS_BONUS};
 use crate::target::{sample_feasible, sample_uniform};
-use autockt_circuits::{EvalSession, SimMode, SizingProblem};
+use autockt_circuits::{EvalSession, SharedMemo, SimMode, SizingProblem};
 use autockt_rl::env::{Env, StepResult};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -52,6 +52,15 @@ pub struct EnvConfig {
     /// cache persists across episodes (it belongs to the circuit family,
     /// not the target).
     pub memoize: bool,
+    /// Pool the memo across environments: when set, this env's session
+    /// caches into (and serves revisits from) the given concurrent sharded
+    /// map instead of a private one, so parallel rollout workers share
+    /// every solved grid point. Warm-start state stays private per env.
+    /// Implies `memoize`. With `warm_start` also on, a pooled hit may
+    /// serve specs solved from a sibling's warm trajectory — identical to
+    /// a private run within solver tolerance (bitwise-identical when
+    /// `warm_start` is off).
+    pub shared_memo: Option<Arc<SharedMemo>>,
 }
 
 impl Default for EnvConfig {
@@ -64,6 +73,7 @@ impl Default for EnvConfig {
             success_bonus: SUCCESS_BONUS,
             warm_start: true,
             memoize: true,
+            shared_memo: None,
         }
     }
 }
@@ -79,6 +89,7 @@ pub struct SizingEnv {
     idx: Vec<usize>,
     target: Vec<f64>,
     last_specs: Vec<f64>,
+    last_sim_failed: bool,
     t: usize,
     sims: u64,
 }
@@ -99,9 +110,12 @@ impl SizingEnv {
     pub fn new(problem: Arc<dyn SizingProblem>, cfg: EnvConfig) -> Self {
         let cards = problem.cardinalities();
         let nspecs = problem.specs().len();
-        let session = EvalSession::shared(Arc::clone(&problem), cfg.mode)
+        let mut session = EvalSession::shared(Arc::clone(&problem), cfg.mode)
             .with_warm_start(cfg.warm_start)
             .with_memo(cfg.memoize);
+        if let Some(memo) = &cfg.shared_memo {
+            session = session.with_shared_memo(Arc::clone(memo));
+        }
         SizingEnv {
             problem,
             session,
@@ -110,6 +124,7 @@ impl SizingEnv {
             idx: cards.iter().map(|k| k / 2).collect(),
             target: vec![0.0; nspecs],
             last_specs: vec![0.0; nspecs],
+            last_sim_failed: false,
             t: 0,
             sims: 0,
         }
@@ -142,6 +157,12 @@ impl SizingEnv {
     /// Evaluations served from the memo cache.
     pub fn memo_hits(&self) -> u64 {
         self.session.memo_hits()
+    }
+
+    /// Shared-memo hits served from a grid point solved by a *different*
+    /// worker (always 0 without [`EnvConfig::shared_memo`]).
+    pub fn cross_memo_hits(&self) -> u64 {
+        self.session.cross_memo_hits()
     }
 
     /// Current parameter indices.
@@ -177,11 +198,23 @@ impl SizingEnv {
     fn simulate_current(&mut self) {
         self.sims += 1;
         match self.session.evaluate(&self.idx) {
-            Ok(specs) => self.last_specs = specs,
+            Ok(specs) => {
+                self.last_specs = specs;
+                self.last_sim_failed = false;
+            }
             Err(_) => {
                 self.last_specs = self.problem.specs().iter().map(|s| s.fail_value).collect();
+                self.last_sim_failed = true;
             }
         }
+    }
+
+    /// Whether the most recent evaluation failed outright (no operating
+    /// point); `last_specs` then holds each spec's `fail_value`. Lets
+    /// deployment report an unreachable design point instead of treating
+    /// pessimistic placeholder specs as a measurement.
+    pub fn last_sim_failed(&self) -> bool {
+        self.last_sim_failed
     }
 
     /// Observation layout: `[n(o_m, o*_m)]_m ++ [scaled targets]_m ++
@@ -434,6 +467,34 @@ mod tests {
                 rw.reward
             );
         }
+    }
+
+    #[test]
+    fn shared_memo_pools_revisits_across_envs() {
+        use autockt_circuits::SharedMemo;
+        let memo = Arc::new(SharedMemo::new(8, 4096));
+        let mk = || {
+            SizingEnv::new(
+                Arc::new(Tia::default()),
+                EnvConfig {
+                    horizon: 10,
+                    target_mode: TargetMode::Uniform,
+                    shared_memo: Some(Arc::clone(&memo)),
+                    ..EnvConfig::default()
+                },
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut rng = StdRng::seed_from_u64(21);
+        // Env a solves the center design on reset; env b's reset (same
+        // center start) is served from the pooled memo without a solve.
+        a.reset(&mut rng);
+        assert_eq!(a.solve_count(), 1);
+        b.reset(&mut rng);
+        assert_eq!(b.solve_count(), 0);
+        assert_eq!(b.cross_memo_hits(), 1);
+        assert!(memo.cross_hits() >= 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::env::{EnvConfig, SizingEnv, TargetMode};
 use crate::target::training_targets;
-use autockt_circuits::{SimMode, SizingProblem};
+use autockt_circuits::{SharedMemo, SimMode, SizingProblem};
 use autockt_rl::env::Env;
 use autockt_rl::ppo::{IterStats, Ppo, PpoConfig};
 use rand::rngs::StdRng;
@@ -35,6 +35,16 @@ pub struct TrainConfig {
     /// Simulation fidelity during training (schematic in the paper; PEX is
     /// only ever used at deployment, via transfer).
     pub mode: SimMode,
+    /// Pool one concurrent evaluation memo across all rollout workers
+    /// (default on): every grid point solved by any worker serves every
+    /// other worker's revisits — episodes all restart from the grid
+    /// center, so cross-worker overlap is heavy. Warm-start state stays
+    /// private per worker. Because a pooled hit may serve specs solved
+    /// from a sibling's warm trajectory, reward trajectories are
+    /// reproducible within solver tolerance rather than bitwise when
+    /// `warm_start` is on; set to `false` to restore fully per-worker
+    /// (bitwise-deterministic) evaluation.
+    pub pool_memo: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -50,6 +60,7 @@ impl Default for TrainConfig {
             target_mean_reward: 8.0,
             max_iters: 60,
             mode: SimMode::Schematic,
+            pool_memo: true,
             seed: 0,
         }
     }
@@ -66,6 +77,9 @@ pub struct TrainResult {
     pub targets: Vec<Vec<f64>>,
     /// Whether the stopping rule fired before the iteration cap.
     pub converged: bool,
+    /// The evaluation memo pooled across rollout workers (when
+    /// [`TrainConfig::pool_memo`] was on), with its hit/eviction counters.
+    pub shared_memo: Option<Arc<SharedMemo>>,
 }
 
 impl TrainResult {
@@ -88,10 +102,16 @@ pub fn train(problem: Arc<dyn SizingProblem>, cfg: &TrainConfig) -> TrainResult 
         &mut rng,
         cfg.feasible_targets,
     );
+    // One sharded memo pooled across all rollout workers: any worker's
+    // solve serves every other worker's revisit of that grid point.
+    let shared_memo = cfg
+        .pool_memo
+        .then(|| Arc::new(SharedMemo::with_default_capacity()));
     let env_cfg = EnvConfig {
         horizon: cfg.horizon,
         mode: cfg.mode,
         target_mode: TargetMode::FixedSet(targets.clone()),
+        shared_memo: shared_memo.clone(),
         ..EnvConfig::default()
     };
     let mut envs: Vec<SizingEnv> = (0..cfg.num_workers.max(1))
@@ -117,6 +137,7 @@ pub fn train(problem: Arc<dyn SizingProblem>, cfg: &TrainConfig) -> TrainResult 
         curve,
         targets,
         converged,
+        shared_memo,
     }
 }
 
@@ -151,5 +172,31 @@ mod tests {
         assert_eq!(res.targets.len(), 4);
         assert!(!res.converged);
         assert!(res.env_steps() >= 128);
+        // Both workers restart episodes from the grid center, so the
+        // pooled memo must have served at least one cross-worker revisit.
+        let memo = res.shared_memo.expect("pooling on by default");
+        assert!(memo.cross_hits() > 0, "no cross-worker hits pooled");
+    }
+
+    #[test]
+    fn training_without_pooling_keeps_private_memos() {
+        let cfg = TrainConfig {
+            ppo: PpoConfig {
+                steps_per_iter: 32,
+                minibatch: 16,
+                epochs: 1,
+                ..PpoConfig::default()
+            },
+            num_workers: 2,
+            horizon: 8,
+            num_targets: 2,
+            feasible_targets: true,
+            max_iters: 1,
+            pool_memo: false,
+            target_mean_reward: f64::INFINITY,
+            ..TrainConfig::default()
+        };
+        let res = train(Arc::new(Tia::default()), &cfg);
+        assert!(res.shared_memo.is_none());
     }
 }

@@ -12,6 +12,17 @@
 //! within a worker and accumulates over training iterations. That is what
 //! turns the memo cache into a real hot-path win: revisited grid points
 //! anywhere in a worker's history cost no simulator time.
+//!
+//! The memo need not even be per-worker: environments constructed with a
+//! pooled `SharedMemo` (see `autockt_circuits::problem::SharedMemo` and
+//! `autockt_core::EnvConfig::shared_memo`) cache into one concurrent
+//! sharded map, so a grid point solved by *any* of the workers spawned
+//! here serves every sibling's revisit — episodes all restart from the
+//! grid center, making that overlap heavy. The envs arrive here already
+//! wired (this collector is generic over [`Env`] and needs no special
+//! handling): each scoped thread steps its own env, the sessions inside
+//! take a shard lock only for the microseconds of a map probe, and
+//! warm-start state stays thread-private.
 
 use crate::env::Env;
 use crate::policy::{PolicyNet, ValueNet};

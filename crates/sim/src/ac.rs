@@ -10,7 +10,7 @@
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::error::SimError;
-use crate::linalg::{LuFactors, Matrix};
+use crate::linalg::{ComplexLuSoa, LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
 
 /// Reusable buffers for repeated AC factor/solve calls: the complex system
@@ -18,9 +18,14 @@ use crate::netlist::{Circuit, Element, Node};
 /// frequency from a sparse pattern collected once per linearization, so a
 /// whole sweep (and consecutive sweeps of a warm evaluation session)
 /// performs no per-point allocation.
+///
+/// The factorization buffer is the structure-of-arrays
+/// [`ComplexLuSoa`] kernel — split re/im storage that the compiler
+/// autovectorizes — producing results bitwise-equal to the generic
+/// `LuFactors<Complex>` path of [`AcSolver::factor_at`].
 #[derive(Debug, Clone, Default)]
 pub struct AcWorkspace {
-    pub(crate) lu: LuFactors<Complex>,
+    pub(crate) lu: ComplexLuSoa,
     pub(crate) pattern: Vec<(usize, usize, f64, f64)>,
     pub(crate) x: Vec<Complex>,
     pub(crate) rhs: Vec<Complex>,
@@ -155,12 +160,11 @@ impl<'a> AcSolver<'a> {
         self.dim
     }
 
-    /// Factors the complex system `G + j*2*pi*f*C` at frequency `f` (Hz).
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::SingularMatrix`] for a singular small-signal system.
-    pub fn factor_at(&self, f: f64) -> Result<LuFactors<Complex>, SimError> {
+    /// Assembles the dense complex system matrix `G + j*2*pi*f*C` at
+    /// frequency `f` (Hz) — what [`AcSolver::factor_at`] eliminates.
+    /// Exposed so kernel benchmarks and tests can drive both LU layouts
+    /// over the identical system.
+    pub fn system_matrix(&self, f: f64) -> Matrix<Complex> {
         let w = 2.0 * std::f64::consts::PI * f;
         let mut y = Matrix::<Complex>::zeros(self.dim, self.dim);
         for r in 0..self.dim {
@@ -172,7 +176,16 @@ impl<'a> AcSolver<'a> {
                 }
             }
         }
-        LuFactors::factor(y, 1e-300)
+        y
+    }
+
+    /// Factors the complex system `G + j*2*pi*f*C` at frequency `f` (Hz).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SingularMatrix`] for a singular small-signal system.
+    pub fn factor_at(&self, f: f64) -> Result<LuFactors<Complex>, SimError> {
+        LuFactors::factor(self.system_matrix(f), 1e-300)
     }
 
     /// Right-hand side driven by the netlist's AC source magnitudes.
@@ -206,7 +219,8 @@ impl<'a> AcSolver<'a> {
     }
 
     /// Factors `G + j*2*pi*f*C` into the workspace buffers — identical
-    /// result to [`AcSolver::factor_at`], with zero per-point allocation.
+    /// (bitwise) result to [`AcSolver::factor_at`], with zero per-point
+    /// allocation, through the vectorized split re/im kernel.
     /// [`AcSolver::prepare_workspace`] must have been called for this
     /// solver first.
     ///
@@ -215,10 +229,12 @@ impl<'a> AcSolver<'a> {
     /// [`SimError::SingularMatrix`] for a singular small-signal system.
     pub fn factor_at_ws(&self, f: f64, ws: &mut AcWorkspace) -> Result<(), SimError> {
         let w = 2.0 * std::f64::consts::PI * f;
+        let n = self.dim;
         let AcWorkspace { lu, pattern, .. } = ws;
-        lu.refactor_with(self.dim, 1e-300, |m| {
+        lu.refactor_with(n, 1e-300, |re, im| {
             for &(r, c, gg, cc) in pattern.iter() {
-                m[(r, c)] = Complex::new(gg, w * cc);
+                re[r * n + c] = gg;
+                im[r * n + c] = w * cc;
             }
         })
     }
@@ -238,6 +254,33 @@ impl<'a> AcSolver<'a> {
         let AcWorkspace { lu, x, .. } = ws;
         lu.solve_into(&self.rhs, x);
         Ok(x)
+    }
+
+    /// Batched multi-frequency solve: refactors and solves the
+    /// source-driven system at *every* frequency in `freqs` through the
+    /// SoA kernel in one pass, recording the transfer to `out`. The sparse
+    /// pattern is prepared once and the factor/solution buffers are reused
+    /// across all points, so the whole batch allocates only the output
+    /// vector. Point-for-point results equal [`AcSolver::solve_sources`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix failures at any frequency point.
+    pub fn solve_sources_batch_ws(
+        &self,
+        freqs: &[f64],
+        out: Node,
+        ws: &mut AcWorkspace,
+    ) -> Result<Vec<Complex>, SimError> {
+        self.prepare_workspace(ws);
+        let mut h = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            self.factor_at_ws(f, ws)?;
+            let AcWorkspace { lu, x, .. } = &mut *ws;
+            lu.solve_into(&self.rhs, x);
+            h.push(self.voltage(x, out));
+        }
+        Ok(h)
     }
 
     /// Extracts the voltage of `node` from an MNA solution vector.
@@ -362,7 +405,8 @@ pub fn ac_sweep(
     })
 }
 
-/// [`ac_sweep`] with reusable workspace buffers: the complex system is
+/// [`ac_sweep`] with reusable workspace buffers: the whole sweep is one
+/// batched pass through the vectorized SoA kernel — the complex system is
 /// stamped and factored in place per point, so the sweep allocates nothing
 /// per frequency. Produces results identical to [`ac_sweep`] (same
 /// assembly, same elimination order); the warm evaluation sessions route
@@ -379,12 +423,7 @@ pub fn ac_sweep_ws(
     ws: &mut AcWorkspace,
 ) -> Result<AcResponse, SimError> {
     let solver = AcSolver::new(ckt, op);
-    solver.prepare_workspace(ws);
-    let mut h = Vec::with_capacity(freqs.len());
-    for &f in freqs {
-        let x = solver.solve_sources_ws(f, ws)?;
-        h.push(solver.voltage(x, out));
-    }
+    let h = solver.solve_sources_batch_ws(freqs, out, ws)?;
     Ok(AcResponse {
         freqs: freqs.to_vec(),
         h,

@@ -60,6 +60,15 @@ impl Complex {
         self.re.hypot(self.im)
     }
 
+    /// Magnitude of a complex value given as separate components — the
+    /// structure-of-arrays layout used by the vectorized AC kernel, which
+    /// stores re/im in parallel `f64` arrays instead of `Complex` structs.
+    /// Identical to `Complex::new(re, im).norm()`.
+    #[inline]
+    pub fn norm_parts(re: f64, im: f64) -> f64 {
+        re.hypot(im)
+    }
+
     /// Squared magnitude.
     #[inline]
     pub fn norm_sqr(self) -> f64 {

@@ -32,6 +32,13 @@ pub enum SimError {
         /// Human-readable description of the missing feature.
         what: &'static str,
     },
+    /// Analysis options are degenerate (e.g. a transient with zero steps,
+    /// whose derived `dt` is infinite); caught up front instead of
+    /// silently producing an empty or NaN sweep.
+    InvalidOptions {
+        /// Human-readable description of the defect.
+        what: &'static str,
+    },
     /// The netlist is structurally invalid.
     BadNetlist {
         /// Human-readable description of the defect.
@@ -56,6 +63,7 @@ impl fmt::Display for SimError {
                 write!(f, "transient solve did not converge at t = {time:.3e} s")
             }
             SimError::MeasureFailed { what } => write!(f, "measurement failed: {what}"),
+            SimError::InvalidOptions { what } => write!(f, "invalid analysis options: {what}"),
             SimError::BadNetlist { what } => write!(f, "bad netlist: {what}"),
         }
     }
@@ -77,6 +85,7 @@ mod tests {
             },
             SimError::TranNoConvergence { time: 1e-9 },
             SimError::MeasureFailed { what: "no ugbw" },
+            SimError::InvalidOptions { what: "dt = 0" },
             SimError::BadNetlist {
                 what: "dangling node".into(),
             },

@@ -75,5 +75,5 @@ pub mod prelude {
     pub use crate::netlist::{Circuit, Element, Mosfet, Node, Step, GND};
     pub use crate::noise::{noise_analysis, NoiseResult};
     pub use crate::pex::{extract, PexConfig};
-    pub use crate::tran::{transient, TranOptions, TranResult};
+    pub use crate::tran::{transient, transient_warm, TranOptions, TranResult};
 }

@@ -58,8 +58,11 @@ pub fn noise_analysis(
 }
 
 /// [`noise_analysis`] with reusable workspace buffers — no per-frequency
-/// or per-source allocation; results are identical. Warm evaluation
-/// sessions route their noise analyses through this entry point.
+/// or per-source allocation; results are identical. Each frequency point
+/// is factored once through the vectorized SoA complex kernel
+/// ([`crate::linalg::ComplexLuSoa`]) and back-substituted per noise
+/// source. Warm evaluation sessions route their noise analyses through
+/// this entry point.
 ///
 /// # Errors
 ///

@@ -5,7 +5,7 @@
 //! are re-linearized each Newton iteration; step sources follow their
 //! [`crate::netlist::Step`] waveforms.
 
-use crate::dc::{dc_operating_point, eval_mos_oriented, DcOptions};
+use crate::dc::{dc_operating_point, eval_mos_oriented, DcOptions, OpPoint, WarmState};
 use crate::error::SimError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
@@ -27,6 +27,11 @@ pub struct TranOptions {
 
 impl TranOptions {
     /// Creates options covering `t_stop` seconds in `steps` equal steps.
+    ///
+    /// Degenerate arguments (`steps == 0`, non-positive or non-finite
+    /// `t_stop`) produce an options value that [`TranOptions::validate`]
+    /// rejects — [`transient`] returns [`SimError::InvalidOptions`] rather
+    /// than silently running an empty or NaN-stepped sweep.
     pub fn new(t_stop: f64, steps: usize) -> Self {
         TranOptions {
             t_stop,
@@ -35,6 +40,32 @@ impl TranOptions {
             tol: 1e-9,
             dc: DcOptions::default(),
         }
+    }
+
+    /// Checks the options describe a non-degenerate sweep: a finite,
+    /// positive `dt` no longer than a finite, positive `t_stop` (at least
+    /// one time step).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidOptions`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.dt.is_finite() || self.dt <= 0.0 {
+            return Err(SimError::InvalidOptions {
+                what: "transient dt must be finite and positive (zero steps?)",
+            });
+        }
+        if !self.t_stop.is_finite() || self.t_stop <= 0.0 {
+            return Err(SimError::InvalidOptions {
+                what: "transient t_stop must be finite and positive",
+            });
+        }
+        if self.t_stop < self.dt {
+            return Err(SimError::InvalidOptions {
+                what: "transient t_stop shorter than dt (empty sweep)",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -92,7 +123,49 @@ struct CapState {
 /// # }
 /// ```
 pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, SimError> {
+    opts.validate()?;
     let op = dc_operating_point(ckt, &opts.dc)?;
+    transient_from_op(ckt, opts, &op)
+}
+
+/// [`transient`] with the initial DC operating point solved through a
+/// session's [`WarmState`]: the previous solution stored in `slot` seeds
+/// the Newton iteration (with the usual cold + homotopy fallback), so an
+/// evaluation session that just solved the same design's operating point
+/// for its AC analyses starts the transient in ~1 Newton iteration instead
+/// of re-running the cold `initial_v` solve — closing the last cold start
+/// in the session pipeline.
+///
+/// # Errors
+///
+/// Same contract as [`transient`].
+pub fn transient_warm(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    slot: usize,
+    state: &mut WarmState,
+) -> Result<TranResult, SimError> {
+    opts.validate()?;
+    let op = state.solve(slot, ckt, &opts.dc)?;
+    transient_from_op(ckt, opts, &op)
+}
+
+/// [`transient`] starting from an already-solved operating point `op`
+/// (which must belong to `ckt` at its DC source values). Both public
+/// entry points delegate here; callers that already hold an operating
+/// point (e.g. after an AC linearization) can skip the DC solve entirely.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidOptions`] for a degenerate time grid,
+/// [`SimError::TranNoConvergence`] if Newton fails at some time point, or
+/// propagates LU errors.
+pub fn transient_from_op(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    op: &OpPoint,
+) -> Result<TranResult, SimError> {
+    opts.validate()?;
     let dim = ckt.mna_dim();
     let nnodes = ckt.num_nodes();
     let nv = nnodes - 1;
@@ -446,6 +519,68 @@ mod tests {
         let w = res.node_waveform(b);
         assert!(w.iter().all(|v| v.is_finite() && *v <= 1.0 + 1e-6));
         assert!((w.last().unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_step_options_are_rejected_not_degenerate() {
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        ckt.vsource(i, GND, 1.0, 0.0);
+        ckt.resistor(i, GND, 1e3);
+        // steps = 0 => dt = inf; previously this silently produced a
+        // zero-step sweep from `(t_stop / dt).round()` on a non-finite dt.
+        let r = transient(&ckt, &TranOptions::new(1e-6, 0));
+        assert!(matches!(r, Err(SimError::InvalidOptions { .. })), "{r:?}");
+        // t_stop = 0 => dt = 0.
+        let r = transient(&ckt, &TranOptions::new(0.0, 100));
+        assert!(matches!(r, Err(SimError::InvalidOptions { .. })));
+        // Hand-built options with t_stop < dt: empty sweep.
+        let opts = TranOptions {
+            dt: 1e-6,
+            ..TranOptions::new(1e-7, 10)
+        };
+        assert!(matches!(
+            transient(&ckt, &opts),
+            Err(SimError::InvalidOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_transient_matches_cold_and_skips_cold_dc() {
+        // RC step: the warm path must produce the same waveform as the
+        // cold path (same fixed point, same integration), while starting
+        // its DC from the session's stored operating point.
+        let build = || {
+            let mut ckt = Circuit::new();
+            let i = ckt.node("in");
+            let o = ckt.node("out");
+            ckt.vsource_step(
+                i,
+                GND,
+                Step {
+                    v0: 0.0,
+                    v1: 1.0,
+                    t_delay: 0.0,
+                },
+                0.0,
+            );
+            ckt.resistor(i, o, 1.0e3);
+            ckt.capacitor(o, GND, 1e-9);
+            ckt
+        };
+        let ckt = build();
+        let opts = TranOptions::new(5e-6, 500);
+        let cold = transient(&ckt, &opts).unwrap();
+        let mut state = WarmState::new();
+        // Prime the slot with the operating point, as a session would.
+        state.solve(0, &ckt, &opts.dc).unwrap();
+        let warm = transient_warm(&ckt, &opts, 0, &mut state).unwrap();
+        assert_eq!(cold.t, warm.t);
+        for (a, b) in cold.v.iter().flatten().zip(warm.v.iter().flatten()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // The warm state now holds the transient's initial OP solution.
+        assert!(state.is_warm());
     }
 
     #[test]
