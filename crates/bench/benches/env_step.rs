@@ -34,11 +34,12 @@
 //! steps/sec version of this comparison as `results/BENCH_env_step.json`.
 
 use autockt_bench::{ac_kernel_cases, AcKernelCase};
-use autockt_circuits::{NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
+use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
 use autockt_core::{EnvConfig, SizingEnv, TargetMode};
 use autockt_rl::env::Env;
 use autockt_sim::complex::Complex;
-use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
+use autockt_sim::linalg::{ComplexLuBatch, ComplexLuSoa, LuFactors};
+use autockt_sim::pex::PexConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -147,18 +148,54 @@ fn benches(c: &mut Criterion) {
             false,
         );
     }
+    // PexWorstCase stepping: the historical serial names keep measuring
+    // the scalar per-corner loop; `_batched` variants run the lockstep
+    // corner engine (plus dense-mesh variants at the dims where the
+    // batched path pays — see the `corner_batch` section of
+    // `bench_env_step`).
+    let dense_neggm = || {
+        let base = NegGmOta::default();
+        let pex = PexConfig {
+            mesh_depth: 1,
+            ..base.pex_config().clone()
+        };
+        base.with_pex_config(pex)
+    };
+    for (name, problem) in [
+        (
+            "env_step_neggm_pex_worstcase",
+            NegGmOta::default().with_corner_strategy(CornerStrategy::Serial),
+        ),
+        ("env_step_neggm_pex_worstcase_batched", NegGmOta::default()),
+        (
+            "env_step_warm_neggm_pex_dense_serial",
+            dense_neggm().with_corner_strategy(CornerStrategy::Serial),
+        ),
+        ("env_step_warm_neggm_pex_dense_batched", dense_neggm()),
+    ] {
+        let warm = name.contains("warm");
+        bench_env(
+            c,
+            name,
+            Arc::new(problem),
+            SimMode::PexWorstCase,
+            warm,
+            false,
+            false,
+        );
+    }
     bench_env(
         c,
-        "env_step_neggm_pex_worstcase",
-        Arc::new(NegGmOta::default()),
+        "env_step_warm_neggm_pex_worstcase",
+        Arc::new(NegGmOta::default().with_corner_strategy(CornerStrategy::Serial)),
         SimMode::PexWorstCase,
-        false,
+        true,
         false,
         false,
     );
     bench_env(
         c,
-        "env_step_warm_neggm_pex_worstcase",
+        "env_step_warm_neggm_pex_worstcase_batched",
         Arc::new(NegGmOta::default()),
         SimMode::PexWorstCase,
         true,
@@ -209,6 +246,35 @@ fn bench_ac_kernels(c: &mut Criterion) {
                 .expect("nonsingular");
                 soa.solve_into(&rhs, &mut xs);
                 black_box(xs.last().copied())
+            });
+        });
+        // Corner-lockstep batch kernel: six copies of the same system
+        // factored and solved in one pass (compare against 6x the soa
+        // number — the cold batched corner path's per-point cost).
+        let bt = 6usize;
+        let mut batch = ComplexLuBatch::empty();
+        let mut rhs_re = vec![0.0; n * bt];
+        let mut rhs_im = vec![0.0; n * bt];
+        for (i, v) in rhs.iter().enumerate() {
+            for b in 0..bt {
+                rhs_re[i * bt + b] = v.re;
+                rhs_im[i * bt + b] = v.im;
+            }
+        }
+        let (mut xr, mut xi) = (Vec::new(), Vec::new());
+        let (mut ar, mut ai) = (Vec::new(), Vec::new());
+        c.bench_function(&format!("ac_lu_batch6_{name}_dim{n}"), |b| {
+            b.iter(|| {
+                batch.refactor_with(n, bt, 1e-300, |re, im| {
+                    for &(r, col, gg, cc) in &pattern {
+                        for bb in 0..bt {
+                            re[(r * n + col) * bt + bb] = gg;
+                            im[(r * n + col) * bt + bb] = w * cc;
+                        }
+                    }
+                });
+                batch.solve_batch_into(&rhs_re, &rhs_im, &mut xr, &mut xi, &mut ar, &mut ai);
+                black_box(xr.last().copied())
             });
         });
     }

@@ -23,29 +23,39 @@
 //! - **warm+memo** — additionally, exact grid revisits are served from the
 //!   session memo cache without any solve.
 //!
-//! Two further sections extend the trajectory:
+//! Three further sections extend the trajectory:
 //!
-//! - **shared-memo** — `W` workers (1 vs 8) drive *identical* lockstep
-//!   walks concurrently, once with per-env private memos and once pooled
-//!   through one concurrent sharded [`SharedMemo`]: with pooling, the
-//!   first worker to reach a grid point solves it and every sibling's
-//!   revisit is a cross-worker cache hit.
+//! - **shared-memo** — `W` workers (1 vs 8 vs 32) drive *identical*
+//!   lockstep walks concurrently, once with per-env private memos and
+//!   once pooled through one concurrent sharded [`SharedMemo`]: with
+//!   pooling, the first worker to reach a grid point solves it and every
+//!   sibling's revisit is a cross-worker cache hit. Pooled rows record
+//!   the memo's contended-lock count (probes/inserts that found their
+//!   shard held), the contention signal the ROADMAP flagged as
+//!   unmeasured past 8 workers.
 //! - **soa-lu** — one AC frequency point of the real MNA system,
 //!   refactored + solved with reused buffers through the interleaved
 //!   `Complex` LU versus the vectorized split re/im (SoA) kernel.
+//! - **corner-batch** — `PexWorstCase` environment stepping with the
+//!   PVT corner set evaluated serially (scalar kernels, the
+//!   pre-batching behaviour) versus in lockstep through the batched DC
+//!   Newton + AC sweep kernels, at the stock parasitic extraction and
+//!   at dense RC-mesh extractions (`PexConfig::mesh_depth`) where the
+//!   MNA dims reach the 30+ range the batch axis is built for.
 //!
 //! Prints a comparison table and writes `results/BENCH_env_step.json`
-//! (schema `autockt/bench_env_step/v2`) so CI can archive the trajectory.
+//! (schema `autockt/bench_env_step/v3`) so CI can archive the trajectory.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
 //! (`--steps N`, `--episode H`, `--seed S` to override).
 
 use autockt_bench::{ac_kernel_cases, arg_value, dense_kernel_case, results_dir, AcKernelCase};
-use autockt_circuits::{NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
+use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
 use autockt_core::{EnvConfig, SizingEnv, TargetMode};
 use autockt_rl::env::Env;
 use autockt_sim::complex::Complex;
 use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
+use autockt_sim::pex::PexConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -67,8 +77,10 @@ struct RunStats {
 
 /// Drives `steps` environment steps of a fixed action schedule, resetting
 /// every `episode` steps, and reports throughput plus session counters.
+#[allow(clippy::too_many_arguments)]
 fn run_walk(
     problem: &Arc<dyn SizingProblem>,
+    mode: SimMode,
     walk: Walk,
     warm_start: bool,
     memoize: bool,
@@ -80,7 +92,7 @@ fn run_walk(
         Arc::clone(problem),
         EnvConfig {
             horizon: usize::MAX / 2, // episode boundaries are driven below
-            mode: SimMode::Schematic,
+            mode,
             target_mode: TargetMode::Uniform,
             warm_start,
             memoize,
@@ -272,9 +284,10 @@ fn main() {
     let mut rows = Vec::new();
     for (name, problem) in &topologies {
         for (walk, walk_name) in [(Walk::Revisit, "revisit"), (Walk::Explore, "explore")] {
-            let cold = run_walk(problem, walk, false, false, steps, episode, seed);
-            let warm = run_walk(problem, walk, true, false, steps, episode, seed);
-            let memo = run_walk(problem, walk, true, true, steps, episode, seed);
+            let mode = SimMode::Schematic;
+            let cold = run_walk(problem, mode, walk, false, false, steps, episode, seed);
+            let warm = run_walk(problem, mode, walk, true, false, steps, episode, seed);
+            let memo = run_walk(problem, mode, walk, true, true, steps, episode, seed);
             let warm_speedup = warm.steps_per_sec / cold.steps_per_sec;
             let memo_speedup = memo.steps_per_sec / cold.steps_per_sec;
             let hit_rate = memo.memo_hits as f64 / (memo.memo_hits + memo.solves).max(1) as f64;
@@ -315,22 +328,34 @@ fn main() {
         }
     }
 
-    // Shared-memo multi-worker workloads: identical lockstep walks, 1 vs
-    // 8 workers, per-env private memos vs one pooled concurrent map.
+    // Shared-memo multi-worker workloads: identical lockstep walks at 1,
+    // 8, and 32 workers, per-env private memos vs one pooled concurrent
+    // map, with the pooled map's lock-contention counters recorded.
     println!(
-        "\n{:<8} {:<8} {:>3} {:>15} {:>14} {:>8} {:>11} {:>12}",
-        "problem", "walk", "W", "per-env st/s", "pooled st/s", "pool x", "cross hits", "solves p/e"
+        "\n{:<8} {:<8} {:>3} {:>15} {:>14} {:>8} {:>11} {:>12} {:>10}",
+        "problem",
+        "walk",
+        "W",
+        "per-env st/s",
+        "pooled st/s",
+        "pool x",
+        "cross hits",
+        "solves p/e",
+        "contended"
     );
     let mut memo_rows = Vec::new();
     for (name, problem) in &topologies {
         for (walk, walk_name) in [(Walk::Revisit, "revisit"), (Walk::Explore, "explore")] {
-            for workers in [1usize, 8] {
+            for workers in [1usize, 8, 32] {
                 let per_env = run_multi(problem, walk, workers, None, steps, episode, seed);
                 let memo = Arc::new(SharedMemo::with_default_capacity());
                 let pooled = run_multi(problem, walk, workers, Some(&memo), steps, episode, seed);
                 let speedup = pooled.agg_steps_per_sec / per_env.agg_steps_per_sec;
+                let contended = memo.contended_locks();
+                let locks = memo.lock_acquisitions();
+                let hot_shard = memo.shard_contention().into_iter().max().unwrap_or(0);
                 println!(
-                    "{:<8} {:<8} {:>3} {:>15.0} {:>14.0} {:>7.2}x {:>11} {:>5}/{:<5}",
+                    "{:<8} {:<8} {:>3} {:>15.0} {:>14.0} {:>7.2}x {:>11} {:>5}/{:<6} {:>10}",
                     name,
                     walk_name,
                     workers,
@@ -340,6 +365,7 @@ fn main() {
                     pooled.cross_hits,
                     pooled.solves,
                     per_env.solves,
+                    contended,
                 );
                 memo_rows.push(format!(
                     concat!(
@@ -352,7 +378,11 @@ fn main() {
                         "      \"pooled_speedup\": {:.3},\n",
                         "      \"cross_worker_hits\": {},\n",
                         "      \"pooled_solves\": {},\n",
-                        "      \"per_env_solves\": {}\n",
+                        "      \"per_env_solves\": {},\n",
+                        "      \"pooled_lock_acquisitions\": {},\n",
+                        "      \"pooled_contended_locks\": {},\n",
+                        "      \"pooled_hottest_shard_contention\": {},\n",
+                        "      \"memo_shards\": {}\n",
                         "    }}"
                     ),
                     name,
@@ -364,9 +394,110 @@ fn main() {
                     pooled.cross_hits,
                     pooled.solves,
                     per_env.solves,
+                    locks,
+                    contended,
+                    hot_shard,
+                    memo.num_shards(),
                 ));
             }
         }
+    }
+
+    // Corner-batch: PexWorstCase stepping, serial corner loop vs the
+    // lockstep-batched engine, at stock extraction and at dense RC-mesh
+    // extraction dims. Warm-started, memo off (explore walk): every step
+    // is a fresh 6-corner solve, so this isolates solver throughput.
+    println!(
+        "\n{:<8} {:>5} {:>4} {:>14} {:>14} {:>8}",
+        "problem", "mesh", "dim", "serial st/s", "batched st/s", "batch x"
+    );
+    let corner_steps = (steps / 8).max(24);
+    let mut corner_rows = Vec::new();
+    for (name, depth) in [
+        ("tia", 0usize),
+        ("tia", 4),
+        ("opamp2", 0),
+        ("opamp2", 1),
+        ("neggm", 0),
+        ("neggm", 1),
+    ] {
+        let pex = PexConfig {
+            mesh_depth: depth,
+            ..match name {
+                "tia" => Tia::default().pex_config().clone(),
+                "opamp2" => OpAmp2::default().pex_config().clone(),
+                _ => NegGmOta::default().pex_config().clone(),
+            }
+        };
+        let build = |strategy: CornerStrategy| -> Arc<dyn SizingProblem> {
+            match name {
+                "tia" => Arc::new(
+                    Tia::default()
+                        .with_pex_config(pex.clone())
+                        .with_corner_strategy(strategy),
+                ),
+                "opamp2" => Arc::new(
+                    OpAmp2::default()
+                        .with_pex_config(pex.clone())
+                        .with_corner_strategy(strategy),
+                ),
+                _ => Arc::new(
+                    NegGmOta::default()
+                        .with_pex_config(pex.clone())
+                        .with_corner_strategy(strategy),
+                ),
+            }
+        };
+        let serial_p = build(CornerStrategy::Serial);
+        let batched_p = build(CornerStrategy::Batched);
+        let dim = autockt_bench::extracted_center_dim(serial_p.name(), &pex);
+        let serial = run_walk(
+            &serial_p,
+            SimMode::PexWorstCase,
+            Walk::Explore,
+            true,
+            false,
+            corner_steps,
+            episode,
+            seed,
+        );
+        let batched = run_walk(
+            &batched_p,
+            SimMode::PexWorstCase,
+            Walk::Explore,
+            true,
+            false,
+            corner_steps,
+            episode,
+            seed,
+        );
+        let speedup = batched.steps_per_sec / serial.steps_per_sec;
+        println!(
+            "{:<8} {:>5} {:>4} {:>14.1} {:>14.1} {:>7.2}x",
+            name, depth, dim, serial.steps_per_sec, batched.steps_per_sec, speedup
+        );
+        corner_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"problem\": \"{}\",\n",
+                "      \"mesh_depth\": {},\n",
+                "      \"mna_dim\": {},\n",
+                "      \"corners\": {},\n",
+                "      \"steps\": {},\n",
+                "      \"serial_steps_per_sec\": {:.2},\n",
+                "      \"batched_steps_per_sec\": {:.2},\n",
+                "      \"batched_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            name,
+            depth,
+            dim,
+            autockt_circuits::CornerPlan::pvt_worst_case().len(),
+            corner_steps,
+            serial.steps_per_sec,
+            batched.steps_per_sec,
+            speedup
+        ));
     }
 
     // SoA complex-LU kernel vs the generic interleaved layout, per AC
@@ -407,7 +538,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"autockt/bench_env_step/v2\",\n",
+            "  \"schema\": \"autockt/bench_env_step/v3\",\n",
             "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
             "-- --steps {} --episode {} --seed {}\",\n",
             "  \"steps_per_config\": {},\n",
@@ -415,6 +546,7 @@ fn main() {
             "  \"seed\": {},\n",
             "  \"results\": [\n{}\n  ],\n",
             "  \"shared_memo\": [\n{}\n  ],\n",
+            "  \"corner_batch\": [\n{}\n  ],\n",
             "  \"soa_lu\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -426,6 +558,7 @@ fn main() {
         seed,
         rows.join(",\n"),
         memo_rows.join(",\n"),
+        corner_rows.join(",\n"),
         kernel_rows.join(",\n")
     );
     let path = results_dir().join("BENCH_env_step.json");

@@ -1,0 +1,127 @@
+//! CI smoke for the corner-batched evaluation engine: on a fixed set of
+//! seed designs, the batched and serial `PexWorstCase` paths must produce
+//! **bitwise-identical** spec vectors with warm-start off (the lockstep
+//! kernels perform the scalar kernels' arithmetic in the scalar kernels'
+//! order), and warm-started batched evaluation — which routes the sweep
+//! through the corner-correction (Woodbury) fast path at dense dims —
+//! must agree with warm serial within solver tolerance.
+//!
+//! Exits nonzero on any divergence, failing the workflow.
+//!
+//! Run: `cargo run --release -p autockt_bench --bin corner_smoke`
+
+use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
+use autockt_sim::dc::WarmState;
+use autockt_sim::pex::PexConfig;
+
+/// Same tolerance as the warm-equivalence property suites.
+const REL_TOL: f64 = 5e-3;
+
+/// Deterministic seed designs: grid corners, center, and two fixed
+/// off-center points.
+fn seed_designs(problem: &dyn SizingProblem) -> Vec<Vec<usize>> {
+    let cards = problem.cardinalities();
+    let at = |f: f64| -> Vec<usize> {
+        cards
+            .iter()
+            .map(|k| (((*k - 1) as f64 * f) as usize).min(k - 1))
+            .collect()
+    };
+    vec![at(0.0), at(0.25), at(0.5), at(0.75), at(1.0)]
+}
+
+fn check(
+    name: &str,
+    depth: usize,
+    serial: &dyn SizingProblem,
+    batched: &dyn SizingProblem,
+) -> usize {
+    let mut failures = 0;
+    let mut warm_s = WarmState::new();
+    let mut warm_b = WarmState::new();
+    for idx in seed_designs(serial) {
+        // Cold: bitwise.
+        let s = serial.simulate(&idx, SimMode::PexWorstCase);
+        let b = batched.simulate(&idx, SimMode::PexWorstCase);
+        let cold_ok = match (&s, &b) {
+            (Ok(s), Ok(b)) => s == b,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        // Warm: solver tolerance.
+        let ws = serial.simulate_warm(&idx, SimMode::PexWorstCase, &mut warm_s);
+        let wb = batched.simulate_warm(&idx, SimMode::PexWorstCase, &mut warm_b);
+        let warm_ok = match (&ws, &wb) {
+            (Ok(a), Ok(c)) => {
+                a.len() == c.len()
+                    && a.iter()
+                        .zip(c)
+                        .all(|(x, y)| (x - y).abs() <= REL_TOL * (1.0 + x.abs().max(y.abs())))
+            }
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        let verdict = if cold_ok && warm_ok { "ok" } else { "DIVERGED" };
+        println!("{name:<8} mesh={depth} idx={idx:?}: cold={cold_ok} warm={warm_ok} [{verdict}]");
+        if !cold_ok {
+            eprintln!("  cold serial: {s:?}\n  cold batched: {b:?}");
+            failures += 1;
+        }
+        if !warm_ok {
+            eprintln!("  warm serial: {ws:?}\n  warm batched: {wb:?}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut failures = 0;
+    for depth in [0usize, 2] {
+        let mesh = |base: &PexConfig| PexConfig {
+            mesh_depth: depth,
+            ..base.clone()
+        };
+        let tia = Tia::default();
+        let tia_pex = mesh(tia.pex_config());
+        failures += check(
+            "tia",
+            depth,
+            &Tia::default()
+                .with_pex_config(tia_pex.clone())
+                .with_corner_strategy(CornerStrategy::Serial),
+            &Tia::default()
+                .with_pex_config(tia_pex)
+                .with_corner_strategy(CornerStrategy::Batched),
+        );
+        let op = OpAmp2::default();
+        let op_pex = mesh(op.pex_config());
+        failures += check(
+            "opamp2",
+            depth,
+            &OpAmp2::default()
+                .with_pex_config(op_pex.clone())
+                .with_corner_strategy(CornerStrategy::Serial),
+            &OpAmp2::default()
+                .with_pex_config(op_pex)
+                .with_corner_strategy(CornerStrategy::Batched),
+        );
+        let ng = NegGmOta::default();
+        let ng_pex = mesh(ng.pex_config());
+        failures += check(
+            "neggm",
+            depth,
+            &NegGmOta::default()
+                .with_pex_config(ng_pex.clone())
+                .with_corner_strategy(CornerStrategy::Serial),
+            &NegGmOta::default()
+                .with_pex_config(ng_pex)
+                .with_corner_strategy(CornerStrategy::Batched),
+        );
+    }
+    if failures > 0 {
+        eprintln!("corner_smoke: {failures} divergence(s)");
+        std::process::exit(1);
+    }
+    println!("corner_smoke: all seed designs agree (cold bitwise, warm within tolerance)");
+}

@@ -9,12 +9,13 @@
 
 pub mod exp;
 
-use autockt_circuits::{OpAmp2, SizingProblem, Tia};
+use autockt_circuits::{NegGmOta, OpAmp2, SizingProblem, Tia};
 use autockt_sim::ac::AcSolver;
 use autockt_sim::complex::Complex;
 use autockt_sim::dc::{dc_operating_point, DcOptions};
 use autockt_sim::device::Technology;
 use autockt_sim::netlist::Circuit;
+use autockt_sim::pex::{extract, PexConfig};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -122,6 +123,36 @@ pub fn dense_kernel_case(n: usize) -> AcKernelCase {
         pattern,
         rhs,
     }
+}
+
+/// MNA dimension of a topology's center design after parasitic
+/// extraction with `pex` — the effective per-corner system size of a
+/// `PexWorstCase` evaluation (corner variants share structure, so one
+/// build suffices). `name` is the topology's [`SizingProblem::name`]
+/// (`"tia"`, `"opamp2"`, `"neggm_ota"`).
+///
+/// # Panics
+///
+/// Panics on an unknown topology name.
+pub fn extracted_center_dim(name: &str, pex: &PexConfig) -> usize {
+    let center =
+        |p: &dyn SizingProblem| -> Vec<usize> { p.cardinalities().iter().map(|k| k / 2).collect() };
+    let ckt = match name {
+        "tia" => {
+            let t = Tia::default();
+            t.build(&center(&t), &Technology::ptm45()).0
+        }
+        "opamp2" => {
+            let p = OpAmp2::default();
+            p.build(&center(&p), &Technology::ptm45()).0
+        }
+        "neggm" | "neggm_ota" => {
+            let p = NegGmOta::default();
+            p.build(&center(&p), &Technology::finfet16()).0
+        }
+        other => panic!("unknown topology {other}"),
+    };
+    extract(&ckt, pex).mna_dim()
 }
 
 /// Returns the `results/` directory at the workspace root, creating it if

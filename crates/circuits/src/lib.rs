@@ -34,7 +34,10 @@ pub mod tia;
 
 pub use neggm::NegGmOta;
 pub use opamp2::OpAmp2;
-pub use problem::{EvalSession, ParamSpec, SharedMemo, SimMode, SizingProblem, SpecDef, SpecKind};
+pub use problem::{
+    CornerCase, CornerEvaluator, CornerPlan, CornerStrategy, EvalSession, ParamSpec, SharedMemo,
+    SimMode, SizingProblem, SpecDef, SpecKind,
+};
 pub use tia::Tia;
 
 /// Commonly used items.
@@ -42,7 +45,8 @@ pub mod prelude {
     pub use crate::neggm::NegGmOta;
     pub use crate::opamp2::OpAmp2;
     pub use crate::problem::{
-        EvalSession, ParamSpec, SharedMemo, SimMode, SizingProblem, SpecDef, SpecKind,
+        CornerStrategy, EvalSession, ParamSpec, SharedMemo, SimMode, SizingProblem, SpecDef,
+        SpecKind,
     };
     pub use crate::tia::Tia;
 }

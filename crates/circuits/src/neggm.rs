@@ -15,11 +15,13 @@
 //! `[60, 75]` degrees (a *range* is sampled during training; Sec. III-D
 //! explains this aids transfer).
 
-use crate::problem::{ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
-use crate::tia::worst_case;
-use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcWorkspace};
+use crate::problem::{
+    CornerCase, CornerEvaluator, CornerPlan, CornerStrategy, ParamSpec, SimMode, SizingProblem,
+    SpecDef, SpecKind,
+};
+use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcResponse, AcWorkspace};
 use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
-use autockt_sim::device::{MosPolarity, Pvt, Technology};
+use autockt_sim::device::{MosPolarity, Technology};
 use autockt_sim::netlist::{Circuit, Mosfet, Node, GND};
 use autockt_sim::pex::{extract, PexConfig};
 use autockt_sim::SimError;
@@ -51,6 +53,7 @@ pub struct NegGmOta {
     /// Miller compensation capacitance (F), fixed.
     pub c_comp: f64,
     pex: PexConfig,
+    corner_strategy: CornerStrategy,
 }
 
 impl Default for NegGmOta {
@@ -119,7 +122,28 @@ impl NegGmOta {
                 junction_scale: 1.8,
                 ..PexConfig::default()
             },
+            corner_strategy: CornerStrategy::default(),
         }
+    }
+
+    /// Selects how `PexWorstCase` iterates the PVT corner set (see
+    /// [`CornerStrategy`]; batched lockstep by default).
+    pub fn with_corner_strategy(mut self, strategy: CornerStrategy) -> Self {
+        self.corner_strategy = strategy;
+        self
+    }
+
+    /// Replaces the parasitic-extraction configuration — e.g. to deepen
+    /// the RC mesh (`PexConfig::mesh_depth`) for denser MNA systems.
+    pub fn with_pex_config(mut self, pex: PexConfig) -> Self {
+        self.pex = pex;
+        self
+    }
+
+    /// The parasitic-extraction configuration used by `Pex` and
+    /// `PexWorstCase` evaluations.
+    pub fn pex_config(&self) -> &PexConfig {
+        &self.pex
     }
 
     /// Overrides the phase-margin target sampling range (Sec. III-D: a
@@ -191,6 +215,12 @@ impl NegGmOta {
         (ckt, out)
     }
 
+    /// The AC sweep grid shared by every fidelity's measurement (the
+    /// corner engine and `measure_at` must sweep the same points).
+    fn ac_freqs() -> Vec<f64> {
+        log_freqs(1e2, 1e10, 10)
+    }
+
     fn dc_opts(&self) -> DcOptions {
         DcOptions {
             initial_v: self.vdd / 2.0,
@@ -220,7 +250,7 @@ impl NegGmOta {
         &self,
         idx: &[usize],
         mode: SimMode,
-        mut state: Option<&mut WarmState>,
+        state: Option<&mut WarmState>,
     ) -> Result<Vec<f64>, SimError> {
         let measure = |ckt: &Circuit, out, slot, state: Option<&mut WarmState>| match state {
             Some(st) => self.measure_warm(ckt, out, slot, st),
@@ -237,14 +267,27 @@ impl NegGmOta {
                 measure(&ex, out, 0, state)
             }
             SimMode::PexWorstCase => {
-                let mut rows = Vec::new();
-                for (slot, pvt) in Pvt::corner_set().iter().enumerate() {
-                    let tech = self.tech.at_corner(*pvt);
-                    let (ckt, out) = self.build(idx, &tech);
-                    let ex = extract(&ckt, &self.pex);
-                    rows.push(measure(&ex, out, slot, state.as_deref_mut())?);
-                }
-                Ok(worst_case(&self.specs, &rows))
+                let engine = CornerEvaluator::new(
+                    CornerPlan::pvt_worst_case(),
+                    self.dc_opts(),
+                    NegGmOta::ac_freqs(),
+                    self.corner_strategy,
+                );
+                engine.evaluate(
+                    &self.specs,
+                    |_slot, pvt| {
+                        let tech = self.tech.at_corner(*pvt);
+                        let (ckt, out) = self.build(idx, &tech);
+                        CornerCase {
+                            ckt: extract(&ckt, &self.pex),
+                            out,
+                            temp_k: pvt.temp_kelvin(),
+                            vdd_src: 0,
+                        }
+                    },
+                    |_slot, _case, _op, _solver, resp, _ws| self.corner_specs(resp),
+                    state,
+                )
             }
         }
     }
@@ -256,11 +299,17 @@ impl NegGmOta {
         op: &OpPoint,
         ac_ws: Option<&mut AcWorkspace>,
     ) -> Result<Vec<f64>, SimError> {
-        let freqs = log_freqs(1e2, 1e10, 10);
+        let freqs = NegGmOta::ac_freqs();
         let resp = match ac_ws {
             Some(ws) => ac_sweep_ws(ckt, op, &freqs, out, ws)?,
             None => ac_sweep(ckt, op, &freqs, out)?,
         };
+        self.corner_specs(&resp)
+    }
+
+    /// Spec extraction shared by the single-corner measurement and the
+    /// corner engine.
+    fn corner_specs(&self, resp: &AcResponse) -> Result<Vec<f64>, SimError> {
         let gain = resp.dc_gain();
         let ugbw = resp
             .ugbw()

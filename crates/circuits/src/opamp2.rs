@@ -11,11 +11,13 @@
 //! Specifications: DC gain, unity-gain bandwidth, phase margin (hard
 //! constraints) and bias current (minimized, the power proxy).
 
-use crate::problem::{ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
-use crate::tia::worst_case;
-use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcWorkspace};
+use crate::problem::{
+    CornerCase, CornerEvaluator, CornerPlan, CornerStrategy, ParamSpec, SimMode, SizingProblem,
+    SpecDef, SpecKind,
+};
+use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcResponse, AcWorkspace};
 use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
-use autockt_sim::device::{MosPolarity, Pvt, Technology};
+use autockt_sim::device::{MosPolarity, Technology};
 use autockt_sim::netlist::{Circuit, Mosfet, Node, GND};
 use autockt_sim::pex::{extract, PexConfig};
 use autockt_sim::SimError;
@@ -47,6 +49,7 @@ pub struct OpAmp2 {
     /// Output load capacitance (F).
     pub c_load: f64,
     pex: PexConfig,
+    corner_strategy: CornerStrategy,
 }
 
 impl Default for OpAmp2 {
@@ -110,7 +113,28 @@ impl OpAmp2 {
             iref: 20e-6,
             c_load: 1e-12,
             pex: PexConfig::default(),
+            corner_strategy: CornerStrategy::default(),
         }
+    }
+
+    /// Selects how `PexWorstCase` iterates the PVT corner set (see
+    /// [`CornerStrategy`]; batched lockstep by default).
+    pub fn with_corner_strategy(mut self, strategy: CornerStrategy) -> Self {
+        self.corner_strategy = strategy;
+        self
+    }
+
+    /// Replaces the parasitic-extraction configuration — e.g. to deepen
+    /// the RC mesh (`PexConfig::mesh_depth`) for denser MNA systems.
+    pub fn with_pex_config(mut self, pex: PexConfig) -> Self {
+        self.pex = pex;
+        self
+    }
+
+    /// The parasitic-extraction configuration used by `Pex` and
+    /// `PexWorstCase` evaluations.
+    pub fn pex_config(&self) -> &PexConfig {
+        &self.pex
     }
 
     /// Builds the netlist at grid indices `idx`. Returns the circuit, the
@@ -169,6 +193,12 @@ impl OpAmp2 {
         (ckt, out, 0)
     }
 
+    /// The AC sweep grid shared by every fidelity's measurement (the
+    /// corner engine and `measure_at` must sweep the same points).
+    fn ac_freqs() -> Vec<f64> {
+        log_freqs(1e2, 1e10, 10)
+    }
+
     fn dc_opts(&self) -> DcOptions {
         DcOptions {
             initial_v: self.vdd / 2.0,
@@ -199,7 +229,7 @@ impl OpAmp2 {
         &self,
         idx: &[usize],
         mode: SimMode,
-        mut state: Option<&mut WarmState>,
+        state: Option<&mut WarmState>,
     ) -> Result<Vec<f64>, SimError> {
         let measure = |ckt: &Circuit, out, vs, slot, state: Option<&mut WarmState>| match state {
             Some(st) => self.measure_warm(ckt, out, vs, slot, st),
@@ -216,14 +246,27 @@ impl OpAmp2 {
                 measure(&ex, out, vs, 0, state)
             }
             SimMode::PexWorstCase => {
-                let mut rows = Vec::new();
-                for (slot, pvt) in Pvt::corner_set().iter().enumerate() {
-                    let tech = self.tech.at_corner(*pvt);
-                    let (ckt, out, vs) = self.build(idx, &tech);
-                    let ex = extract(&ckt, &self.pex);
-                    rows.push(measure(&ex, out, vs, slot, state.as_deref_mut())?);
-                }
-                Ok(worst_case(&self.specs, &rows))
+                let engine = CornerEvaluator::new(
+                    CornerPlan::pvt_worst_case(),
+                    self.dc_opts(),
+                    OpAmp2::ac_freqs(),
+                    self.corner_strategy,
+                );
+                engine.evaluate(
+                    &self.specs,
+                    |_slot, pvt| {
+                        let tech = self.tech.at_corner(*pvt);
+                        let (ckt, out, vs) = self.build(idx, &tech);
+                        CornerCase {
+                            ckt: extract(&ckt, &self.pex),
+                            out,
+                            temp_k: pvt.temp_kelvin(),
+                            vdd_src: vs,
+                        }
+                    },
+                    |_slot, case, op, _solver, resp, _ws| self.corner_specs(op, case.vdd_src, resp),
+                    state,
+                )
             }
         }
     }
@@ -236,12 +279,23 @@ impl OpAmp2 {
         op: &OpPoint,
         ac_ws: Option<&mut AcWorkspace>,
     ) -> Result<Vec<f64>, SimError> {
-        let ibias = op.vsource_current(vdd_src).abs();
-        let freqs = log_freqs(1e2, 1e10, 10);
+        let freqs = OpAmp2::ac_freqs();
         let resp = match ac_ws {
             Some(ws) => ac_sweep_ws(ckt, op, &freqs, out, ws)?,
             None => ac_sweep(ckt, op, &freqs, out)?,
         };
+        self.corner_specs(op, vdd_src, &resp)
+    }
+
+    /// Spec extraction shared by the single-corner measurement and the
+    /// corner engine.
+    fn corner_specs(
+        &self,
+        op: &OpPoint,
+        vdd_src: usize,
+        resp: &AcResponse,
+    ) -> Result<Vec<f64>, SimError> {
+        let ibias = op.vsource_current(vdd_src).abs();
         let gain = resp.dc_gain();
         let ugbw = resp
             .ugbw()

@@ -7,7 +7,12 @@
 //! sampling ranges, and a black-box `parameters -> measured specs`
 //! evaluation (schematic or post-layout).
 
-use autockt_sim::dc::WarmState;
+use autockt_sim::ac::{
+    ac_sweep_batch_solvers, ac_sweep_corners, AcBatchWorkspace, AcResponse, AcSolver, AcWorkspace,
+};
+use autockt_sim::dc::{dc_operating_point_batch, DcBatchWorkspace, DcOptions, OpPoint, WarmState};
+use autockt_sim::device::Pvt;
+use autockt_sim::netlist::{Circuit, Node};
 use autockt_sim::SimError;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -93,6 +98,328 @@ pub enum SimMode {
     /// Post-layout-extracted simulation, worst case across the PVT corner
     /// set (the configuration used for Table IV).
     PexWorstCase,
+}
+
+/// How a worst-case evaluation iterates its corner set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CornerStrategy {
+    /// One corner at a time through the scalar kernels — the reference
+    /// path (and the pre-batching behaviour), kept for benchmarking and
+    /// equivalence testing.
+    Serial,
+    /// All corners solved in lockstep through the batched DC Newton and
+    /// AC sweep kernels (`dc_operating_point_batch` / `ac_sweep_batch`),
+    /// with per-corner convergence masks and scalar fallback for
+    /// stubborn corners. With warm-start off this is bitwise-identical
+    /// to [`CornerStrategy::Serial`] (property-tested per topology).
+    #[default]
+    Batched,
+}
+
+/// The corner list of a worst-case evaluation: which PVT points every
+/// design is checked at.
+#[derive(Debug, Clone)]
+pub struct CornerPlan {
+    corners: Vec<Pvt>,
+}
+
+impl CornerPlan {
+    /// The canonical worst-case PVT plan ([`Pvt::corner_set`]) used by
+    /// `SimMode::PexWorstCase` — the paper's Table IV configuration.
+    pub fn pvt_worst_case() -> Self {
+        CornerPlan {
+            corners: Pvt::corner_set(),
+        }
+    }
+
+    /// A plan over an explicit corner list.
+    pub fn from_corners(corners: Vec<Pvt>) -> Self {
+        CornerPlan { corners }
+    }
+
+    /// The corners, in slot order (warm-start slots are keyed by this
+    /// index).
+    pub fn corners(&self) -> &[Pvt] {
+        &self.corners
+    }
+
+    /// Number of corners.
+    pub fn len(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Whether the plan holds no corners.
+    pub fn is_empty(&self) -> bool {
+        self.corners.is_empty()
+    }
+}
+
+/// One corner's concrete evaluation inputs, produced by a topology's
+/// builder closure: the (extracted) netlist plus whatever the
+/// measurement needs to interpret it.
+#[derive(Debug, Clone)]
+pub struct CornerCase {
+    /// The netlist evaluated at this corner (already PEX-extracted).
+    pub ckt: Circuit,
+    /// Output node driven and measured by the AC sweep.
+    pub out: Node,
+    /// Corner temperature (K), for noise analyses.
+    pub temp_k: f64,
+    /// Index of the supply voltage source, for bias-current measurement.
+    pub vdd_src: usize,
+}
+
+/// The shared corner-iteration engine behind `SimMode::PexWorstCase`:
+/// owns the corner set, the per-corner warm-start slots, and the choice
+/// between serial and lockstep-batched dispatch, so a topology
+/// contributes only its circuit-builder closure and its per-corner spec
+/// measurement (the worst-case fold runs on the topology's spec
+/// definitions). The per-corner loops that used to be triplicated across
+/// `tia.rs`/`opamp2.rs`/`neggm.rs` live here and nowhere else.
+///
+/// Batched dispatch cuts through all three stages of a corner
+/// evaluation: the B corners' DC operating points solve as one lockstep
+/// Newton (`dc_operating_point_batch`, one batched LU per iteration
+/// instead of B scalar ones), the AC sweep factors all B systems per
+/// frequency through the corner-axis SoA kernel (`ac_sweep_batch`), and
+/// only the cheap spec post-processing stays per corner. Results are
+/// identical per corner; one stubborn or defective corner falls back to
+/// the scalar path alone. When several corners fail, the reported
+/// `SimError` is the lowest-slot failure of the stage that surfaced it,
+/// which can differ from the serial path's (which stops at the first
+/// failing corner's first failing stage) — the Ok/Err outcome per corner
+/// never does.
+#[derive(Debug, Clone)]
+pub struct CornerEvaluator {
+    plan: CornerPlan,
+    dc_opts: DcOptions,
+    freqs: Vec<f64>,
+    strategy: CornerStrategy,
+}
+
+impl CornerEvaluator {
+    /// Creates an engine over `plan`, solving operating points with
+    /// `dc_opts` and sweeping `freqs` at every corner.
+    pub fn new(
+        plan: CornerPlan,
+        dc_opts: DcOptions,
+        freqs: Vec<f64>,
+        strategy: CornerStrategy,
+    ) -> Self {
+        CornerEvaluator {
+            plan,
+            dc_opts,
+            freqs,
+            strategy,
+        }
+    }
+
+    /// The corner plan.
+    pub fn plan(&self) -> &CornerPlan {
+        &self.plan
+    }
+
+    /// Evaluates every corner and reduces the per-corner spec rows to
+    /// the worst case in each spec's constraint direction.
+    ///
+    /// `build` produces corner `slot`'s circuit; `measure` turns corner
+    /// `slot`'s operating point, linearization, and swept response into
+    /// a spec row (it receives the session's [`AcWorkspace`] when
+    /// warm-started, for allocation-free noise analyses). `state`
+    /// carries the per-corner warm slots; `None` evaluates cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first corner failure (unsolvable operating point,
+    /// singular sweep, or measurement error) — same contract as
+    /// `SizingProblem::simulate`.
+    pub fn evaluate<B, M>(
+        &self,
+        specs: &[SpecDef],
+        build: B,
+        measure: M,
+        state: Option<&mut WarmState>,
+    ) -> Result<Vec<f64>, SimError>
+    where
+        B: FnMut(usize, &Pvt) -> CornerCase,
+        M: FnMut(
+            usize,
+            &CornerCase,
+            &OpPoint,
+            &AcSolver<'_>,
+            &AcResponse,
+            Option<&mut AcWorkspace>,
+        ) -> Result<Vec<f64>, SimError>,
+    {
+        let rows = match self.strategy {
+            CornerStrategy::Serial => self.rows_serial(build, measure, state)?,
+            CornerStrategy::Batched => self.rows_batched(build, measure, state)?,
+        };
+        Ok(worst_case(specs, &rows))
+    }
+
+    /// The reference path: corner after corner through the scalar
+    /// kernels, exactly the loop the topologies used to carry.
+    fn rows_serial<B, M>(
+        &self,
+        mut build: B,
+        mut measure: M,
+        mut state: Option<&mut WarmState>,
+    ) -> Result<Vec<Vec<f64>>, SimError>
+    where
+        B: FnMut(usize, &Pvt) -> CornerCase,
+        M: FnMut(
+            usize,
+            &CornerCase,
+            &OpPoint,
+            &AcSolver<'_>,
+            &AcResponse,
+            Option<&mut AcWorkspace>,
+        ) -> Result<Vec<f64>, SimError>,
+    {
+        let mut rows = Vec::with_capacity(self.plan.len());
+        for (slot, pvt) in self.plan.corners.iter().enumerate() {
+            let case = build(slot, pvt);
+            let op = match state.as_deref_mut() {
+                Some(st) => st.solve(slot, &case.ckt, &self.dc_opts)?,
+                None => autockt_sim::dc::dc_operating_point(&case.ckt, &self.dc_opts)?,
+            };
+            let solver = AcSolver::new(&case.ckt, &op);
+            let resp = match state.as_deref_mut() {
+                Some(st) => {
+                    let h =
+                        solver.solve_sources_batch_ws(&self.freqs, case.out, st.ac_workspace())?;
+                    AcResponse {
+                        freqs: self.freqs.clone(),
+                        h,
+                    }
+                }
+                None => {
+                    let mut h = Vec::with_capacity(self.freqs.len());
+                    for &f in &self.freqs {
+                        let x = solver.solve_sources(f)?;
+                        h.push(solver.voltage(&x, case.out));
+                    }
+                    AcResponse {
+                        freqs: self.freqs.clone(),
+                        h,
+                    }
+                }
+            };
+            rows.push(measure(
+                slot,
+                &case,
+                &op,
+                &solver,
+                &resp,
+                state.as_deref_mut().map(WarmState::ac_workspace),
+            )?);
+        }
+        Ok(rows)
+    }
+
+    /// The lockstep path: one batched DC Newton across all corners, one
+    /// corner-batched AC sweep, then the per-corner measurements.
+    fn rows_batched<B, M>(
+        &self,
+        mut build: B,
+        mut measure: M,
+        mut state: Option<&mut WarmState>,
+    ) -> Result<Vec<Vec<f64>>, SimError>
+    where
+        B: FnMut(usize, &Pvt) -> CornerCase,
+        M: FnMut(
+            usize,
+            &CornerCase,
+            &OpPoint,
+            &AcSolver<'_>,
+            &AcResponse,
+            Option<&mut AcWorkspace>,
+        ) -> Result<Vec<f64>, SimError>,
+    {
+        let cases: Vec<CornerCase> = self
+            .plan
+            .corners
+            .iter()
+            .enumerate()
+            .map(|(slot, pvt)| build(slot, pvt))
+            .collect();
+        let ckts: Vec<&Circuit> = cases.iter().map(|c| &c.ckt).collect();
+        let op_results = match state.as_deref_mut() {
+            Some(st) => st.solve_batch(0, &ckts, &self.dc_opts),
+            None => {
+                let warm = vec![None; ckts.len()];
+                dc_operating_point_batch(&ckts, &self.dc_opts, &warm, &mut DcBatchWorkspace::new())
+            }
+        };
+        let mut ops = Vec::with_capacity(op_results.len());
+        for r in op_results {
+            ops.push(r?);
+        }
+        let solvers: Vec<AcSolver<'_>> = cases
+            .iter()
+            .zip(&ops)
+            .map(|(c, op)| AcSolver::new(&c.ckt, op))
+            .collect();
+        let outs: Vec<Node> = cases.iter().map(|c| c.out).collect();
+        // Warm sessions take the corner-correction sweep (one base
+        // factorization per frequency + per-corner low-rank corrections
+        // — exact to roundoff, inside the warm path's solver-tolerance
+        // contract). The cold path stays on the lockstep batch, whose
+        // per-corner arithmetic is bitwise-identical to the serial
+        // reference.
+        let mut cold_ws;
+        let resp_results = match state.as_deref_mut() {
+            Some(st) => ac_sweep_corners(&solvers, &self.freqs, &outs, st.ac_batch_workspace()),
+            None => {
+                cold_ws = AcBatchWorkspace::new();
+                ac_sweep_batch_solvers(&solvers, &self.freqs, &outs, &mut cold_ws)
+            }
+        };
+        let mut resps = Vec::with_capacity(resp_results.len());
+        for r in resp_results {
+            resps.push(r?);
+        }
+        let mut rows = Vec::with_capacity(cases.len());
+        for (slot, ((case, op), (solver, resp))) in cases
+            .iter()
+            .zip(&ops)
+            .zip(solvers.iter().zip(&resps))
+            .enumerate()
+        {
+            rows.push(measure(
+                slot,
+                case,
+                op,
+                solver,
+                resp,
+                state.as_deref_mut().map(WarmState::ac_workspace),
+            )?);
+        }
+        Ok(rows)
+    }
+}
+
+/// Reduces per-corner spec rows to the worst case in each spec's
+/// constraint direction (paper: "taking the worst performing metric as
+/// the specification") — the fold every topology's `PexWorstCase`
+/// evaluation shares.
+///
+/// # Panics
+///
+/// Panics on an empty corner set.
+pub fn worst_case(specs: &[SpecDef], per_corner: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!per_corner.is_empty());
+    let mut out = per_corner[0].clone();
+    for row in &per_corner[1..] {
+        for (i, v) in row.iter().enumerate() {
+            out[i] = match specs[i].kind {
+                SpecKind::HardMin => out[i].min(*v),
+                SpecKind::HardMax | SpecKind::Minimize => out[i].max(*v),
+            };
+        }
+    }
+    out
 }
 
 /// A parameterised circuit topology that AutoCkt can size.
@@ -241,6 +568,14 @@ struct MemoShard {
 /// ```
 pub struct SharedMemo {
     shards: Vec<Mutex<MemoShard>>,
+    /// Per-shard count of lock acquisitions that found the shard already
+    /// held (`try_lock` miss → blocking wait): the direct contention
+    /// signal for sizing the shard count as worker counts grow.
+    contended: Vec<AtomicU64>,
+    /// Total hot-path lock acquisitions (probes, inserts, contains) —
+    /// the denominator for the contention ratio. Counted at the lock
+    /// itself, so a get-miss followed by an insert counts as two.
+    acquisitions: AtomicU64,
     per_shard_capacity: usize,
     hits: AtomicU64,
     cross_hits: AtomicU64,
@@ -258,6 +593,7 @@ impl std::fmt::Debug for SharedMemo {
             .field("hits", &self.hits())
             .field("cross_hits", &self.cross_hits())
             .field("evictions", &self.evictions())
+            .field("contended_locks", &self.contended_locks())
             .finish()
     }
 }
@@ -275,6 +611,8 @@ impl SharedMemo {
             shards: (0..shards)
                 .map(|_| Mutex::new(MemoShard::default()))
                 .collect(),
+            contended: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            acquisitions: AtomicU64::new(0),
             per_shard_capacity: capacity.div_ceil(shards).max(1),
             hits: AtomicU64::new(0),
             cross_hits: AtomicU64::new(0),
@@ -300,10 +638,27 @@ impl SharedMemo {
         self.next_worker.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn shard(&self, idx: &[usize]) -> &Mutex<MemoShard> {
+    fn shard_index(&self, idx: &[usize]) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         idx.hash(&mut h);
-        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    /// Locks the shard holding `idx`, counting the acquisition as
+    /// contended when another worker already holds it (the hot paths all
+    /// come through here, so [`SharedMemo::contended_locks`] reflects
+    /// real probe/insert contention, not maintenance scans).
+    fn lock_shard(&self, idx: &[usize]) -> std::sync::MutexGuard<'_, MemoShard> {
+        let s = self.shard_index(idx);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        match self.shards[s].try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended[s].fetch_add(1, Ordering::Relaxed);
+                self.shards[s].lock().expect("memo shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("memo shard poisoned"),
+        }
     }
 
     /// Looks up `idx`, cloning the entry out (the lock is never held
@@ -316,7 +671,7 @@ impl SharedMemo {
         idx: &[usize],
         worker: u64,
     ) -> Option<(Result<Vec<f64>, SimError>, Vec<Option<Vec<f64>>>, bool)> {
-        let shard = self.shard(idx).lock().expect("memo shard poisoned");
+        let shard = self.lock_shard(idx);
         let e = shard.map.get(idx)?;
         let cross = e.owner != worker;
         self.hits.fetch_add(1, Ordering::Relaxed);
@@ -328,11 +683,7 @@ impl SharedMemo {
 
     /// Whether `idx` is currently memoized.
     pub fn contains(&self, idx: &[usize]) -> bool {
-        self.shard(idx)
-            .lock()
-            .expect("memo shard poisoned")
-            .map
-            .contains_key(idx)
+        self.lock_shard(idx).map.contains_key(idx)
     }
 
     fn insert(
@@ -342,7 +693,7 @@ impl SharedMemo {
         warm: Vec<Option<Vec<f64>>>,
         worker: u64,
     ) {
-        let mut shard = self.shard(idx).lock().expect("memo shard poisoned");
+        let mut shard = self.lock_shard(idx);
         if shard.map.contains_key(idx) {
             // A sibling solved the same point concurrently; keep the
             // first insertion so every later hit serves one consistent
@@ -399,6 +750,36 @@ impl SharedMemo {
     /// Entries evicted FIFO at shard capacity.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total hot-path lock acquisitions across all shards (every probe,
+    /// insert, and containment check) — the denominator for the
+    /// contention ratio.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Total contended lock acquisitions across all shards: probes or
+    /// inserts that found their shard held by another worker and had to
+    /// wait. The pooling design bets this stays negligible relative to
+    /// [`SharedMemo::lock_acquisitions`]; the 32-worker bench rows
+    /// record it to check that bet beyond 8 workers.
+    pub fn contended_locks(&self) -> u64 {
+        self.contended
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard contended-lock counters, index-aligned with the shard
+    /// array — shows whether contention is spread or concentrated on a
+    /// hot shard (lockstep workers all probing the same key hash to the
+    /// same shard).
+    pub fn shard_contention(&self) -> Vec<u64> {
+        self.contended
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Number of shards (always a power of two).
@@ -819,6 +1200,38 @@ mod tests {
     }
 
     #[test]
+    fn shared_memo_tracks_lock_contention() {
+        let memo = Arc::new(SharedMemo::new(1, 1024)); // one shard: all keys collide
+        assert_eq!(memo.contended_locks(), 0);
+        assert_eq!(memo.shard_contention(), vec![0]);
+        // Hammer the single shard from several threads: every probe and
+        // insert routes through the counting lock path (how much
+        // contention actually materializes depends on scheduling, so
+        // only the counter invariants are asserted).
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let memo = Arc::clone(&memo);
+                scope.spawn(move || {
+                    for i in 0..2000usize {
+                        memo.insert(&[t as usize, i], Ok(vec![i as f64]), Vec::new(), t);
+                        let _ = memo.get(&[t as usize, i], t);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.shard_contention().len(), memo.num_shards());
+        assert_eq!(
+            memo.contended_locks(),
+            memo.shard_contention().iter().sum::<u64>()
+        );
+        // Uncontended single-threaded access never counts.
+        let quiet = SharedMemo::new(4, 64);
+        quiet.insert(&[1], Ok(vec![1.0]), Vec::new(), 0);
+        let _ = quiet.get(&[1], 0);
+        assert_eq!(quiet.contended_locks(), 0);
+    }
+
+    #[test]
     fn shared_memo_pools_across_sessions() {
         let tia = crate::Tia::default();
         let memo = Arc::new(SharedMemo::new(4, 1024));
@@ -847,6 +1260,110 @@ mod tests {
         assert!(a.is_memoized(&idx));
         memo.clear();
         assert!(!a.is_memoized(&idx));
+    }
+
+    /// A little two-spec engine over hand-built RC "corners" — the
+    /// engine is topology-agnostic, so the tests drive it directly.
+    fn rc_engine(strategy: CornerStrategy) -> (CornerEvaluator, Vec<SpecDef>) {
+        let engine = CornerEvaluator::new(
+            CornerPlan::pvt_worst_case(),
+            autockt_sim::dc::DcOptions::default(),
+            autockt_sim::ac::log_freqs(1e3, 1e8, 4),
+            strategy,
+        );
+        let specs = vec![
+            SpecDef {
+                name: "gain",
+                unit: "",
+                kind: SpecKind::HardMin,
+                lo: 0.0,
+                hi: 1.0,
+                fail_value: 0.0,
+            },
+            SpecDef {
+                name: "mag_hi",
+                unit: "",
+                kind: SpecKind::HardMax,
+                lo: 0.0,
+                hi: 1.0,
+                fail_value: 9.0,
+            },
+        ];
+        (engine, specs)
+    }
+
+    fn rc_case(slot: usize, defective: Option<usize>) -> CornerCase {
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        if defective == Some(slot) {
+            // Inconsistent netlist: conflicting parallel sources make
+            // every gmin stage singular, so this corner cannot solve.
+            ckt.vsource(i, GND, 1.0, 0.0);
+            ckt.vsource(i, GND, 2.0, 0.0);
+            ckt.resistor(i, o, 1.0e3);
+        } else {
+            ckt.vsource(i, GND, 0.0, 1.0);
+            ckt.resistor(i, o, 1.0e3 * (slot + 1) as f64);
+            ckt.capacitor(o, GND, 1e-9);
+        }
+        CornerCase {
+            ckt,
+            out: o,
+            temp_k: 300.0,
+            vdd_src: 0,
+        }
+    }
+
+    use autockt_sim::netlist::GND;
+
+    fn run_rc_engine(
+        strategy: CornerStrategy,
+        defective: Option<usize>,
+        warm: Option<&mut WarmState>,
+    ) -> Result<Vec<f64>, SimError> {
+        let (engine, specs) = rc_engine(strategy);
+        engine.evaluate(
+            &specs,
+            |slot, _pvt| rc_case(slot, defective),
+            |_slot, _case, _op, _solver, resp, _ws| {
+                Ok(vec![resp.h[0].norm(), resp.h.last().unwrap().norm()])
+            },
+            warm,
+        )
+    }
+
+    #[test]
+    fn corner_engine_batched_matches_serial_bitwise() {
+        let serial = run_rc_engine(CornerStrategy::Serial, None, None).unwrap();
+        let batched = run_rc_engine(CornerStrategy::Batched, None, None).unwrap();
+        assert_eq!(serial, batched);
+        // Warm-stated runs agree too (same slots, same kernels).
+        let mut ws = WarmState::new();
+        let mut wb = WarmState::new();
+        for _ in 0..2 {
+            let s = run_rc_engine(CornerStrategy::Serial, None, Some(&mut ws)).unwrap();
+            let b = run_rc_engine(CornerStrategy::Batched, None, Some(&mut wb)).unwrap();
+            assert_eq!(s, b);
+            assert_eq!(s, serial, "linear circuit: warm fixed point identical");
+        }
+    }
+
+    #[test]
+    fn corner_engine_defective_corner_fails_without_stalling_siblings() {
+        // A deliberately unsolvable corner: both strategies report the
+        // failure (the batched path exercises the per-corner mask and
+        // scalar fallback), and the defect in one corner does not change
+        // what a defect-free evaluation of the *other* corners produces.
+        let serial = run_rc_engine(CornerStrategy::Serial, Some(1), None);
+        let batched = run_rc_engine(CornerStrategy::Batched, Some(1), None);
+        assert!(matches!(serial, Err(SimError::SingularMatrix { .. })));
+        assert!(matches!(batched, Err(SimError::SingularMatrix { .. })));
+        // Same with the defective corner last (error discovered after
+        // every sibling already solved in lockstep).
+        let last = CornerPlan::pvt_worst_case().len() - 1;
+        let batched_last = run_rc_engine(CornerStrategy::Batched, Some(last), None);
+        assert!(batched_last.is_err());
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //! Specifications: settling time, cutoff (-3 dB) frequency, and integrated
 //! output noise.
 
-use crate::problem::{ParamSpec, SimMode, SizingProblem, SpecDef, SpecKind};
-use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcSolver, AcWorkspace};
+use crate::problem::{
+    CornerCase, CornerEvaluator, CornerPlan, CornerStrategy, ParamSpec, SimMode, SizingProblem,
+    SpecDef, SpecKind,
+};
+use autockt_sim::ac::{ac_sweep, ac_sweep_ws, log_freqs, AcResponse, AcSolver, AcWorkspace};
 use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
-use autockt_sim::device::{MosPolarity, Pvt, Technology};
+use autockt_sim::device::{MosPolarity, Technology};
 use autockt_sim::measure::settling_time;
 use autockt_sim::netlist::{Circuit, Mosfet, Node, Step, GND};
 use autockt_sim::noise::{noise_analysis, noise_analysis_ws};
@@ -44,6 +47,7 @@ pub struct Tia {
     pub c_load: f64,
     pex: PexConfig,
     transient_settling: bool,
+    corner_strategy: CornerStrategy,
 }
 
 impl Default for Tia {
@@ -99,7 +103,31 @@ impl Tia {
             c_load: 25e-15,
             pex: PexConfig::default(),
             transient_settling: false,
+            corner_strategy: CornerStrategy::default(),
         }
+    }
+
+    /// Selects how `PexWorstCase` iterates the PVT corner set: batched
+    /// lockstep (the default) or one corner at a time through the scalar
+    /// kernels. With warm-start off the two produce bitwise-identical
+    /// specs (property-tested); serial exists as the reference and
+    /// benchmark baseline.
+    pub fn with_corner_strategy(mut self, strategy: CornerStrategy) -> Self {
+        self.corner_strategy = strategy;
+        self
+    }
+
+    /// Replaces the parasitic-extraction configuration — e.g. to deepen
+    /// the RC mesh (`PexConfig::mesh_depth`) for denser MNA systems.
+    pub fn with_pex_config(mut self, pex: PexConfig) -> Self {
+        self.pex = pex;
+        self
+    }
+
+    /// The parasitic-extraction configuration used by `Pex` and
+    /// `PexWorstCase` evaluations.
+    pub fn pex_config(&self) -> &PexConfig {
+        &self.pex
     }
 
     /// Measures settling with the nonlinear transient engine (a small step
@@ -187,6 +215,12 @@ impl Tia {
         (ckt, out)
     }
 
+    /// The AC sweep grid shared by every fidelity's measurement (the
+    /// corner engine and `measure_at` must sweep the same points).
+    fn ac_freqs() -> Vec<f64> {
+        log_freqs(1e5, 1e12, 10)
+    }
+
     fn dc_opts(&self) -> DcOptions {
         DcOptions {
             initial_v: self.tech.vdd / 2.0,
@@ -248,20 +282,37 @@ impl Tia {
                 Ok(specs)
             }
             SimMode::PexWorstCase => {
-                let mut rows = Vec::new();
-                for (slot, pvt) in Pvt::corner_set().iter().enumerate() {
-                    let tech = self.tech.at_corner(*pvt);
-                    let (ckt, out) = self.build(idx, &tech);
-                    let ex = extract(&ckt, &self.pex);
-                    rows.push(measure(
-                        &ex,
-                        out,
-                        pvt.temp_kelvin(),
-                        slot,
-                        state.as_deref_mut(),
-                    )?);
-                }
-                Ok(worst_case(&self.specs, &rows))
+                let engine = CornerEvaluator::new(
+                    CornerPlan::pvt_worst_case(),
+                    self.dc_opts(),
+                    Tia::ac_freqs(),
+                    self.corner_strategy,
+                );
+                engine.evaluate(
+                    &self.specs,
+                    |_slot, pvt| {
+                        let tech = self.tech.at_corner(*pvt);
+                        let (ckt, out) = self.build(idx, &tech);
+                        CornerCase {
+                            ckt: extract(&ckt, &self.pex),
+                            out,
+                            temp_k: pvt.temp_kelvin(),
+                            vdd_src: 0,
+                        }
+                    },
+                    |_slot, case, op, solver, resp, ws| {
+                        self.corner_specs(
+                            &case.ckt,
+                            case.out,
+                            case.temp_k,
+                            op,
+                            Some(solver),
+                            resp,
+                            ws,
+                        )
+                    },
+                    state,
+                )
             }
         }
     }
@@ -312,11 +363,29 @@ impl Tia {
         op: &OpPoint,
         mut ac_ws: Option<&mut AcWorkspace>,
     ) -> Result<Vec<f64>, SimError> {
-        let freqs = log_freqs(1e5, 1e12, 10);
+        let freqs = Tia::ac_freqs();
         let resp = match ac_ws.as_deref_mut() {
             Some(ws) => ac_sweep_ws(ckt, op, &freqs, out, ws)?,
             None => ac_sweep(ckt, op, &freqs, out)?,
         };
+        self.corner_specs(ckt, out, temp_k, op, None, &resp, ac_ws)
+    }
+
+    /// Spec extraction shared by the single-corner measurement and the
+    /// corner engine: cutoff from the swept response, settling from the
+    /// linear step response (reusing `solver`'s stamps when the engine
+    /// already built them), and integrated output noise at `temp_k`.
+    #[allow(clippy::too_many_arguments)]
+    fn corner_specs(
+        &self,
+        ckt: &Circuit,
+        out: Node,
+        temp_k: f64,
+        op: &OpPoint,
+        solver: Option<&AcSolver<'_>>,
+        resp: &AcResponse,
+        ac_ws: Option<&mut AcWorkspace>,
+    ) -> Result<Vec<f64>, SimError> {
         let cutoff = resp
             .f_3db()
             .unwrap_or(self.specs[spec_index::CUTOFF].fail_value);
@@ -324,7 +393,14 @@ impl Tia {
         // Settling: window scaled to the measured bandwidth so both 5 ps
         // and 500 ps responses resolve on a 2048-step grid.
         let settling = if cutoff > 0.0 {
-            let solver = AcSolver::new(ckt, op);
+            let own;
+            let solver = match solver {
+                Some(s) => s,
+                None => {
+                    own = AcSolver::new(ckt, op);
+                    &own
+                }
+            };
             let t_stop = 8.0 / cutoff;
             let (t, y) = solver.step_response(out, t_stop, 2048)?;
             settling_time(&t, &y, 0.02).unwrap_or(self.specs[spec_index::SETTLING].fail_value)
@@ -343,23 +419,6 @@ impl Tia {
 
         Ok(vec![settling, cutoff, noise])
     }
-}
-
-/// Evaluates spec vectors per corner and reduces them to the worst case in
-/// each spec's constraint direction (paper: "taking the worst performing
-/// metric as the specification").
-pub(crate) fn worst_case(specs: &[SpecDef], per_corner: &[Vec<f64>]) -> Vec<f64> {
-    assert!(!per_corner.is_empty());
-    let mut out = per_corner[0].clone();
-    for row in &per_corner[1..] {
-        for (i, v) in row.iter().enumerate() {
-            out[i] = match specs[i].kind {
-                SpecKind::HardMin => out[i].min(*v),
-                SpecKind::HardMax | SpecKind::Minimize => out[i].max(*v),
-            };
-        }
-    }
-    out
 }
 
 impl SizingProblem for Tia {
@@ -504,6 +563,6 @@ mod tests {
             },
         ];
         let rows = vec![vec![3.0, 5.0], vec![2.0, 7.0], vec![4.0, 6.0]];
-        assert_eq!(worst_case(&specs, &rows), vec![2.0, 7.0]);
+        assert_eq!(crate::problem::worst_case(&specs, &rows), vec![2.0, 7.0]);
     }
 }

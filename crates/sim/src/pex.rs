@@ -32,6 +32,20 @@ pub struct PexConfig {
     /// drain/source fingers add perimeter capacitance the schematic model
     /// underestimates.
     pub junction_scale: f64,
+    /// Parasitic-density knob: number of RC ladder segments each annotated
+    /// terminal's routing capacitance is distributed over. `0` (the
+    /// default) keeps the historical lumped cap-to-ground annotation;
+    /// `depth >= 1` models the route as a distributed RC mesh — `depth`
+    /// internal nodes in series, each carrying `1/depth` of the
+    /// capacitance behind [`PexConfig::mesh_res`] ohms of metal — which
+    /// grows the MNA dimension by `depth` per annotated terminal. This is
+    /// how benches reach the 32+ dims where the SoA/corner-batched
+    /// kernels have vector headroom.
+    pub mesh_depth: usize,
+    /// Series routing resistance per mesh segment (ohms); unused at
+    /// `mesh_depth == 0`. Routes are real metal, so the segments are
+    /// thermally noisy resistors.
+    pub mesh_res: f64,
 }
 
 impl Default for PexConfig {
@@ -42,6 +56,8 @@ impl Default for PexConfig {
             cap_per_kohm: 0.08e-15,
             spread: 0.25,
             junction_scale: 1.6,
+            mesh_depth: 0,
+            mesh_res: 40.0,
         }
     }
 }
@@ -107,9 +123,25 @@ pub fn extract(ckt: &Circuit, cfg: &PexConfig) -> Circuit {
             _ => {}
         }
     }
-    for (node, c) in added {
-        if c > 0.0 {
+    for (pi, (node, c)) in added.into_iter().enumerate() {
+        if c <= 0.0 {
+            continue;
+        }
+        if cfg.mesh_depth == 0 {
             out.capacitor(node, GND, c);
+        } else {
+            // Distributed RC ladder: the same total capacitance spread
+            // over `mesh_depth` internal nodes behind series metal
+            // resistance — deeper meshes mean larger MNA systems, which
+            // is exactly the density knob's purpose.
+            let seg_c = c / cfg.mesh_depth as f64;
+            let mut prev = node;
+            for s in 0..cfg.mesh_depth {
+                let n = out.node(&format!("pex{pi}_{s}"));
+                out.resistor(prev, n, cfg.mesh_res);
+                out.capacitor(n, GND, seg_c);
+                prev = n;
+            }
         }
     }
     // Scale intrinsic junction caps via the model card copy held by each
@@ -203,6 +235,59 @@ mod tests {
             assert!(j >= 1.0 - cfg.spread && j <= 1.0 + cfg.spread);
         }
         assert!(hi - lo > cfg.spread, "jitter should actually spread");
+    }
+
+    #[test]
+    fn mesh_depth_grows_mna_dim_and_keeps_total_cap() {
+        let ckt = amp();
+        let lumped = extract(&ckt, &PexConfig::default());
+        let total_cap = |c: &Circuit| -> f64 {
+            c.elements()
+                .iter()
+                .filter_map(|e| match e {
+                    Element::Capacitor { c, .. } => Some(*c),
+                    _ => None,
+                })
+                .sum()
+        };
+        for depth in [1usize, 3, 5] {
+            let cfg = PexConfig {
+                mesh_depth: depth,
+                ..PexConfig::default()
+            };
+            let meshed = extract(&ckt, &cfg);
+            // One internal node per segment per annotated terminal.
+            let added = meshed.num_nodes() - lumped.num_nodes();
+            // Every element the lumped extraction appends is one
+            // annotated terminal's cap-to-ground.
+            let terminals = lumped.elements().len() - ckt.elements().len();
+            assert_eq!(added, depth * terminals, "depth {depth}");
+            assert!(meshed.mna_dim() > lumped.mna_dim());
+            // The ladder redistributes, never adds, capacitance.
+            let d = (total_cap(&meshed) - total_cap(&lumped)).abs();
+            assert!(d < 1e-20, "depth {depth}: cap drift {d}");
+            // Deterministic like the lumped extraction.
+            assert_eq!(meshed, extract(&ckt, &cfg));
+        }
+        // depth 0 is bitwise the historical behaviour.
+        assert_eq!(lumped, extract(&ckt, &PexConfig::default()));
+    }
+
+    #[test]
+    fn meshed_extraction_still_simulates() {
+        use crate::ac::{ac_sweep, log_freqs};
+        use crate::dc::{dc_operating_point, DcOptions};
+        let ckt = amp();
+        let cfg = PexConfig {
+            mesh_depth: 4,
+            ..PexConfig::default()
+        };
+        let ex = extract(&ckt, &cfg);
+        let out = crate::netlist::Node(3);
+        let op = dc_operating_point(&ex, &DcOptions::default()).unwrap();
+        let f = log_freqs(1e4, 1e12, 10);
+        let resp = ac_sweep(&ex, &op, &f, out).unwrap();
+        assert!(resp.f_3db().unwrap() > 0.0);
     }
 
     #[test]
