@@ -184,6 +184,34 @@ fn benches(c: &mut Criterion) {
             false,
         );
     }
+    // TIA `PexWorstCase` at dense mesh dims: the noise-bound step the
+    // corner-corrected noise analysis moves (serial = scalar per-corner
+    // noise, batched = corrected noise + corrected sweep when warm).
+    let dense_tia = || {
+        let base = Tia::default();
+        let pex = PexConfig {
+            mesh_depth: 4,
+            ..base.pex_config().clone()
+        };
+        base.with_pex_config(pex)
+    };
+    for (name, problem) in [
+        (
+            "env_step_warm_tia_pex_dense_serial",
+            dense_tia().with_corner_strategy(CornerStrategy::Serial),
+        ),
+        ("env_step_warm_tia_pex_dense_batched", dense_tia()),
+    ] {
+        bench_env(
+            c,
+            name,
+            Arc::new(problem),
+            SimMode::PexWorstCase,
+            true,
+            false,
+            false,
+        );
+    }
     bench_env(
         c,
         "env_step_warm_neggm_pex_worstcase",
@@ -280,5 +308,64 @@ fn bench_ac_kernels(c: &mut Criterion) {
     }
 }
 
-criterion_group!(bench_group, benches, bench_ac_kernels);
+/// One full TIA corner-set noise analysis (6 corners x the noise grid)
+/// through the three pipelines — serial per corner, lockstep batch (the
+/// cold bitwise backbone), and base-plus-Woodbury corrected (the warm
+/// fast path, per-source base solves shared across corners) — over the
+/// same [`autockt_bench::NoiseCornerCase`] workloads as `bench_env_step`'s
+/// noise-corner section.
+fn bench_noise_corners(c: &mut Criterion) {
+    use autockt_sim::ac::{AcBatchWorkspace, AcSolver, AcWorkspace};
+    use autockt_sim::dc::OpPoint;
+    use autockt_sim::noise::{noise_analysis_batch, noise_analysis_corners, noise_analysis_ws};
+    for depth in [0usize, 4] {
+        let case = autockt_bench::tia_noise_corner_case(depth);
+        let solvers: Vec<AcSolver<'_>> = case
+            .ckts
+            .iter()
+            .zip(&case.ops)
+            .map(|(ckt, op)| AcSolver::new(ckt, op))
+            .collect();
+        let op_refs: Vec<&OpPoint> = case.ops.iter().collect();
+        let outs = vec![case.out; solvers.len()];
+        let mut sws = AcWorkspace::new();
+        c.bench_function(&format!("noise_corners_serial_tia_mesh{depth}"), |b| {
+            b.iter(|| {
+                for ((ckt, op), &t) in case.ckts.iter().zip(&case.ops).zip(&case.temps) {
+                    let r = noise_analysis_ws(ckt, op, case.out, &case.freqs, t, &mut sws);
+                    black_box(r.expect("corner solves").out_vrms);
+                }
+            });
+        });
+        let mut ws = AcBatchWorkspace::new();
+        c.bench_function(&format!("noise_corners_corrected_tia_mesh{depth}"), |b| {
+            b.iter(|| {
+                let r = noise_analysis_corners(
+                    &solvers,
+                    &op_refs,
+                    &outs,
+                    &case.freqs,
+                    &case.temps,
+                    &mut ws,
+                );
+                black_box(r.len())
+            });
+        });
+        c.bench_function(&format!("noise_corners_batch_tia_mesh{depth}"), |b| {
+            b.iter(|| {
+                let r = noise_analysis_batch(
+                    &solvers,
+                    &op_refs,
+                    &outs,
+                    &case.freqs,
+                    &case.temps,
+                    &mut ws,
+                );
+                black_box(r.len())
+            });
+        });
+    }
+}
+
+criterion_group!(bench_group, benches, bench_ac_kernels, bench_noise_corners);
 criterion_main!(bench_group);

@@ -41,20 +41,35 @@
 //!   pre-batching behaviour) versus in lockstep through the batched DC
 //!   Newton + AC sweep kernels, at the stock parasitic extraction and
 //!   at dense RC-mesh extractions (`PexConfig::mesh_depth`) where the
-//!   MNA dims reach the 30+ range the batch axis is built for.
+//!   MNA dims reach the 30+ range the batch axis is built for. The TIA
+//!   rows are the noise-bound trajectory the corner-corrected noise
+//!   analysis moves.
+//! - **noise-corner** — one full TIA noise analysis of the PVT corner
+//!   set (6 corners x the noise grid), run serial per corner
+//!   (`noise_analysis_ws`), lockstep (`noise_analysis_batch`, the cold
+//!   bitwise backbone), and corner-corrected
+//!   (`noise_analysis_corners`, base factor + Woodbury with shared
+//!   per-source base solves — the warm fast path), at stock and dense
+//!   mesh dims.
 //!
 //! Prints a comparison table and writes `results/BENCH_env_step.json`
-//! (schema `autockt/bench_env_step/v3`) so CI can archive the trajectory.
+//! (schema `autockt/bench_env_step/v4`) so CI can archive the trajectory.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
 //! (`--steps N`, `--episode H`, `--seed S` to override).
 
-use autockt_bench::{ac_kernel_cases, arg_value, dense_kernel_case, results_dir, AcKernelCase};
+use autockt_bench::{
+    ac_kernel_cases, arg_value, dense_kernel_case, results_dir, tia_noise_corner_case,
+    AcKernelCase, NoiseCornerCase,
+};
 use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
 use autockt_core::{EnvConfig, SizingEnv, TargetMode};
 use autockt_rl::env::Env;
+use autockt_sim::ac::{AcBatchWorkspace, AcSolver, AcWorkspace};
 use autockt_sim::complex::Complex;
+use autockt_sim::dc::OpPoint;
 use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
+use autockt_sim::noise::{noise_analysis_batch, noise_analysis_corners, noise_analysis_ws};
 use autockt_sim::pex::PexConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -190,6 +205,59 @@ fn run_multi(
         agg_steps_per_sec: (workers * steps) as f64 / dt,
         solves: envs.iter().map(SizingEnv::solve_count).sum(),
         cross_hits: envs.iter().map(SizingEnv::cross_memo_hits).sum(),
+    }
+}
+
+struct NoiseCornerStats {
+    serial_us: f64,
+    corrected_us: f64,
+    batch_us: f64,
+}
+
+/// One full corner-set noise analysis per iteration through the three
+/// paths — serial per corner, lockstep batch, and base-plus-Woodbury
+/// corrected — over the shared [`NoiseCornerCase`] workload (the
+/// criterion `noise_corners_*` benches drive the identical cases).
+fn time_noise_corner_paths(case: &NoiseCornerCase, iters: u32) -> NoiseCornerStats {
+    let solvers: Vec<AcSolver<'_>> = case
+        .ckts
+        .iter()
+        .zip(&case.ops)
+        .map(|(c, op)| AcSolver::new(c, op))
+        .collect();
+    let op_refs: Vec<&OpPoint> = case.ops.iter().collect();
+    let outs = vec![case.out; solvers.len()];
+
+    let mut sws = AcWorkspace::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for ((ckt, op), &t) in case.ckts.iter().zip(&case.ops).zip(&case.temps) {
+            let r = noise_analysis_ws(ckt, op, case.out, &case.freqs, t, &mut sws);
+            black_box(r.expect("corner analysis solves").out_vrms);
+        }
+    }
+    let serial_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let mut ws = AcBatchWorkspace::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let r =
+            noise_analysis_corners(&solvers, &op_refs, &outs, &case.freqs, &case.temps, &mut ws);
+        black_box(r.len());
+    }
+    let corrected_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let r = noise_analysis_batch(&solvers, &op_refs, &outs, &case.freqs, &case.temps, &mut ws);
+        black_box(r.len());
+    }
+    let batch_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    NoiseCornerStats {
+        serial_us,
+        corrected_us,
+        batch_us,
     }
 }
 
@@ -500,6 +568,51 @@ fn main() {
         ));
     }
 
+    // Noise-corner paths: one full TIA corner-set noise analysis through
+    // the serial, corrected (Woodbury), and lockstep-batch pipelines, at
+    // stock and dense mesh dims.
+    println!(
+        "\n{:<8} {:>5} {:>4} {:>12} {:>13} {:>11} {:>8} {:>8}",
+        "problem", "mesh", "dim", "serial us", "corrected us", "batch us", "corr x", "batch x"
+    );
+    let mut noise_rows = Vec::new();
+    for depth in [0usize, 4] {
+        let case = tia_noise_corner_case(depth);
+        let iters = if depth == 0 { 400 } else { 60 };
+        let st = time_noise_corner_paths(&case, iters);
+        let corr_x = st.serial_us / st.corrected_us;
+        let batch_x = st.serial_us / st.batch_us;
+        println!(
+            "{:<8} {:>5} {:>4} {:>12.1} {:>13.1} {:>11.1} {:>7.2}x {:>7.2}x",
+            "tia", depth, case.dim, st.serial_us, st.corrected_us, st.batch_us, corr_x, batch_x
+        );
+        noise_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"problem\": \"tia\",\n",
+                "      \"mesh_depth\": {},\n",
+                "      \"mna_dim\": {},\n",
+                "      \"corners\": {},\n",
+                "      \"noise_points\": {},\n",
+                "      \"serial_us_per_eval\": {:.2},\n",
+                "      \"corrected_us_per_eval\": {:.2},\n",
+                "      \"batch_us_per_eval\": {:.2},\n",
+                "      \"corrected_speedup\": {:.3},\n",
+                "      \"batch_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            depth,
+            case.dim,
+            case.ckts.len(),
+            case.freqs.len(),
+            st.serial_us,
+            st.corrected_us,
+            st.batch_us,
+            corr_x,
+            batch_x
+        ));
+    }
+
     // SoA complex-LU kernel vs the generic interleaved layout, per AC
     // frequency point on the real center-design MNA systems.
     println!(
@@ -538,7 +651,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"autockt/bench_env_step/v3\",\n",
+            "  \"schema\": \"autockt/bench_env_step/v4\",\n",
             "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
             "-- --steps {} --episode {} --seed {}\",\n",
             "  \"steps_per_config\": {},\n",
@@ -547,6 +660,7 @@ fn main() {
             "  \"results\": [\n{}\n  ],\n",
             "  \"shared_memo\": [\n{}\n  ],\n",
             "  \"corner_batch\": [\n{}\n  ],\n",
+            "  \"noise_corner\": [\n{}\n  ],\n",
             "  \"soa_lu\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -559,6 +673,7 @@ fn main() {
         rows.join(",\n"),
         memo_rows.join(",\n"),
         corner_rows.join(",\n"),
+        noise_rows.join(",\n"),
         kernel_rows.join(",\n")
     );
     let path = results_dir().join("BENCH_env_step.json");

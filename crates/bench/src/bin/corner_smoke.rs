@@ -3,13 +3,17 @@
 //! **bitwise-identical** spec vectors with warm-start off (the lockstep
 //! kernels perform the scalar kernels' arithmetic in the scalar kernels'
 //! order), and warm-started batched evaluation — which routes the sweep
-//! through the corner-correction (Woodbury) fast path at dense dims —
-//! must agree with warm serial within solver tolerance.
+//! *and the TIA's noise analysis* through the corner-correction
+//! (Woodbury) fast paths at dense dims — must agree with warm serial
+//! within solver tolerance. The TIA's noise spec is additionally diffed
+//! on its own, so a noise-path divergence is reported as such instead of
+//! hiding inside the full-vector comparison.
 //!
 //! Exits nonzero on any divergence, failing the workflow.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin corner_smoke`
 
+use autockt_circuits::tia::spec_index;
 use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
 use autockt_sim::dc::WarmState;
 use autockt_sim::pex::PexConfig;
@@ -75,6 +79,53 @@ fn check(
     failures
 }
 
+/// Dedicated TIA noise-spec diff: serial vs batched (cold bitwise, warm
+/// within tolerance), printing the noise values themselves so the
+/// corner-corrected noise pipeline's agreement is visible in CI logs.
+fn check_tia_noise(depth: usize) -> usize {
+    let pex = PexConfig {
+        mesh_depth: depth,
+        ..Tia::default().pex_config().clone()
+    };
+    let serial = Tia::default()
+        .with_pex_config(pex.clone())
+        .with_corner_strategy(CornerStrategy::Serial);
+    let batched = Tia::default()
+        .with_pex_config(pex)
+        .with_corner_strategy(CornerStrategy::Batched);
+    let mut failures = 0;
+    let mut warm_s = WarmState::new();
+    let mut warm_b = WarmState::new();
+    for idx in seed_designs(&serial) {
+        let s = serial.simulate(&idx, SimMode::PexWorstCase);
+        let b = batched.simulate(&idx, SimMode::PexWorstCase);
+        let ws = serial.simulate_warm(&idx, SimMode::PexWorstCase, &mut warm_s);
+        let wb = batched.simulate_warm(&idx, SimMode::PexWorstCase, &mut warm_b);
+        let noise = |r: &Result<Vec<f64>, autockt_sim::SimError>| {
+            r.as_ref().ok().map(|v| v[spec_index::NOISE])
+        };
+        let (ns, nb, nws, nwb) = (noise(&s), noise(&b), noise(&ws), noise(&wb));
+        let cold_ok = ns == nb;
+        let warm_ok = match (nws, nwb) {
+            (Some(a), Some(c)) => (a - c).abs() <= REL_TOL * (1.0 + a.abs().max(c.abs())),
+            (None, None) => true,
+            _ => false,
+        };
+        let verdict = if cold_ok && warm_ok { "ok" } else { "DIVERGED" };
+        println!(
+            "tia-noise mesh={depth} idx={idx:?}: cold {:?} vs {:?}, warm {:?} vs {:?} [{verdict}]",
+            ns, nb, nws, nwb
+        );
+        if !cold_ok {
+            failures += 1;
+        }
+        if !warm_ok {
+            failures += 1;
+        }
+    }
+    failures
+}
+
 fn main() {
     let mut failures = 0;
     for depth in [0usize, 2] {
@@ -118,6 +169,11 @@ fn main() {
                 .with_pex_config(ng_pex)
                 .with_corner_strategy(CornerStrategy::Batched),
         );
+    }
+    // The TIA's noise spec on its own — the corner-corrected noise
+    // pipeline's serial-vs-batched agreement, stock and dense mesh.
+    for depth in [0usize, 2] {
+        failures += check_tia_noise(depth);
     }
     if failures > 0 {
         eprintln!("corner_smoke: {failures} divergence(s)");

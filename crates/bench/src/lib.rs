@@ -12,9 +12,9 @@ pub mod exp;
 use autockt_circuits::{NegGmOta, OpAmp2, SizingProblem, Tia};
 use autockt_sim::ac::AcSolver;
 use autockt_sim::complex::Complex;
-use autockt_sim::dc::{dc_operating_point, DcOptions};
-use autockt_sim::device::Technology;
-use autockt_sim::netlist::Circuit;
+use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint};
+use autockt_sim::device::{Pvt, Technology};
+use autockt_sim::netlist::{Circuit, Node};
 use autockt_sim::pex::{extract, PexConfig};
 use std::fs;
 use std::io::Write as _;
@@ -122,6 +122,75 @@ pub fn dense_kernel_case(n: usize) -> AcKernelCase {
         w,
         pattern,
         rhs,
+    }
+}
+
+/// One corner-batched noise workload: the TIA center design extracted at
+/// one mesh depth across the full PVT corner set, with cold operating
+/// points already solved — shared by the criterion `noise_corners_*`
+/// benches and the `bench_env_step` noise-corner section so both time
+/// the identical corner set through the identical grid.
+pub struct NoiseCornerCase {
+    /// Mesh depth of the extraction.
+    pub mesh_depth: usize,
+    /// Per-corner MNA dimension.
+    pub dim: usize,
+    /// Extracted corner circuits.
+    pub ckts: Vec<Circuit>,
+    /// Per-corner cold operating points.
+    pub ops: Vec<OpPoint>,
+    /// Output node (shared — corner sets share structure).
+    pub out: Node,
+    /// Per-corner temperatures (K).
+    pub temps: Vec<f64>,
+    /// The TIA noise integration grid.
+    pub freqs: Vec<f64>,
+}
+
+/// Builds the TIA noise-corner workload at `mesh_depth` (see
+/// [`NoiseCornerCase`]).
+///
+/// # Panics
+///
+/// Panics if a corner's operating point fails to solve — these are the
+/// bench's fixed reference circuits, so that is a setup bug.
+pub fn tia_noise_corner_case(mesh_depth: usize) -> NoiseCornerCase {
+    let tia = Tia::default();
+    let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+    let pex = PexConfig {
+        mesh_depth,
+        ..tia.pex_config().clone()
+    };
+    let mut ckts = Vec::new();
+    let mut ops = Vec::new();
+    let mut temps = Vec::new();
+    let mut out = None;
+    for pvt in Pvt::corner_set() {
+        let tech = Technology::ptm45().at_corner(pvt);
+        let (ckt, o) = tia.build(&idx, &tech);
+        let ex = extract(&ckt, &pex);
+        let op = dc_operating_point(
+            &ex,
+            &DcOptions {
+                initial_v: tech.vdd / 2.0,
+                ..DcOptions::default()
+            },
+        )
+        .expect("TIA corner solves");
+        out = Some(o);
+        ckts.push(ex);
+        ops.push(op);
+        temps.push(pvt.temp_kelvin());
+    }
+    let dim = ckts[0].mna_dim();
+    NoiseCornerCase {
+        mesh_depth,
+        dim,
+        ckts,
+        ops,
+        out: out.expect("corner set is nonempty"),
+        temps,
+        freqs: Tia::noise_freqs(),
     }
 }
 

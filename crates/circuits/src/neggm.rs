@@ -285,7 +285,7 @@ impl NegGmOta {
                             vdd_src: 0,
                         }
                     },
-                    |_slot, _case, _op, _solver, resp, _ws| self.corner_specs(resp),
+                    |_slot, _case, _op, _solver, resp, _ws, _noise| self.corner_specs(resp),
                     state,
                 )
             }

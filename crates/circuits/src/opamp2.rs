@@ -264,7 +264,9 @@ impl OpAmp2 {
                             vdd_src: vs,
                         }
                     },
-                    |_slot, case, op, _solver, resp, _ws| self.corner_specs(op, case.vdd_src, resp),
+                    |_slot, case, op, _solver, resp, _ws, _noise| {
+                        self.corner_specs(op, case.vdd_src, resp)
+                    },
                     state,
                 )
             }

@@ -13,6 +13,9 @@ use autockt_sim::ac::{
 use autockt_sim::dc::{dc_operating_point_batch, DcBatchWorkspace, DcOptions, OpPoint, WarmState};
 use autockt_sim::device::Pvt;
 use autockt_sim::netlist::{Circuit, Node};
+use autockt_sim::noise::{
+    noise_analysis, noise_analysis_batch, noise_analysis_corners, noise_analysis_ws, NoiseResult,
+};
 use autockt_sim::SimError;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -195,6 +198,7 @@ pub struct CornerEvaluator {
     dc_opts: DcOptions,
     freqs: Vec<f64>,
     strategy: CornerStrategy,
+    noise_freqs: Option<Vec<f64>>,
 }
 
 impl CornerEvaluator {
@@ -211,7 +215,22 @@ impl CornerEvaluator {
             dc_opts,
             freqs,
             strategy,
+            noise_freqs: None,
         }
+    }
+
+    /// Enables a per-corner noise analysis over `freqs`, measured at each
+    /// corner's output node and temperature, and hands the result to the
+    /// measure closure. Running noise *inside* the engine (instead of in
+    /// the closure) is what lets the batched strategy corner-correct it:
+    /// serial corners run the scalar [`noise_analysis_ws`], cold batched
+    /// runs the lockstep [`noise_analysis_batch`] (bitwise-identical per
+    /// corner), and warm batched runs the Woodbury-corrected
+    /// [`noise_analysis_corners`] with the per-source base solves shared
+    /// across the corner set.
+    pub fn with_noise(mut self, freqs: Vec<f64>) -> Self {
+        self.noise_freqs = Some(freqs);
+        self
     }
 
     /// The corner plan.
@@ -223,10 +242,13 @@ impl CornerEvaluator {
     /// the worst case in each spec's constraint direction.
     ///
     /// `build` produces corner `slot`'s circuit; `measure` turns corner
-    /// `slot`'s operating point, linearization, and swept response into
+    /// `slot`'s operating point, linearization, swept response, and —
+    /// when [`CornerEvaluator::with_noise`] is set — noise analysis into
     /// a spec row (it receives the session's [`AcWorkspace`] when
-    /// warm-started, for allocation-free noise analyses). `state`
-    /// carries the per-corner warm slots; `None` evaluates cold.
+    /// warm-started, for allocation-free measurements). A noise failure
+    /// is handed to the closure rather than aborting the corner, so
+    /// topologies can map it to a spec's fail value. `state` carries the
+    /// per-corner warm slots; `None` evaluates cold.
     ///
     /// # Errors
     ///
@@ -249,6 +271,7 @@ impl CornerEvaluator {
             &AcSolver<'_>,
             &AcResponse,
             Option<&mut AcWorkspace>,
+            Option<&Result<NoiseResult, SimError>>,
         ) -> Result<Vec<f64>, SimError>,
     {
         let rows = match self.strategy {
@@ -275,6 +298,7 @@ impl CornerEvaluator {
             &AcSolver<'_>,
             &AcResponse,
             Option<&mut AcWorkspace>,
+            Option<&Result<NoiseResult, SimError>>,
         ) -> Result<Vec<f64>, SimError>,
     {
         let mut rows = Vec::with_capacity(self.plan.len());
@@ -306,6 +330,22 @@ impl CornerEvaluator {
                     }
                 }
             };
+            // The scalar reference noise path: one analysis per corner
+            // through the same SoA kernel the warm serial path uses.
+            let noise = self
+                .noise_freqs
+                .as_ref()
+                .map(|nf| match state.as_deref_mut() {
+                    Some(st) => noise_analysis_ws(
+                        &case.ckt,
+                        &op,
+                        case.out,
+                        nf,
+                        case.temp_k,
+                        st.ac_workspace(),
+                    ),
+                    None => noise_analysis(&case.ckt, &op, case.out, nf, case.temp_k),
+                });
             rows.push(measure(
                 slot,
                 &case,
@@ -313,6 +353,7 @@ impl CornerEvaluator {
                 &solver,
                 &resp,
                 state.as_deref_mut().map(WarmState::ac_workspace),
+                noise.as_ref(),
             )?);
         }
         Ok(rows)
@@ -335,6 +376,7 @@ impl CornerEvaluator {
             &AcSolver<'_>,
             &AcResponse,
             Option<&mut AcWorkspace>,
+            Option<&Result<NoiseResult, SimError>>,
         ) -> Result<Vec<f64>, SimError>,
     {
         let cases: Vec<CornerCase> = self
@@ -368,18 +410,37 @@ impl CornerEvaluator {
         // contract). The cold path stays on the lockstep batch, whose
         // per-corner arithmetic is bitwise-identical to the serial
         // reference.
-        let mut cold_ws;
+        let mut cold_ws = AcBatchWorkspace::new();
         let resp_results = match state.as_deref_mut() {
             Some(st) => ac_sweep_corners(&solvers, &self.freqs, &outs, st.ac_batch_workspace()),
-            None => {
-                cold_ws = AcBatchWorkspace::new();
-                ac_sweep_batch_solvers(&solvers, &self.freqs, &outs, &mut cold_ws)
-            }
+            None => ac_sweep_batch_solvers(&solvers, &self.freqs, &outs, &mut cold_ws),
         };
         let mut resps = Vec::with_capacity(resp_results.len());
         for r in resp_results {
             resps.push(r?);
         }
+        // Noise rides the same dispatch: lockstep (bitwise) when cold,
+        // corner-corrected (Woodbury, shared per-source base solves)
+        // when warm. Per-corner failures stay in the row — the measure
+        // closure decides whether a noise failure is fatal.
+        let noise_results: Option<Vec<Result<NoiseResult, SimError>>> =
+            self.noise_freqs.as_ref().map(|nf| {
+                let ops_refs: Vec<&OpPoint> = ops.iter().collect();
+                let temps: Vec<f64> = cases.iter().map(|c| c.temp_k).collect();
+                match state.as_deref_mut() {
+                    Some(st) => noise_analysis_corners(
+                        &solvers,
+                        &ops_refs,
+                        &outs,
+                        nf,
+                        &temps,
+                        st.ac_batch_workspace(),
+                    ),
+                    None => {
+                        noise_analysis_batch(&solvers, &ops_refs, &outs, nf, &temps, &mut cold_ws)
+                    }
+                }
+            });
         let mut rows = Vec::with_capacity(cases.len());
         for (slot, ((case, op), (solver, resp))) in cases
             .iter()
@@ -394,6 +455,7 @@ impl CornerEvaluator {
                 solver,
                 resp,
                 state.as_deref_mut().map(WarmState::ac_workspace),
+                noise_results.as_ref().map(|v| &v[slot]),
             )?);
         }
         Ok(rows)
@@ -1326,11 +1388,48 @@ mod tests {
         engine.evaluate(
             &specs,
             |slot, _pvt| rc_case(slot, defective),
-            |_slot, _case, _op, _solver, resp, _ws| {
+            |_slot, _case, _op, _solver, resp, _ws, _noise| {
                 Ok(vec![resp.h[0].norm(), resp.h.last().unwrap().norm()])
             },
             warm,
         )
+    }
+
+    /// Engine-level noise wiring: with `with_noise`, both strategies hand
+    /// the measure closure a per-corner noise result, and the batched
+    /// (lockstep) results are bitwise-identical to the serial reference.
+    #[test]
+    fn corner_engine_noise_batched_matches_serial_bitwise() {
+        let nfreqs = autockt_sim::ac::log_freqs(1e3, 1e8, 4);
+        let run = |strategy: CornerStrategy, warm: Option<&mut WarmState>| {
+            let (engine, specs) = rc_engine(strategy);
+            let engine = engine.with_noise(nfreqs.clone());
+            engine.evaluate(
+                &specs,
+                |slot, _pvt| rc_case(slot, None),
+                |_slot, _case, _op, _solver, resp, _ws, noise| {
+                    let nr = noise
+                        .expect("engine must run noise")
+                        .as_ref()
+                        .expect("rc corners are noisy and solvable");
+                    Ok(vec![resp.h[0].norm(), nr.out_vrms])
+                },
+                warm,
+            )
+        };
+        let serial = run(CornerStrategy::Serial, None).unwrap();
+        let batched = run(CornerStrategy::Batched, None).unwrap();
+        assert_eq!(serial, batched);
+        assert!(serial[1] > 0.0, "noisy resistors must produce output noise");
+        // Warm runs agree within solver tolerance (linear circuits: the
+        // corrected path is exact, so this is tight).
+        let mut ws = WarmState::new();
+        let mut wb = WarmState::new();
+        let s = run(CornerStrategy::Serial, Some(&mut ws)).unwrap();
+        let b = run(CornerStrategy::Batched, Some(&mut wb)).unwrap();
+        for (x, y) in s.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+        }
     }
 
     #[test]

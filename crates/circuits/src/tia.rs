@@ -18,7 +18,7 @@ use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
 use autockt_sim::device::{MosPolarity, Technology};
 use autockt_sim::measure::settling_time;
 use autockt_sim::netlist::{Circuit, Mosfet, Node, Step, GND};
-use autockt_sim::noise::{noise_analysis, noise_analysis_ws};
+use autockt_sim::noise::{noise_analysis, noise_analysis_ws, NoiseResult};
 use autockt_sim::pex::{extract, PexConfig};
 use autockt_sim::tran::{transient, transient_warm, TranOptions};
 use autockt_sim::SimError;
@@ -221,6 +221,14 @@ impl Tia {
         log_freqs(1e5, 1e12, 10)
     }
 
+    /// The noise integration grid shared by every fidelity's measurement
+    /// (the corner engine's batched noise analyses and the single-corner
+    /// `measure_at` path must integrate the same points). Public so the
+    /// noise-corner benches time the exact production workload.
+    pub fn noise_freqs() -> Vec<f64> {
+        log_freqs(1e4, 1e11, 8)
+    }
+
     fn dc_opts(&self) -> DcOptions {
         DcOptions {
             initial_v: self.tech.vdd / 2.0,
@@ -282,12 +290,18 @@ impl Tia {
                 Ok(specs)
             }
             SimMode::PexWorstCase => {
+                // Noise runs inside the engine (`with_noise`) so the
+                // batched strategy can factor it with the corner set:
+                // lockstep (bitwise) cold, base-plus-Woodbury corrected
+                // warm — the TIA's worst-case step is noise-bound, so
+                // this is where its dense-dim speedup comes from.
                 let engine = CornerEvaluator::new(
                     CornerPlan::pvt_worst_case(),
                     self.dc_opts(),
                     Tia::ac_freqs(),
                     self.corner_strategy,
-                );
+                )
+                .with_noise(Tia::noise_freqs());
                 engine.evaluate(
                     &self.specs,
                     |_slot, pvt| {
@@ -300,7 +314,7 @@ impl Tia {
                             vdd_src: 0,
                         }
                     },
-                    |_slot, case, op, solver, resp, ws| {
+                    |_slot, case, op, solver, resp, ws, noise| {
                         self.corner_specs(
                             &case.ckt,
                             case.out,
@@ -309,6 +323,7 @@ impl Tia {
                             Some(solver),
                             resp,
                             ws,
+                            noise,
                         )
                     },
                     state,
@@ -368,13 +383,15 @@ impl Tia {
             Some(ws) => ac_sweep_ws(ckt, op, &freqs, out, ws)?,
             None => ac_sweep(ckt, op, &freqs, out)?,
         };
-        self.corner_specs(ckt, out, temp_k, op, None, &resp, ac_ws)
+        self.corner_specs(ckt, out, temp_k, op, None, &resp, ac_ws, None)
     }
 
     /// Spec extraction shared by the single-corner measurement and the
     /// corner engine: cutoff from the swept response, settling from the
     /// linear step response (reusing `solver`'s stamps when the engine
-    /// already built them), and integrated output noise at `temp_k`.
+    /// already built them), and integrated output noise at `temp_k` —
+    /// taken from the engine's corner-batched analysis when provided
+    /// (`noise`), run scalar here otherwise (single-corner fidelities).
     #[allow(clippy::too_many_arguments)]
     fn corner_specs(
         &self,
@@ -385,6 +402,7 @@ impl Tia {
         solver: Option<&AcSolver<'_>>,
         resp: &AcResponse,
         ac_ws: Option<&mut AcWorkspace>,
+        noise: Option<&Result<NoiseResult, SimError>>,
     ) -> Result<Vec<f64>, SimError> {
         let cutoff = resp
             .f_3db()
@@ -408,14 +426,23 @@ impl Tia {
             self.specs[spec_index::SETTLING].fail_value
         };
 
-        // Integrated output noise across the amplifier band.
-        let nfreqs = log_freqs(1e4, 1e11, 8);
-        let noise = match ac_ws {
-            Some(ws) => noise_analysis_ws(ckt, op, out, &nfreqs, temp_k, ws),
-            None => noise_analysis(ckt, op, out, &nfreqs, temp_k),
-        }
-        .map(|n| n.out_vrms)
-        .unwrap_or(self.specs[spec_index::NOISE].fail_value);
+        // Integrated output noise across the amplifier band: the corner
+        // engine already analyzed it (batched/corrected); single-corner
+        // paths run the scalar analysis here. A noise failure reports the
+        // spec's fail value either way.
+        let fail = self.specs[spec_index::NOISE].fail_value;
+        let noise = match noise {
+            Some(nr) => nr.as_ref().map(|n| n.out_vrms).unwrap_or(fail),
+            None => {
+                let nfreqs = Tia::noise_freqs();
+                match ac_ws {
+                    Some(ws) => noise_analysis_ws(ckt, op, out, &nfreqs, temp_k, ws),
+                    None => noise_analysis(ckt, op, out, &nfreqs, temp_k),
+                }
+                .map(|n| n.out_vrms)
+                .unwrap_or(fail)
+            }
+        };
 
         Ok(vec![settling, cutoff, noise])
     }

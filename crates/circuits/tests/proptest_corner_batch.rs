@@ -150,6 +150,32 @@ proptest! {
     }
 
     #[test]
+    fn meshed_tia_corner_batch_matches_serial_warm_walk(
+        fracs in prop::collection::vec(0.0..1.0f64, 6),
+        depth in 2usize..5,
+        moves in prop::collection::vec(0usize..3, 6),
+    ) {
+        // Dense-mesh warm walks route the sweep *and the noise analysis*
+        // through the base-plus-Woodbury corrected paths
+        // (`ac_sweep_corners` / `noise_analysis_corners`) — the TIA's
+        // noise spec pins the corrected noise analysis to the serial
+        // reference within the warm tolerance at the dims where the
+        // correction actually engages.
+        let pex = PexConfig {
+            mesh_depth: depth,
+            ..PexConfig::default()
+        };
+        let serial = Tia::default()
+            .with_pex_config(pex.clone())
+            .with_corner_strategy(CornerStrategy::Serial);
+        let batched = Tia::default()
+            .with_pex_config(pex)
+            .with_corner_strategy(CornerStrategy::Batched);
+        let r = check_warm_walk(&serial, &batched, &fracs, &moves);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
     fn opamp2_corner_batch_matches_serial_warm_walk(
         fracs in prop::collection::vec(0.0..1.0f64, 7),
         moves in prop::collection::vec(0usize..3, 14),

@@ -39,26 +39,35 @@ impl AcWorkspace {
 }
 
 /// Reusable buffers for corner-batched AC sweeps ([`ac_sweep_batch`] and
-/// [`ac_sweep_corners`]): the lockstep complex batch LU, one sparse stamp
-/// pattern per corner, batch-layout right-hand-side/solution buffers, and
-/// the base-factor/correction scratch of the corner-correction sweep.
+/// [`ac_sweep_corners`]) and the corner-batched noise analyses
+/// ([`crate::noise::noise_analysis_batch`] /
+/// [`crate::noise::noise_analysis_corners`]): the lockstep complex batch
+/// LU, one sparse stamp pattern per corner, batch-layout
+/// right-hand-side/solution buffers, and the base-factor/correction
+/// scratch of the corner-correction paths.
 #[derive(Debug, Clone, Default)]
 pub struct AcBatchWorkspace {
-    lu: ComplexLuBatch,
-    patterns: Vec<Vec<(usize, usize, f64, f64)>>,
-    rhs_re: Vec<f64>,
-    rhs_im: Vec<f64>,
-    x_re: Vec<f64>,
-    x_im: Vec<f64>,
-    acc_re: Vec<f64>,
-    acc_im: Vec<f64>,
-    base: ComplexLuSoa,
-    spare: ComplexLuSoa,
-    small: LuFactors<Complex>,
-    y0: Vec<Complex>,
-    unit: Vec<Complex>,
-    xcol: Vec<Complex>,
-    wflat: Vec<Complex>,
+    pub(crate) lu: ComplexLuBatch,
+    pub(crate) patterns: Vec<Vec<(usize, usize, f64, f64)>>,
+    pub(crate) rhs_re: Vec<f64>,
+    pub(crate) rhs_im: Vec<f64>,
+    pub(crate) x_re: Vec<f64>,
+    pub(crate) x_im: Vec<f64>,
+    pub(crate) acc_re: Vec<f64>,
+    pub(crate) acc_im: Vec<f64>,
+    pub(crate) base: ComplexLuSoa,
+    pub(crate) spare: ComplexLuSoa,
+    pub(crate) small: LuFactors<Complex>,
+    pub(crate) y0: Vec<Complex>,
+    pub(crate) unit: Vec<Complex>,
+    pub(crate) xcol: Vec<Complex>,
+    pub(crate) wflat: Vec<Complex>,
+    /// Flattened per-source base solutions (`ys[s*n..(s+1)*n]`) shared by
+    /// every corner of a frequency point in the corrected noise analysis.
+    pub(crate) ys: Vec<Complex>,
+    /// Scalar-path workspace for the per-corner fallbacks of the noise
+    /// analyses (mismatched structures, stock dims).
+    pub(crate) scalar: AcWorkspace,
 }
 
 impl AcBatchWorkspace {
@@ -188,6 +197,12 @@ impl<'a> AcSolver<'a> {
     /// Dimension of the MNA system.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The circuit this solver was linearized from — the noise analyses
+    /// need it again for noise-source enumeration and node indexing.
+    pub fn circuit(&self) -> &'a Circuit {
+        self.ckt
     }
 
     /// Assembles the dense complex system matrix `G + j*2*pi*f*C` at
@@ -665,6 +680,186 @@ fn scalar_sweeps_ws(
         .collect()
 }
 
+/// Dimension boundary between "stock" and "dense" extraction regimes for
+/// the corner paths. At or below it the Woodbury correction cannot pay
+/// (the difference support spans most of the system) and the lockstep
+/// batch kernels still fit their per-corner working set in cache; above
+/// it the correction wins and the batch-innermost layout starts to
+/// thrash (measured ~0.65x on the dense noise batch), so cold dense
+/// noise runs the scalar kernel per corner instead — bitwise-identical
+/// either way.
+pub(crate) const STOCK_DIM_MAX: usize = 16;
+
+/// The stamp-difference structure of a corner set relative to its base
+/// corner: which matrix rows any sibling differs on, and each corner's
+/// sparse `(row, col, dG, dC)` difference list. This is the shared
+/// skeleton of every base-plus-Woodbury corner correction — the AC sweep
+/// ([`ac_sweep_corners`]) and the noise analysis
+/// ([`crate::noise::noise_analysis_corners`]) both build one per
+/// evaluation and correct against it per frequency.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CornerDiff {
+    /// Union of rows any corner's stamps differ on, ascending.
+    pub(crate) rows: Vec<usize>,
+    /// `row -> position in rows` map (`usize::MAX` off-support).
+    pub(crate) row_pos: Vec<usize>,
+    /// Per-corner sparse stamp difference vs corner 0 (`diffs[0]` empty).
+    pub(crate) diffs: Vec<Vec<(usize, usize, f64, f64)>>,
+}
+
+impl CornerDiff {
+    /// Computes every corner's dense stamp difference against
+    /// `patterns[0]` and the union of affected rows.
+    pub(crate) fn from_patterns(
+        patterns: &[Vec<(usize, usize, f64, f64)>],
+        n: usize,
+    ) -> CornerDiff {
+        let n2 = n * n;
+        let mut g0 = vec![0.0; n2];
+        let mut c0 = vec![0.0; n2];
+        for &(r, c, g, cc) in &patterns[0] {
+            g0[r * n + c] = g;
+            c0[r * n + c] = cc;
+        }
+        let mut gs = vec![0.0; n2];
+        let mut cs = vec![0.0; n2];
+        let mut diffs: Vec<Vec<(usize, usize, f64, f64)>> = vec![Vec::new()];
+        for pat in &patterns[1..] {
+            gs.fill(0.0);
+            cs.fill(0.0);
+            for &(r, c, g, cc) in pat {
+                gs[r * n + c] = g;
+                cs[r * n + c] = cc;
+            }
+            let mut d = Vec::new();
+            for r in 0..n {
+                for c in 0..n {
+                    let i = r * n + c;
+                    if gs[i] != g0[i] || cs[i] != c0[i] {
+                        d.push((r, c, gs[i] - g0[i], cs[i] - c0[i]));
+                    }
+                }
+            }
+            diffs.push(d);
+        }
+        let mut rows: Vec<usize> = diffs.iter().flatten().map(|d| d.0).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut row_pos = vec![usize::MAX; n];
+        for (j, &r) in rows.iter().enumerate() {
+            row_pos[r] = j;
+        }
+        CornerDiff {
+            rows,
+            row_pos,
+            diffs,
+        }
+    }
+
+    /// Number of support rows `|R|` — the rank of every correction.
+    pub(crate) fn support(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the correction can pay at dimension `n`: the per-frequency
+    /// cost is ~`1 + |R|/n` factorization-equivalents, so a support
+    /// spanning a third of the system already erases the win.
+    pub(crate) fn profitable(&self, n: usize) -> bool {
+        3 * self.support() < n
+    }
+}
+
+/// Solves the correction basis `W = A0^{-1} P_R` — one back-substitution
+/// per support row against the factored base system, shared by every
+/// corner (and, in the noise analysis, every right-hand side) of a
+/// frequency point. `wflat` is filled column-major: `wflat[j*n..]` is the
+/// solution for support row `rows[j]`.
+pub(crate) fn solve_correction_basis(
+    base: &ComplexLuSoa,
+    rows: &[usize],
+    n: usize,
+    unit: &mut Vec<Complex>,
+    xcol: &mut Vec<Complex>,
+    wflat: &mut Vec<Complex>,
+) {
+    wflat.clear();
+    for &rj in rows {
+        unit.clear();
+        unit.resize(n, Complex::ZERO);
+        unit[rj] = Complex::ONE;
+        base.solve_into(unit, xcol);
+        wflat.extend_from_slice(xcol);
+    }
+}
+
+/// Factors one corner's capacitance matrix `S_b = I + N_b W` at angular
+/// frequency `w_ang` into `small` — done once per (corner, frequency),
+/// after which [`corrected_entry`] applies it to any number of
+/// right-hand sides.
+///
+/// # Errors
+///
+/// [`SimError::SingularMatrix`] when the corner shifted the base too hard
+/// for the correction to hold (callers fall back to a direct
+/// factorization of that corner).
+pub(crate) fn factor_correction(
+    small: &mut LuFactors<Complex>,
+    diff: &[(usize, usize, f64, f64)],
+    row_pos: &[usize],
+    rn: usize,
+    n: usize,
+    w_ang: f64,
+    wflat: &[Complex],
+) -> Result<(), SimError> {
+    small.refactor_with(rn, 1e-300, |sm| {
+        for i in 0..rn {
+            sm[(i, i)] = Complex::ONE;
+        }
+        for &(r, c, dg, dc) in diff {
+            let m = Complex::new(dg, w_ang * dc);
+            let jr = row_pos[r];
+            for j2 in 0..rn {
+                sm[(jr, j2)] += m * wflat[j2 * n + c];
+            }
+        }
+    })
+}
+
+/// Woodbury application: entry `o` of corner `b`'s solution recovered
+/// from the base solution `y` —
+/// `x_b[o] = y[o] - (W S_b^{-1} N_b y)[o]` — at the cost of one sparse
+/// product, one `|R| x |R|` solve, and one dot product. `small` must hold
+/// the corner's factored correction ([`factor_correction`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn corrected_entry(
+    small: &LuFactors<Complex>,
+    diff: &[(usize, usize, f64, f64)],
+    row_pos: &[usize],
+    wflat: &[Complex],
+    y: &[Complex],
+    o: Option<usize>,
+    w_ang: f64,
+    n: usize,
+    rn: usize,
+    u: &mut Vec<Complex>,
+    z: &mut Vec<Complex>,
+) -> Complex {
+    let Some(o) = o else {
+        return Complex::ZERO;
+    };
+    u.clear();
+    u.resize(rn, Complex::ZERO);
+    for &(r, c, dg, dc) in diff {
+        u[row_pos[r]] += Complex::new(dg, w_ang * dc) * y[c];
+    }
+    small.solve_into(u, z);
+    let mut v = y[o];
+    for (j2, zj) in z.iter().enumerate() {
+        v -= wflat[j2 * n + o] * *zj;
+    }
+    v
+}
+
 /// Corner-correction AC sweep: the fast path of the *warm* batched corner
 /// engine. The B corner systems of a worst-case evaluation differ only in
 /// their device stamps — the parasitic mesh, passives, sources, and gmin
@@ -707,7 +902,7 @@ pub fn ac_sweep_corners(
         return scalar_sweeps(solvers, freqs, outs);
     }
     ws.patterns.resize(bt.max(1), Vec::new());
-    if n <= 16 {
+    if n <= STOCK_DIM_MAX {
         // At stock extraction dims the difference support spans most of
         // the system (every node touches a device), so the correction
         // cannot pay — skip its setup and sweep each corner through the
@@ -727,46 +922,12 @@ pub fn ac_sweep_corners(
     for (pat, s) in ws.patterns.iter_mut().zip(solvers) {
         s.collect_pattern(pat);
     }
-    let n2 = n * n;
-    let mut g0 = vec![0.0; n2];
-    let mut c0 = vec![0.0; n2];
-    for &(r, c, g, cc) in &ws.patterns[0] {
-        g0[r * n + c] = g;
-        c0[r * n + c] = cc;
-    }
-    let mut gs = vec![0.0; n2];
-    let mut cs = vec![0.0; n2];
-    let mut diffs: Vec<Vec<(usize, usize, f64, f64)>> = vec![Vec::new()];
-    for pat in &ws.patterns[1..] {
-        gs.fill(0.0);
-        cs.fill(0.0);
-        for &(r, c, g, cc) in pat {
-            gs[r * n + c] = g;
-            cs[r * n + c] = cc;
-        }
-        let mut d = Vec::new();
-        for r in 0..n {
-            for c in 0..n {
-                let i = r * n + c;
-                if gs[i] != g0[i] || cs[i] != c0[i] {
-                    d.push((r, c, gs[i] - g0[i], cs[i] - c0[i]));
-                }
-            }
-        }
-        diffs.push(d);
-    }
-    let mut rows: Vec<usize> = diffs.iter().flatten().map(|d| d.0).collect();
-    rows.sort_unstable();
-    rows.dedup();
-    let rn = rows.len();
-    if 3 * rn >= n {
+    let cd = CornerDiff::from_patterns(&ws.patterns, n);
+    if !cd.profitable(n) {
         // Correction support too wide relative to the system to pay.
         return scalar_sweeps_ws(solvers, freqs, outs, ws);
     }
-    let mut row_pos = vec![usize::MAX; n];
-    for (j, &r) in rows.iter().enumerate() {
-        row_pos[r] = j;
-    }
+    let rn = cd.support();
 
     let oi: Vec<Option<usize>> = solvers
         .iter()
@@ -805,20 +966,23 @@ pub fn ac_sweep_corners(
         ws.base.solve_into(rhs0, &mut ws.y0);
         // W = A0^{-1} P_R : one extra back-substitution per support row,
         // shared by every corner at this frequency.
-        ws.wflat.clear();
-        for &rj in &rows {
-            ws.unit.clear();
-            ws.unit.resize(n, Complex::ZERO);
-            ws.unit[rj] = Complex::ONE;
-            ws.base.solve_into(&ws.unit, &mut ws.xcol);
-            ws.wflat.extend_from_slice(&ws.xcol);
+        {
+            let AcBatchWorkspace {
+                base,
+                unit,
+                xcol,
+                wflat,
+                ..
+            } = &mut *ws;
+            solve_correction_basis(base, &cd.rows, n, unit, xcol, wflat);
         }
         for b in 0..bt {
             if errs[b].is_some() {
                 continue;
             }
             let base_v = oi[b].map_or(Complex::ZERO, |i| ws.y0[i]);
-            if diffs[b].is_empty() {
+            let diff = &cd.diffs[b];
+            if diff.is_empty() {
                 h[b].push(base_v);
                 continue;
             }
@@ -826,34 +990,22 @@ pub fn ac_sweep_corners(
             // the sparse stamp differences — into the reused small-LU
             // buffer, so the per-(corner, frequency) correction
             // allocates nothing.
-            u.iter_mut().for_each(|v| *v = Complex::ZERO);
-            let AcBatchWorkspace {
-                small, y0, wflat, ..
-            } = &mut *ws;
-            let diff = &diffs[b];
-            let ok = small
-                .refactor_with(rn, 1e-300, |sm| {
-                    for i in 0..rn {
-                        sm[(i, i)] = Complex::ONE;
-                    }
-                    for &(r, c, dg, dc) in diff {
-                        let m = Complex::new(dg, w_ang * dc);
-                        let jr = row_pos[r];
-                        u[jr] += m * y0[c];
-                        for j2 in 0..rn {
-                            sm[(jr, j2)] += m * wflat[j2 * n + c];
-                        }
-                    }
-                })
+            let ok = factor_correction(&mut ws.small, diff, &cd.row_pos, rn, n, w_ang, &ws.wflat)
                 .is_ok();
             if ok {
-                ws.small.solve_into(&u, &mut z);
-                let mut v = base_v;
-                if let Some(o) = oi[b] {
-                    for (j2, zj) in z.iter().enumerate() {
-                        v -= ws.wflat[j2 * n + o] * *zj;
-                    }
-                }
+                let v = corrected_entry(
+                    &ws.small,
+                    diff,
+                    &cd.row_pos,
+                    &ws.wflat,
+                    &ws.y0,
+                    oi[b],
+                    w_ang,
+                    n,
+                    rn,
+                    &mut u,
+                    &mut z,
+                );
                 h[b].push(v);
             } else {
                 // Correction system singular (a corner shifted the

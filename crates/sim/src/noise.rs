@@ -6,8 +6,26 @@
 //! injection), giving the squared transfer to the output; the weighted sum
 //! is the output noise PSD, and dividing by the squared signal gain refers
 //! it to the input.
+//!
+//! Worst-case PVT evaluations run the analysis over a *corner set* of
+//! same-structure circuits. Two batched entry points serve that shape:
+//!
+//! - [`noise_analysis_batch`] eliminates all corner systems in lockstep
+//!   through [`crate::linalg::ComplexLuBatch`]; per corner its arithmetic
+//!   is bitwise-identical to [`noise_analysis_ws`], making it the cold
+//!   (exact) backbone of the corner engine.
+//! - [`noise_analysis_corners`] factors the **base corner once per
+//!   frequency** and recovers every sibling through the same Woodbury
+//!   correction as [`crate::ac::ac_sweep_corners`] — and, because the
+//!   corners share their injection nodes and source vector, the
+//!   per-source unit-injection base solves are computed once and shared
+//!   by the whole corner set. Exact to roundoff (the warm path's
+//!   solver-tolerance contract), and the dense-dim fast path.
 
-use crate::ac::{AcSolver, AcWorkspace};
+use crate::ac::{
+    corrected_entry, factor_correction, solve_correction_basis, AcBatchWorkspace, AcSolver,
+    AcWorkspace, CornerDiff, STOCK_DIM_MAX,
+};
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::device::BOLTZMANN;
@@ -28,8 +46,19 @@ pub struct NoiseResult {
     pub out_vrms: f64,
     /// Input-referred integrated noise (rms, in units of the AC source:
     /// volts for a voltage-driven circuit, amperes for current-driven).
+    /// Grid points whose gain is below [`GAIN_FLOOR_REL`] of the peak
+    /// gain (a notch, or a point far past the poles) are excluded from
+    /// the referral integral instead of dividing by a near-zero gain.
     pub input_referred_rms: f64,
 }
+
+/// Relative gain floor for input referral: a grid point whose signal gain
+/// is below this fraction of the peak gain carries no usable signal, so
+/// dividing the output PSD by its squared gain would let a single notch
+/// or far-past-the-poles point dominate (astronomically inflate) the
+/// input-referred integral. Such points are excluded segment-wise from
+/// the referral integration; the output-noise integral is unaffected.
+pub const GAIN_FLOOR_REL: f64 = 1e-6;
 
 struct NoiseSource {
     p: Node,
@@ -40,13 +69,192 @@ struct NoiseSource {
     flicker_pref: f64,
 }
 
+impl NoiseSource {
+    /// Current-noise PSD at frequency `f` (A^2/Hz). The flicker term is
+    /// clamped at 1 mHz — the 1/f integral diverges toward DC, and the
+    /// frequency grid is validated strictly positive before any analysis.
+    fn psd_at(&self, f: f64) -> f64 {
+        self.white + self.flicker_pref / f.max(1e-3)
+    }
+}
+
+/// Validates a noise frequency grid the way `TranOptions::validate`
+/// guards time grids: empty, non-positive/non-finite, or non-increasing
+/// grids would silently produce a zero or garbage integral (and feed the
+/// flicker term's 1 mHz clamp out-of-band values), so they are rejected
+/// up front.
+fn validate_freqs(freqs: &[f64]) -> Result<(), SimError> {
+    if freqs.is_empty() {
+        return Err(SimError::InvalidOptions {
+            what: "noise frequency grid is empty",
+        });
+    }
+    if freqs.iter().any(|f| !f.is_finite() || *f <= 0.0) {
+        return Err(SimError::InvalidOptions {
+            what: "noise frequencies must be finite and positive",
+        });
+    }
+    if freqs.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(SimError::InvalidOptions {
+            what: "noise frequency grid must be strictly increasing",
+        });
+    }
+    Ok(())
+}
+
+/// Enumerates the circuit's noise sources at `temp_k`, pairing each MOS
+/// element with its operating-point entry. A circuit/op mismatch is a
+/// caller bug but not a library panic: it reports
+/// [`SimError::BadNetlist`] (the deployment path learned in PR 3 that
+/// library code must fail, not abort, on inconsistent inputs).
+fn collect_sources(ckt: &Circuit, op: &OpPoint, temp_k: f64) -> Result<Vec<NoiseSource>, SimError> {
+    let n_mos = ckt
+        .elements()
+        .iter()
+        .filter(|e| matches!(e, Element::Mos(_)))
+        .count();
+    if n_mos != op.mosfets().len() {
+        return Err(SimError::BadNetlist {
+            what: format!(
+                "operating point out of sync with circuit: {} MOS operating entries for {n_mos} MOS elements",
+                op.mosfets().len()
+            ),
+        });
+    }
+    let mut sources = Vec::new();
+    let mut mos_iter = op.mosfets().iter();
+    for e in ckt.elements() {
+        match e {
+            Element::Resistor { p, n, r, noisy } if *noisy => {
+                sources.push(NoiseSource {
+                    p: *p,
+                    n: *n,
+                    white: 4.0 * BOLTZMANN * temp_k / r,
+                    flicker_pref: 0.0,
+                });
+            }
+            Element::Mos(m) => {
+                // Counts verified above, so the iterator cannot run dry.
+                let mi = mos_iter.next().expect("MOS count verified");
+                let white = m.model.thermal_noise_psd(mi.gm, temp_k);
+                // flicker psd(f) = kf gm^2 / (Cox W L f)
+                let flicker_pref = m.model.kf * mi.gm * mi.gm / (m.model.cox * m.w * m.l * m.mult);
+                sources.push(NoiseSource {
+                    p: mi.a_d,
+                    n: mi.a_s,
+                    white,
+                    flicker_pref,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(sources)
+}
+
+/// The per-frequency factor + per-source solve loop of the scalar
+/// analysis, appending one output-PSD and gain sample per grid point.
+/// [`AcSolver::prepare_workspace`] must have been called for this solver.
+fn noise_points_ws(
+    solver: &AcSolver<'_>,
+    sources: &[NoiseSource],
+    out: Node,
+    freqs: &[f64],
+    ws: &mut AcWorkspace,
+    out_psd: &mut Vec<f64>,
+    gain: &mut Vec<f64>,
+) -> Result<(), SimError> {
+    let ckt = solver.circuit();
+    let dim = solver.dim();
+    for &f in freqs {
+        solver.factor_at_ws(f, ws)?;
+        let AcWorkspace { lu, x, rhs, .. } = &mut *ws;
+        // Signal gain.
+        lu.solve_into(solver.source_rhs(), x);
+        let g = solver.voltage(x, out).norm();
+        gain.push(g);
+        // Sum over noise sources.
+        let mut psd = 0.0;
+        rhs.clear();
+        rhs.resize(dim, Complex::ZERO);
+        for s in sources {
+            rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
+            // Unit AC current from p to n inside the source.
+            if let Some(ip) = ckt.mna_index(s.p) {
+                rhs[ip] -= Complex::ONE;
+            }
+            if let Some(in_) = ckt.mna_index(s.n) {
+                rhs[in_] += Complex::ONE;
+            }
+            lu.solve_into(rhs, x);
+            let h2 = solver.voltage(x, out).norm_sqr();
+            psd += h2 * s.psd_at(f);
+        }
+        out_psd.push(psd);
+    }
+    Ok(())
+}
+
+/// Integrates the sampled PSDs into the result: total output noise over
+/// the whole grid, input-referred noise over the segments whose gain
+/// clears the per-point floor (see [`GAIN_FLOOR_REL`]).
+fn finalize(freqs: &[f64], out_psd: Vec<f64>, gain: Vec<f64>) -> Result<NoiseResult, SimError> {
+    let out_v2 = integrate_trapezoid(freqs, &out_psd);
+    let out_vrms = out_v2.sqrt();
+    let max_gain = gain.iter().cloned().fold(0.0f64, f64::max);
+    if max_gain <= 0.0 || !max_gain.is_finite() {
+        return Err(SimError::MeasureFailed {
+            what: "zero signal gain; cannot refer noise to input",
+        });
+    }
+    // Input-referred: divide the PSD by |gain|^2 pointwise and integrate
+    // trapezoid segments whose *both* endpoints carry usable gain. A point
+    // below the floor (a notch, or a grid point far past the poles) is
+    // excluded rather than clamped — the old `(g*g).max(1e-30)` clamp let
+    // one such point inflate the integral by many orders of magnitude
+    // while the `max_gain > 0` check still passed.
+    let floor = GAIN_FLOOR_REL * max_gain;
+    let mut in_v2 = 0.0;
+    let mut any_segment = false;
+    for i in 1..freqs.len() {
+        let (g0, g1) = (gain[i - 1], gain[i]);
+        if g0 > floor && g1 > floor {
+            let p0 = out_psd[i - 1] / (g0 * g0);
+            let p1 = out_psd[i] / (g1 * g1);
+            in_v2 += 0.5 * (p1 + p0) * (freqs[i] - freqs[i - 1]);
+            any_segment = true;
+        }
+    }
+    if freqs.len() > 1 && !any_segment {
+        // Every segment had a below-floor endpoint: there is no band to
+        // refer noise through. Reporting 0.0 here would read downstream
+        // as "infinitely quiet" — fail honestly instead, like the
+        // zero-gain case above.
+        return Err(SimError::MeasureFailed {
+            what: "no usable-gain segment; cannot refer noise to input",
+        });
+    }
+    let input_referred_rms = in_v2.sqrt();
+
+    Ok(NoiseResult {
+        freqs: freqs.to_vec(),
+        out_psd,
+        gain,
+        out_vrms,
+        input_referred_rms,
+    })
+}
+
 /// Runs a noise analysis at temperature `temp_k`, referred to the circuit's
 /// own AC sources, measuring at node `out`.
 ///
 /// # Errors
 ///
-/// [`SimError::MeasureFailed`] if the signal gain is zero (nothing to refer
-/// to), or propagates factorization failures.
+/// [`SimError::InvalidOptions`] for a degenerate frequency grid (empty,
+/// non-positive, or not strictly increasing), [`SimError::BadNetlist`]
+/// when `op` does not belong to `ckt` (MOS count mismatch),
+/// [`SimError::MeasureFailed`] if the signal gain is zero (nothing to
+/// refer to), and propagates factorization failures.
 pub fn noise_analysis(
     ckt: &Circuit,
     op: &OpPoint,
@@ -75,92 +283,534 @@ pub fn noise_analysis_ws(
     temp_k: f64,
     ws: &mut AcWorkspace,
 ) -> Result<NoiseResult, SimError> {
+    validate_freqs(freqs)?;
+    let sources = collect_sources(ckt, op, temp_k)?;
     let solver = AcSolver::new(ckt, op);
     solver.prepare_workspace(ws);
-    let dim = solver.dim();
-
-    // Enumerate noise sources.
-    let mut sources = Vec::new();
-    let mut mos_iter = op.mosfets().iter();
-    for e in ckt.elements() {
-        match e {
-            Element::Resistor { p, n, r, noisy } if *noisy => {
-                sources.push(NoiseSource {
-                    p: *p,
-                    n: *n,
-                    white: 4.0 * BOLTZMANN * temp_k / r,
-                    flicker_pref: 0.0,
-                });
-            }
-            Element::Mos(m) => {
-                let mi = mos_iter.next().expect("op out of sync");
-                let white = m.model.thermal_noise_psd(mi.gm, temp_k);
-                // flicker psd(f) = kf gm^2 / (Cox W L f)
-                let flicker_pref = m.model.kf * mi.gm * mi.gm / (m.model.cox * m.w * m.l * m.mult);
-                sources.push(NoiseSource {
-                    p: mi.a_d,
-                    n: mi.a_s,
-                    white,
-                    flicker_pref,
-                });
-            }
-            _ => {}
-        }
-    }
-
     let mut out_psd = Vec::with_capacity(freqs.len());
     let mut gain = Vec::with_capacity(freqs.len());
-    for &f in freqs {
-        solver.factor_at_ws(f, ws)?;
-        let AcWorkspace { lu, x, rhs, .. } = &mut *ws;
-        // Signal gain.
-        lu.solve_into(solver.source_rhs(), x);
-        let g = solver.voltage(x, out).norm();
-        gain.push(g);
-        // Sum over noise sources.
-        let mut psd = 0.0;
-        rhs.clear();
-        rhs.resize(dim, Complex::ZERO);
-        for s in &sources {
-            rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
-            // Unit AC current from p to n inside the source.
-            if let Some(ip) = ckt.mna_index(s.p) {
-                rhs[ip] -= Complex::ONE;
-            }
-            if let Some(in_) = ckt.mna_index(s.n) {
-                rhs[in_] += Complex::ONE;
-            }
-            lu.solve_into(rhs, x);
-            let h2 = solver.voltage(x, out).norm_sqr();
-            let s_psd = s.white + s.flicker_pref / f.max(1e-3);
-            psd += h2 * s_psd;
-        }
-        out_psd.push(psd);
-    }
+    noise_points_ws(&solver, &sources, out, freqs, ws, &mut out_psd, &mut gain)?;
+    finalize(freqs, out_psd, gain)
+}
 
-    let out_v2 = integrate_trapezoid(freqs, &out_psd);
-    let out_vrms = out_v2.sqrt();
-    // Input-referred: divide the PSD by |gain|^2 pointwise and integrate.
-    let max_gain = gain.iter().cloned().fold(0.0f64, f64::max);
-    if max_gain <= 0.0 {
-        return Err(SimError::MeasureFailed {
-            what: "zero signal gain; cannot refer noise to input",
-        });
-    }
-    let in_psd: Vec<f64> = out_psd
+/// Per-corner scalar reference path of the batched analyses: each corner
+/// runs the exact [`noise_analysis_ws`] pipeline (same kernel, same
+/// order) through the batch workspace's scalar buffers. This is the
+/// fallback for structural mismatches, single-corner batches, and stock
+/// dims where neither lockstep nor correction pays — bitwise-equal to
+/// calling [`noise_analysis_ws`] per corner.
+fn scalar_noise_ws(
+    solvers: &[AcSolver<'_>],
+    ops: &[&OpPoint],
+    outs: &[Node],
+    freqs: &[f64],
+    temps: &[f64],
+    ws: &mut AcBatchWorkspace,
+) -> Vec<Result<NoiseResult, SimError>> {
+    solvers
         .iter()
-        .zip(&gain)
-        .map(|(p, g)| p / (g * g).max(1e-30))
-        .collect();
-    let input_referred_rms = integrate_trapezoid(freqs, &in_psd).sqrt();
+        .zip(ops)
+        .zip(outs.iter().zip(temps))
+        .map(|((solver, op), (&out, &temp_k))| {
+            let sources = collect_sources(solver.circuit(), op, temp_k)?;
+            solver.prepare_workspace(&mut ws.scalar);
+            let mut out_psd = Vec::with_capacity(freqs.len());
+            let mut gain = Vec::with_capacity(freqs.len());
+            noise_points_ws(
+                solver,
+                &sources,
+                out,
+                freqs,
+                &mut ws.scalar,
+                &mut out_psd,
+                &mut gain,
+            )?;
+            finalize(freqs, out_psd, gain)
+        })
+        .collect()
+}
 
-    Ok(NoiseResult {
-        freqs: freqs.to_vec(),
-        out_psd,
-        gain,
-        out_vrms,
-        input_referred_rms,
-    })
+/// Collects each corner's noise sources, or `None` when any corner fails
+/// or the corner lists disagree in length (the lockstep and corrected
+/// paths need one source index space across the batch) — callers then
+/// route through the scalar path, which reports per-corner failures
+/// individually.
+fn collect_corner_sources(
+    solvers: &[AcSolver<'_>],
+    ops: &[&OpPoint],
+    temps: &[f64],
+) -> Option<Vec<Vec<NoiseSource>>> {
+    let mut all = Vec::with_capacity(solvers.len());
+    for ((s, op), &t) in solvers.iter().zip(ops).zip(temps) {
+        all.push(collect_sources(s.circuit(), op, t).ok()?);
+    }
+    let n_src = all[0].len();
+    if all.iter().any(|s| s.len() != n_src) {
+        return None;
+    }
+    Some(all)
+}
+
+/// Corner-batched noise analysis in **lockstep**: at every frequency the
+/// B corner systems are stamped into one
+/// [`crate::linalg::ComplexLuBatch`] and eliminated together, then
+/// back-substituted against each corner's source vector and against every
+/// noise source's unit injection. Per corner the arithmetic (pivot
+/// selection, update order, PSD accumulation order) is identical to
+/// [`noise_analysis_ws`], so per-corner results are **bitwise-equal** to
+/// the serial path — this is the cold backbone of the corner evaluation
+/// engine, mirroring [`crate::ac::ac_sweep_batch_solvers`]'s contract.
+///
+/// Failures are per corner: a corner whose system goes singular reports
+/// the error of its first failing frequency, exactly like the scalar
+/// path, and is masked off without disturbing its siblings. Mismatched
+/// dimensions, differing source counts, single-corner batches, and dense
+/// systems (where the batch-innermost layout stops paying) run the
+/// scalar path per corner — also bitwise-equal, so the dispatch is pure
+/// performance policy. A degenerate frequency grid returns
+/// [`SimError::InvalidOptions`] for every corner.
+///
+/// # Panics
+///
+/// Panics unless `solvers`, `ops`, `outs`, and `temps` have equal length.
+pub fn noise_analysis_batch(
+    solvers: &[AcSolver<'_>],
+    ops: &[&OpPoint],
+    outs: &[Node],
+    freqs: &[f64],
+    temps: &[f64],
+    ws: &mut AcBatchWorkspace,
+) -> Vec<Result<NoiseResult, SimError>> {
+    assert_eq!(solvers.len(), ops.len(), "one operating point per corner");
+    assert_eq!(solvers.len(), outs.len(), "one output node per corner");
+    assert_eq!(solvers.len(), temps.len(), "one temperature per corner");
+    let bt = solvers.len();
+    if bt == 0 {
+        return Vec::new();
+    }
+    if let Err(e) = validate_freqs(freqs) {
+        return (0..bt).map(|_| Err(e.clone())).collect();
+    }
+    let dim = solvers[0].dim();
+    if bt == 1 || solvers.iter().any(|s| s.dim() != dim) || dim > STOCK_DIM_MAX {
+        // Lockstep pays while each corner's factors fit in cache (stock
+        // dims, ~1.1x); at dense dims the batch-innermost layout thrashes
+        // (measured ~0.65x), so the cold path runs the scalar kernel per
+        // corner there. Both are bitwise-equal to the serial reference,
+        // so the dispatch is pure performance policy.
+        return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
+    }
+    let Some(sources) = collect_corner_sources(solvers, ops, temps) else {
+        return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
+    };
+    let n_src = sources[0].len();
+
+    ws.patterns.resize(bt, Vec::new());
+    for (pat, s) in ws.patterns.iter_mut().zip(solvers) {
+        s.collect_pattern(pat);
+    }
+    // Gain right-hand sides, stamped once (frequency-independent).
+    ws.rhs_re.clear();
+    ws.rhs_re.resize(dim * bt, 0.0);
+    ws.rhs_im.clear();
+    ws.rhs_im.resize(dim * bt, 0.0);
+    for (b, s) in solvers.iter().enumerate() {
+        for (i, v) in s.source_rhs().iter().enumerate() {
+            ws.rhs_re[i * bt + b] = v.re;
+            ws.rhs_im[i * bt + b] = v.im;
+        }
+    }
+    let oi: Vec<Option<usize>> = solvers
+        .iter()
+        .zip(outs)
+        .map(|(s, &o)| s.mna_index(o))
+        .collect();
+    // Per-source unit-injection right-hand sides, stamped once — they
+    // depend only on the source's terminal nodes, never the frequency
+    // (each corner resolves through its own circuit; structure is shared
+    // across a corner set). The imaginary part is identically zero.
+    let mut inj_re: Vec<Vec<f64>> = vec![vec![0.0; dim * bt]; n_src];
+    for (b, (s, srcs)) in solvers.iter().zip(&sources).enumerate() {
+        for (src, inj) in srcs.iter().zip(inj_re.iter_mut()) {
+            if let Some(ip) = s.circuit().mna_index(src.p) {
+                inj[ip * bt + b] -= 1.0;
+            }
+            if let Some(in_) = s.circuit().mna_index(src.n) {
+                inj[in_ * bt + b] += 1.0;
+            }
+        }
+    }
+    let inj_im = vec![0.0; dim * bt];
+
+    let mut out_psd: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); bt];
+    let mut gain: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); bt];
+    let mut errs: Vec<Option<SimError>> = vec![None; bt];
+    let mut psd = vec![0.0; bt];
+    for &fq in freqs {
+        let w = 2.0 * std::f64::consts::PI * fq;
+        let AcBatchWorkspace {
+            lu,
+            patterns,
+            rhs_re,
+            rhs_im,
+            x_re,
+            x_im,
+            acc_re,
+            acc_im,
+            ..
+        } = ws;
+        lu.refactor_with(dim, bt, 1e-300, |re, im| {
+            for (b, pat) in patterns.iter().enumerate() {
+                if errs[b].is_some() {
+                    // Dead corner: identity keeps the lockstep
+                    // elimination trivially nonsingular.
+                    for i in 0..dim {
+                        re[(i * dim + i) * bt + b] = 1.0;
+                    }
+                    continue;
+                }
+                for &(r, c, gg, cc) in pat {
+                    re[(r * dim + c) * bt + b] = gg;
+                    im[(r * dim + c) * bt + b] = w * cc;
+                }
+            }
+        });
+        for (b, e) in errs.iter_mut().enumerate() {
+            if e.is_none() {
+                if let Some(column) = lu.singular(b) {
+                    *e = Some(SimError::SingularMatrix { column });
+                }
+            }
+        }
+        // Signal gains, all corners at once.
+        lu.solve_batch_into(rhs_re, rhs_im, x_re, x_im, acc_re, acc_im);
+        for (b, gb) in gain.iter_mut().enumerate() {
+            if errs[b].is_none() {
+                gb.push(match oi[b] {
+                    None => 0.0,
+                    Some(i) => Complex::new(x_re[i * bt + b], x_im[i * bt + b]).norm(),
+                });
+            }
+        }
+        // Per noise source: one lockstep solve of the unit injections.
+        // Dead corners' lanes solve against the precomputed stamps too,
+        // but lanes are independent and dead lanes are never read.
+        psd.fill(0.0);
+        for s in 0..n_src {
+            let AcBatchWorkspace {
+                lu,
+                x_re,
+                x_im,
+                acc_re,
+                acc_im,
+                ..
+            } = ws;
+            lu.solve_batch_into(&inj_re[s], &inj_im, x_re, x_im, acc_re, acc_im);
+            for (b, p) in psd.iter_mut().enumerate() {
+                if errs[b].is_none() {
+                    let h2 = match oi[b] {
+                        None => 0.0,
+                        Some(i) => Complex::new(x_re[i * bt + b], x_im[i * bt + b]).norm_sqr(),
+                    };
+                    *p += h2 * sources[b][s].psd_at(fq);
+                }
+            }
+        }
+        for (b, ob) in out_psd.iter_mut().enumerate() {
+            if errs[b].is_none() {
+                ob.push(psd[b]);
+            }
+        }
+    }
+    errs.iter_mut()
+        .zip(out_psd.into_iter().zip(gain))
+        .map(|(e, (ob, gb))| match e.take() {
+            Some(e) => Err(e),
+            None => finalize(freqs, ob, gb),
+        })
+        .collect()
+}
+
+/// Factors corner `b`'s full system at one frequency into the spare
+/// buffer and runs the full scalar point (gain + per-source solves) — the
+/// per-point fallback of [`noise_analysis_corners`] when the base factor
+/// or a correction system is singular. Matches the scalar path's
+/// arithmetic exactly at that point.
+#[allow(clippy::too_many_arguments)]
+fn direct_noise_point(
+    ws: &mut AcBatchWorkspace,
+    b: usize,
+    n: usize,
+    w_ang: f64,
+    rhs0: &[Complex],
+    o: Option<usize>,
+    sources_b: &[NoiseSource],
+    inj: &[(Option<usize>, Option<usize>)],
+    fq: f64,
+) -> Result<(f64, f64), SimError> {
+    let AcBatchWorkspace {
+        spare,
+        patterns,
+        unit,
+        xcol,
+        ..
+    } = ws;
+    spare.refactor_with(n, 1e-300, |re, im| {
+        for &(r, c, g, cc) in &patterns[b] {
+            re[r * n + c] = g;
+            im[r * n + c] = w_ang * cc;
+        }
+    })?;
+    spare.solve_into(rhs0, xcol);
+    let g = o.map_or(0.0, |i| xcol[i].norm());
+    let mut psd = 0.0;
+    for (s, &(ip, in_)) in sources_b.iter().zip(inj) {
+        unit.clear();
+        unit.resize(n, Complex::ZERO);
+        if let Some(ip) = ip {
+            unit[ip] -= Complex::ONE;
+        }
+        if let Some(in_) = in_ {
+            unit[in_] += Complex::ONE;
+        }
+        spare.solve_into(unit, xcol);
+        let h2 = o.map_or(0.0, |i| xcol[i].norm_sqr());
+        psd += h2 * s.psd_at(fq);
+    }
+    Ok((g, psd))
+}
+
+/// Corner-**corrected** noise analysis: the fast path of the warm batched
+/// corner engine. PVT corner systems differ only in their device stamps —
+/// the parasitic mesh, passives, sources, and regularization are shared —
+/// so per frequency this factors the base corner once, computes the
+/// Woodbury correction basis `W = A0^{-1} P_R` over the difference
+/// support `R`, and solves the shared source vector **and every noise
+/// source's unit injection once against the base factor**; each sibling
+/// corner then recovers its gain and per-source transfers through an
+/// `|R| x |R|` solve per right-hand side instead of a full
+/// factorization + back-substitution. Per frequency that is
+/// `1` factorization + `(1 + S + |R|)` back-substitutions +
+/// `B` small factors, instead of the serial path's `B` factorizations +
+/// `B (1 + S)` back-substitutions.
+///
+/// The correction is algebraically exact; in floating point it agrees
+/// with the direct per-corner analysis to roundoff — inside the warm
+/// evaluation path's solver-tolerance contract. The *cold* (bitwise)
+/// path is [`noise_analysis_batch`]. Falls back to the scalar per-corner
+/// path at stock dims (`n <= 16`), on structural mismatch (dims, source
+/// lists, injection nodes, source vectors), or when the difference
+/// support is too wide to pay; falls back to direct per-corner
+/// factorization at any frequency where the base factor or a correction
+/// system is singular.
+///
+/// # Panics
+///
+/// Panics unless `solvers`, `ops`, `outs`, and `temps` have equal length.
+pub fn noise_analysis_corners(
+    solvers: &[AcSolver<'_>],
+    ops: &[&OpPoint],
+    outs: &[Node],
+    freqs: &[f64],
+    temps: &[f64],
+    ws: &mut AcBatchWorkspace,
+) -> Vec<Result<NoiseResult, SimError>> {
+    assert_eq!(solvers.len(), ops.len(), "one operating point per corner");
+    assert_eq!(solvers.len(), outs.len(), "one output node per corner");
+    assert_eq!(solvers.len(), temps.len(), "one temperature per corner");
+    let bt = solvers.len();
+    if bt == 0 {
+        return Vec::new();
+    }
+    if let Err(e) = validate_freqs(freqs) {
+        return (0..bt).map(|_| Err(e.clone())).collect();
+    }
+    let n = solvers[0].dim();
+    if bt == 1 || solvers.iter().any(|s| s.dim() != n) || n <= STOCK_DIM_MAX {
+        // At stock extraction dims the difference support spans most of
+        // the system, so the correction cannot pay — run the scalar
+        // per-corner analysis (the warm serial path's exact arithmetic).
+        return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
+    }
+    let rhs0 = solvers[0].source_rhs();
+    if solvers.iter().any(|s| s.source_rhs() != rhs0) {
+        return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
+    }
+    let Some(sources) = collect_corner_sources(solvers, ops, temps) else {
+        return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
+    };
+    // Shared base solves need shared injection nodes; corner sets always
+    // satisfy this (same netlist structure), so this is a safety valve.
+    if sources[1..].iter().any(|srcs| {
+        srcs.iter()
+            .zip(&sources[0])
+            .any(|(a, b)| a.p != b.p || a.n != b.n)
+    }) {
+        return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
+    }
+    let inj: Vec<(Option<usize>, Option<usize>)> = sources[0]
+        .iter()
+        .map(|s| {
+            (
+                solvers[0].circuit().mna_index(s.p),
+                solvers[0].circuit().mna_index(s.n),
+            )
+        })
+        .collect();
+
+    ws.patterns.resize(bt, Vec::new());
+    for (pat, s) in ws.patterns.iter_mut().zip(solvers) {
+        s.collect_pattern(pat);
+    }
+    let cd = CornerDiff::from_patterns(&ws.patterns, n);
+    if !cd.profitable(n) {
+        return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
+    }
+    let rn = cd.support();
+
+    let oi: Vec<Option<usize>> = solvers
+        .iter()
+        .zip(outs)
+        .map(|(s, &o)| s.mna_index(o))
+        .collect();
+    let mut out_psd: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); bt];
+    let mut gain: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); bt];
+    let mut errs: Vec<Option<SimError>> = vec![None; bt];
+    let mut u = Vec::new();
+    let mut z = Vec::new();
+    for &fq in freqs {
+        let w_ang = 2.0 * std::f64::consts::PI * fq;
+        let base_ok = ws
+            .base
+            .refactor_with(n, 1e-300, |re, im| {
+                for &(r, c, g, cc) in &ws.patterns[0] {
+                    re[r * n + c] = g;
+                    im[r * n + c] = w_ang * cc;
+                }
+            })
+            .is_ok();
+        if !base_ok {
+            // Base corner singular at this point: run every live corner
+            // through the direct scalar point instead.
+            for b in 0..bt {
+                if errs[b].is_some() {
+                    continue;
+                }
+                match direct_noise_point(ws, b, n, w_ang, rhs0, oi[b], &sources[b], &inj, fq) {
+                    Ok((g, p)) => {
+                        gain[b].push(g);
+                        out_psd[b].push(p);
+                    }
+                    Err(e) => errs[b] = Some(e),
+                }
+            }
+            continue;
+        }
+        ws.base.solve_into(rhs0, &mut ws.y0);
+        {
+            let AcBatchWorkspace {
+                base,
+                unit,
+                xcol,
+                wflat,
+                ..
+            } = &mut *ws;
+            solve_correction_basis(base, &cd.rows, n, unit, xcol, wflat);
+        }
+        // Per-source base solves, computed once and shared by the whole
+        // corner set — the structural win of the corrected analysis.
+        ws.ys.clear();
+        for &(ip, in_) in &inj {
+            let AcBatchWorkspace {
+                base,
+                unit,
+                xcol,
+                ys,
+                ..
+            } = &mut *ws;
+            unit.clear();
+            unit.resize(n, Complex::ZERO);
+            if let Some(ip) = ip {
+                unit[ip] -= Complex::ONE;
+            }
+            if let Some(in_) = in_ {
+                unit[in_] += Complex::ONE;
+            }
+            base.solve_into(unit, xcol);
+            ys.extend_from_slice(xcol);
+        }
+        for b in 0..bt {
+            if errs[b].is_some() {
+                continue;
+            }
+            let diff = &cd.diffs[b];
+            if diff.is_empty() {
+                // Corner identical to the base: its solves *are* the
+                // base solves.
+                let g = oi[b].map_or(0.0, |i| ws.y0[i].norm());
+                let mut p = 0.0;
+                for (s, src) in sources[b].iter().enumerate() {
+                    let h2 = oi[b].map_or(0.0, |i| ws.ys[s * n + i].norm_sqr());
+                    p += h2 * src.psd_at(fq);
+                }
+                gain[b].push(g);
+                out_psd[b].push(p);
+                continue;
+            }
+            let ok = factor_correction(&mut ws.small, diff, &cd.row_pos, rn, n, w_ang, &ws.wflat)
+                .is_ok();
+            if !ok {
+                match direct_noise_point(ws, b, n, w_ang, rhs0, oi[b], &sources[b], &inj, fq) {
+                    Ok((g, p)) => {
+                        gain[b].push(g);
+                        out_psd[b].push(p);
+                    }
+                    Err(e) => errs[b] = Some(e),
+                }
+                continue;
+            }
+            let g = corrected_entry(
+                &ws.small,
+                diff,
+                &cd.row_pos,
+                &ws.wflat,
+                &ws.y0,
+                oi[b],
+                w_ang,
+                n,
+                rn,
+                &mut u,
+                &mut z,
+            )
+            .norm();
+            let mut p = 0.0;
+            for (s, src) in sources[b].iter().enumerate() {
+                let h = corrected_entry(
+                    &ws.small,
+                    diff,
+                    &cd.row_pos,
+                    &ws.wflat,
+                    &ws.ys[s * n..(s + 1) * n],
+                    oi[b],
+                    w_ang,
+                    n,
+                    rn,
+                    &mut u,
+                    &mut z,
+                );
+                p += h.norm_sqr() * src.psd_at(fq);
+            }
+            gain[b].push(g);
+            out_psd[b].push(p);
+        }
+    }
+    errs.iter_mut()
+        .zip(out_psd.into_iter().zip(gain))
+        .map(|(e, (ob, gb))| match e.take() {
+            Some(e) => Err(e),
+            None => finalize(freqs, ob, gb),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -267,5 +917,147 @@ mod tests {
         // load (but also slightly different pole) — the dominant effect at
         // fixed load is increased noise.
         assert!(vals[1] > vals[0]);
+    }
+
+    /// A symmetric twin-T notch: exact transmission null at
+    /// `f0 = 1/(2 pi R C)`, where the measured gain collapses to
+    /// floating-point dust.
+    fn twin_t_notch() -> (Circuit, Node, f64) {
+        let r = 10.0e3;
+        let c = 1e-9;
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let o = ckt.node("out");
+        ckt.vsource(i, GND, 0.0, 1.0);
+        // Low-pass T.
+        ckt.resistor(i, a, r);
+        ckt.resistor(a, o, r);
+        ckt.capacitor(a, GND, 2.0 * c);
+        // High-pass T.
+        ckt.capacitor(i, b, c);
+        ckt.capacitor(b, o, c);
+        ckt.resistor(b, GND, r / 2.0);
+        // Light load so `out` is a live MNA node.
+        ckt.resistor_noiseless(o, GND, 10.0e6);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        (ckt, o, f0)
+    }
+
+    #[test]
+    fn notch_point_does_not_inflate_input_referred_noise() {
+        // Regression: a single near-zero-gain grid point (the notch) used
+        // to divide the output PSD by ~0 and dominate the input-referred
+        // integral by tens of orders of magnitude, while the `max_gain`
+        // check still passed. Such points are now excluded per point.
+        let (ckt, o, f0) = twin_t_notch();
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let mut with_notch = log_freqs(f0 * 1e-2, f0 * 1e2, 6);
+        with_notch.push(f0);
+        with_notch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        with_notch.dedup();
+        let without_notch: Vec<f64> = with_notch.iter().cloned().filter(|f| *f != f0).collect();
+        let nr_with = noise_analysis(&ckt, &op, o, &with_notch, 300.0).unwrap();
+        let nr_without = noise_analysis(&ckt, &op, o, &without_notch, 300.0).unwrap();
+        // The notch gain really is floating-point dust relative to peak.
+        let min_g = nr_with.gain.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_g = nr_with.gain.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            min_g < GAIN_FLOOR_REL * max_g,
+            "notch not deep enough: {min_g} vs {max_g}"
+        );
+        // Including the notch point must not blow the referral up; the
+        // old clamp produced a ratio of ~1e8 or worse here.
+        let ratio = nr_with.input_referred_rms / nr_without.input_referred_rms;
+        assert!(
+            ratio < 3.0,
+            "notch point inflated input-referred noise {ratio}x"
+        );
+        // The output-side integral is untouched by the exclusion.
+        assert!(
+            (nr_with.out_vrms - nr_without.out_vrms).abs() <= 0.05 * nr_without.out_vrms.max(1e-30)
+        );
+    }
+
+    #[test]
+    fn all_segments_excluded_is_an_error_not_silent_zero() {
+        // A two-point grid whose second point sits in the notch: the
+        // max-gain check passes (point one is healthy) but every
+        // trapezoid segment has a below-floor endpoint, so there is no
+        // band to refer through — that must fail, not report 0.0 rms
+        // (which downstream worst-case folds would read as "infinitely
+        // quiet").
+        let (ckt, o, f0) = twin_t_notch();
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let r = noise_analysis(&ckt, &op, o, &[f0 * 0.1, f0], 300.0);
+        assert!(
+            matches!(r, Err(SimError::MeasureFailed { .. })),
+            "expected MeasureFailed, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_sync_operating_point_is_an_error_not_a_panic() {
+        use crate::device::{MosPolarity, Technology};
+        use crate::netlist::Mosfet;
+        let t = Technology::ptm45();
+        // Circuit A: plain RC — its op has zero MOS entries.
+        let mut a = Circuit::new();
+        let ia = a.node("in");
+        let oa = a.node("out");
+        a.vsource(ia, GND, 0.0, 1.0);
+        a.resistor(ia, oa, 1e3);
+        a.capacitor(oa, GND, 1e-12);
+        let op_a = dc_operating_point(&a, &DcOptions::default()).unwrap();
+        // Circuit B: same nodes plus a MOSFET.
+        let mut b = Circuit::new();
+        let ib = b.node("in");
+        let ob = b.node("out");
+        b.vsource(ib, GND, 0.55, 1.0);
+        b.resistor(ib, ob, 1e3);
+        b.capacitor(ob, GND, 1e-12);
+        b.mosfet(Mosfet {
+            polarity: MosPolarity::Nmos,
+            d: ob,
+            g: ib,
+            s: GND,
+            w: 1e-6,
+            l: 90e-9,
+            mult: 1.0,
+            model: t.nmos,
+        });
+        let r = noise_analysis(&b, &op_a, ob, &log_freqs(1e3, 1e6, 4), 300.0);
+        assert!(
+            matches!(r, Err(SimError::BadNetlist { .. })),
+            "expected BadNetlist, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_frequency_grids_are_rejected() {
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.vsource(i, GND, 0.0, 1.0);
+        ckt.resistor(i, o, 1e3);
+        ckt.capacitor(o, GND, 1e-12);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let bad: [&[f64]; 5] = [
+            &[],
+            &[0.0, 1e3],
+            &[-1.0, 1e3],
+            &[1e3, 1e2],
+            &[1e3, 1e3, 1e4],
+        ];
+        for freqs in bad {
+            let r = noise_analysis(&ckt, &op, o, freqs, 300.0);
+            assert!(
+                matches!(r, Err(SimError::InvalidOptions { .. })),
+                "grid {freqs:?} accepted: {r:?}"
+            );
+        }
+        // A valid grid still passes.
+        assert!(noise_analysis(&ckt, &op, o, &[1e3, 1e4, 1e5], 300.0).is_ok());
     }
 }
