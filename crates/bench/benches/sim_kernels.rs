@@ -2,10 +2,13 @@
 //! per-environment-step cost that dominates training wall clock (the
 //! paper's 25 ms/schematic-sim and 91 s/PEX-sim discussion in Sec. III-D).
 
+use autockt_bench::tia_mesh_kernel_case;
 use autockt_circuits::{NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
 use autockt_sim::ac::{ac_sweep, log_freqs};
+use autockt_sim::complex::Complex;
 use autockt_sim::dc::{dc_operating_point, DcOptions};
-use autockt_sim::linalg::{solve, Matrix};
+use autockt_sim::linalg::sparse::{CscMatrix, SparseLu, TripletList};
+use autockt_sim::linalg::{solve, ComplexLuSoa, Matrix};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -88,5 +91,63 @@ fn bench_full_spec_eval(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lu, bench_dc, bench_ac, bench_full_spec_eval);
+/// Dense SoA refactor+solve vs the CSC sparse-LU refactor path, one AC
+/// point per iteration on the TIA's extracted mesh systems — the same
+/// per-point kernels `ac_sweep` dispatches between on either side of the
+/// `SolverConfig` crossover (the `bench_env_step` sparse-solver section
+/// drives the identical cases).
+fn bench_sparse_lu(c: &mut Criterion) {
+    for depth in [4usize, 16] {
+        let case = tia_mesh_kernel_case(depth);
+        let (n, w) = (case.n, case.w);
+
+        let mut soa = ComplexLuSoa::empty();
+        let mut xd = Vec::new();
+        c.bench_function(&format!("ac_point_dense_soa_mesh{depth}_dim{n}"), |bench| {
+            bench.iter(|| {
+                soa.refactor_with(n, 1e-300, |re, im| {
+                    for &(r, cc, gg, cap) in &case.pattern {
+                        re[r * n + cc] = gg;
+                        im[r * n + cc] = w * cap;
+                    }
+                })
+                .expect("nonsingular");
+                soa.solve_into(&case.rhs, &mut xd);
+                black_box(xd.last());
+            })
+        });
+
+        let mut trip: TripletList<Complex> = TripletList::new(n);
+        for &(r, cc, gg, cap) in &case.pattern {
+            trip.push(r, cc, Complex::new(gg, cap));
+        }
+        let mut csc = CscMatrix::empty();
+        trip.compress_into(&mut csc);
+        let base: Vec<Complex> = csc.values().to_vec();
+        for (v, b) in csc.values_mut().iter_mut().zip(&base) {
+            *v = Complex::new(b.re, w * b.im);
+        }
+        let mut slu = SparseLu::factor(&csc, 1e-300).expect("nonsingular");
+        let mut xs = Vec::new();
+        c.bench_function(&format!("ac_point_sparse_lu_mesh{depth}_dim{n}"), |bench| {
+            bench.iter(|| {
+                for (v, b) in csc.values_mut().iter_mut().zip(&base) {
+                    *v = Complex::new(b.re, w * b.im);
+                }
+                slu.refactor(&csc, 1e-300).expect("nonsingular");
+                slu.solve_into(&case.rhs, &mut xs);
+                black_box(xs.last());
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_lu,
+    bench_dc,
+    bench_ac,
+    bench_full_spec_eval,
+    bench_sparse_lu
+);
 criterion_main!(benches);

@@ -51,16 +51,22 @@
 //!   (`noise_analysis_corners`, base factor + Woodbury with shared
 //!   per-source base solves — the warm fast path), at stock and dense
 //!   mesh dims.
+//! - **sparse-solver** — the dense SoA refactor+solve path versus the
+//!   CSC sparse-LU refactor path (symbolic analysis reused, values
+//!   rewritten per point) on the TIA's extracted mesh systems from the
+//!   lumped dim up past 190, locating the backend crossover dim that
+//!   `SolverConfig`'s Auto dispatch encodes; plus full `PexWorstCase`
+//!   environment stepping at deep meshes, forced-dense vs Auto.
 //!
 //! Prints a comparison table and writes `results/BENCH_env_step.json`
-//! (schema `autockt/bench_env_step/v4`) so CI can archive the trajectory.
+//! (schema `autockt/bench_env_step/v5`) so CI can archive the trajectory.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
 //! (`--steps N`, `--episode H`, `--seed S` to override).
 
 use autockt_bench::{
-    ac_kernel_cases, arg_value, dense_kernel_case, results_dir, tia_noise_corner_case,
-    AcKernelCase, NoiseCornerCase,
+    ac_kernel_cases, arg_value, dense_kernel_case, results_dir, tia_mesh_kernel_case,
+    tia_noise_corner_case, AcKernelCase, NoiseCornerCase,
 };
 use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
 use autockt_core::{EnvConfig, SizingEnv, TargetMode};
@@ -68,9 +74,11 @@ use autockt_rl::env::Env;
 use autockt_sim::ac::{AcBatchWorkspace, AcSolver, AcWorkspace};
 use autockt_sim::complex::Complex;
 use autockt_sim::dc::OpPoint;
+use autockt_sim::linalg::sparse::{CscMatrix, SparseLu, TripletList};
 use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
 use autockt_sim::noise::{noise_analysis_batch, noise_analysis_corners, noise_analysis_ws};
 use autockt_sim::pex::PexConfig;
+use autockt_sim::SolverConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -318,6 +326,87 @@ fn time_lu_kernels(case: &AcKernelCase, iters: u32) -> KernelStats {
         dim: n,
         generic_ns,
         soa_ns,
+    }
+}
+
+struct SparseKernelStats {
+    dim: usize,
+    nnz: usize,
+    dense_us: f64,
+    sparse_us: f64,
+}
+
+/// One AC frequency point per iteration through the production dense path
+/// (SoA refactor + solve, buffers reused) versus the production sparse
+/// path (CSC value rewrite + `SparseLu::refactor` reusing the symbolic
+/// analysis + solve) — the same per-point work `ac_sweep` does on either
+/// side of the backend crossover. The CSC base values encode `(g, c)` as
+/// `Complex::new(g, c)` and are rescaled to `g + j*w*c` each iteration,
+/// exactly like `AcSolver::factor_at_ws`.
+fn time_sparse_kernels(case: &AcKernelCase, iters: u32) -> SparseKernelStats {
+    let AcKernelCase {
+        n, w, pattern, rhs, ..
+    } = case;
+    let (n, w) = (*n, *w);
+
+    let mut soa = ComplexLuSoa::empty();
+    let mut xd = Vec::new();
+    let stamp_soa = |soa: &mut ComplexLuSoa| {
+        soa.refactor_with(n, 1e-300, |re, im| {
+            for &(r, c, gg, cc) in pattern {
+                re[r * n + c] = gg;
+                im[r * n + c] = w * cc;
+            }
+        })
+        .expect("nonsingular")
+    };
+    stamp_soa(&mut soa);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        stamp_soa(black_box(&mut soa));
+        soa.solve_into(rhs, &mut xd);
+        black_box(xd.last());
+    }
+    let dense_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let mut trip: TripletList<Complex> = TripletList::new(n);
+    for &(r, c, gg, cc) in pattern {
+        trip.push(r, c, Complex::new(gg, cc));
+    }
+    let mut csc = CscMatrix::empty();
+    trip.compress_into(&mut csc);
+    let base: Vec<Complex> = csc.values().to_vec();
+    let rescale = |csc: &mut CscMatrix<Complex>| {
+        for (v, b) in csc.values_mut().iter_mut().zip(&base) {
+            *v = Complex::new(b.re, w * b.im);
+        }
+    };
+    rescale(&mut csc);
+    let mut slu = SparseLu::factor(&csc, 1e-300).expect("nonsingular");
+    let mut xs = Vec::new();
+    slu.solve_into(rhs, &mut xs);
+    // Sanity gate: both backends must agree before we time them.
+    for (d, s) in xd.iter().zip(&xs) {
+        let diff = (*d - *s).norm();
+        assert!(
+            diff <= 1e-6 * (1.0 + d.norm()),
+            "dense/sparse kernels diverge at dim {n}: {diff}"
+        );
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        rescale(black_box(&mut csc));
+        slu.refactor(&csc, 1e-300).expect("nonsingular");
+        slu.solve_into(rhs, &mut xs);
+        black_box(xs.last());
+    }
+    let sparse_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    SparseKernelStats {
+        dim: n,
+        nnz: csc.nnz(),
+        dense_us,
+        sparse_us,
     }
 }
 
@@ -648,10 +737,113 @@ fn main() {
         ));
     }
 
+    // Sparse-solver kernels: the dense SoA path vs the CSC refactor path,
+    // per AC point, on the TIA's extracted mesh systems from the lumped
+    // dim (where dense wins outright) up past dim 190 (where the dense
+    // O(n^3) refactorization stops being viable). The crossover dim these
+    // rows locate is what `SolverConfig`'s Auto backend encodes.
+    println!(
+        "\n{:<10} {:>4} {:>6} {:>13} {:>13} {:>9}",
+        "system", "dim", "nnz", "dense us/pt", "sparse us/pt", "sparse x"
+    );
+    let mut sparse_kernel_rows = Vec::new();
+    for (depth, iters) in [
+        (0usize, 50_000u32),
+        (4, 8_000),
+        (8, 2_000),
+        (16, 400),
+        (24, 150),
+    ] {
+        let case = tia_mesh_kernel_case(depth);
+        let st = time_sparse_kernels(&case, iters);
+        let speedup = st.dense_us / st.sparse_us;
+        println!(
+            "{:<10} {:>4} {:>6} {:>13.2} {:>13.2} {:>8.2}x",
+            case.name, st.dim, st.nnz, st.dense_us, st.sparse_us, speedup
+        );
+        sparse_kernel_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"system\": \"{}\",\n",
+                "      \"mesh_depth\": {},\n",
+                "      \"dim\": {},\n",
+                "      \"nnz\": {},\n",
+                "      \"dense_us_per_point\": {:.3},\n",
+                "      \"sparse_us_per_point\": {:.3},\n",
+                "      \"sparse_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            case.name, depth, st.dim, st.nnz, st.dense_us, st.sparse_us, speedup
+        ));
+    }
+
+    // Sparse worst-case stepping: full TIA PexWorstCase environment steps
+    // at deep-mesh extractions, forced through the dense backend vs the
+    // default Auto config (which crosses to sparse past the crossover
+    // dim). Warm-started, memo off — every step is a fresh 6-corner eval.
+    println!(
+        "\n{:<8} {:>5} {:>4} {:>13} {:>13} {:>9}",
+        "problem", "mesh", "dim", "dense st/s", "auto st/s", "sparse x"
+    );
+    let wc_steps = (steps / 40).max(8);
+    let mut sparse_env_rows = Vec::new();
+    for depth in [8usize, 16] {
+        let pex = PexConfig {
+            mesh_depth: depth,
+            ..Tia::default().pex_config().clone()
+        };
+        let dim = autockt_bench::extracted_center_dim("tia", &pex);
+        let dense_p: Arc<dyn SizingProblem> = Arc::new(
+            Tia::default()
+                .with_pex_config(pex.clone())
+                .with_solver_config(SolverConfig::dense()),
+        );
+        let auto_p: Arc<dyn SizingProblem> = Arc::new(Tia::default().with_pex_config(pex));
+        let dense = run_walk(
+            &dense_p,
+            SimMode::PexWorstCase,
+            Walk::Explore,
+            true,
+            false,
+            wc_steps,
+            episode,
+            seed,
+        );
+        let auto = run_walk(
+            &auto_p,
+            SimMode::PexWorstCase,
+            Walk::Explore,
+            true,
+            false,
+            wc_steps,
+            episode,
+            seed,
+        );
+        let speedup = auto.steps_per_sec / dense.steps_per_sec;
+        println!(
+            "{:<8} {:>5} {:>4} {:>13.2} {:>13.2} {:>8.2}x",
+            "tia", depth, dim, dense.steps_per_sec, auto.steps_per_sec, speedup
+        );
+        sparse_env_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"problem\": \"tia\",\n",
+                "      \"mesh_depth\": {},\n",
+                "      \"mna_dim\": {},\n",
+                "      \"steps\": {},\n",
+                "      \"dense_steps_per_sec\": {:.3},\n",
+                "      \"auto_steps_per_sec\": {:.3},\n",
+                "      \"sparse_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            depth, dim, wc_steps, dense.steps_per_sec, auto.steps_per_sec, speedup
+        ));
+    }
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"autockt/bench_env_step/v4\",\n",
+            "  \"schema\": \"autockt/bench_env_step/v5\",\n",
             "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
             "-- --steps {} --episode {} --seed {}\",\n",
             "  \"steps_per_config\": {},\n",
@@ -661,7 +853,12 @@ fn main() {
             "  \"shared_memo\": [\n{}\n  ],\n",
             "  \"corner_batch\": [\n{}\n  ],\n",
             "  \"noise_corner\": [\n{}\n  ],\n",
-            "  \"soa_lu\": [\n{}\n  ]\n",
+            "  \"soa_lu\": [\n{}\n  ],\n",
+            "  \"sparse_solver\": {{\n",
+            "    \"crossover_dim\": {},\n",
+            "    \"kernels\": [\n{}\n    ],\n",
+            "    \"pex_worst_case\": [\n{}\n    ]\n",
+            "  }}\n",
             "}}\n"
         ),
         steps,
@@ -674,7 +871,10 @@ fn main() {
         memo_rows.join(",\n"),
         corner_rows.join(",\n"),
         noise_rows.join(",\n"),
-        kernel_rows.join(",\n")
+        kernel_rows.join(",\n"),
+        SolverConfig::default().crossover,
+        sparse_kernel_rows.join(",\n"),
+        sparse_env_rows.join(",\n")
     );
     let path = results_dir().join("BENCH_env_step.json");
     let mut f = std::fs::File::create(&path).expect("create bench json");

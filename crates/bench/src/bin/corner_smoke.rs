@@ -17,6 +17,7 @@ use autockt_circuits::tia::spec_index;
 use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
 use autockt_sim::dc::WarmState;
 use autockt_sim::pex::PexConfig;
+use autockt_sim::SolverConfig;
 
 /// Same tolerance as the warm-equivalence property suites.
 const REL_TOL: f64 = 5e-3;
@@ -73,6 +74,41 @@ fn check(
         }
         if !warm_ok {
             eprintln!("  warm serial: {ws:?}\n  warm batched: {wb:?}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Backend gate: on every seed design, a cold `PexWorstCase` evaluation
+/// forced through the CSC sparse backend must agree with the forced-dense
+/// reference within the same solver tolerance the warm paths are held to.
+/// Run at a mesh depth dense enough that the sparse factorization does
+/// real elimination work (not just a trivial near-diagonal system).
+fn check_sparse_backend(
+    name: &str,
+    depth: usize,
+    dense: &dyn SizingProblem,
+    sparse: &dyn SizingProblem,
+) -> usize {
+    let mut failures = 0;
+    for idx in seed_designs(dense) {
+        let d = dense.simulate(&idx, SimMode::PexWorstCase);
+        let s = sparse.simulate(&idx, SimMode::PexWorstCase);
+        let ok = match (&d, &s) {
+            (Ok(a), Ok(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| (x - y).abs() <= REL_TOL * (1.0 + x.abs().max(y.abs())))
+            }
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        let verdict = if ok { "ok" } else { "DIVERGED" };
+        println!("{name:<8} mesh={depth} idx={idx:?}: dense-vs-sparse={ok} [{verdict}]");
+        if !ok {
+            eprintln!("  dense: {d:?}\n  sparse: {s:?}");
             failures += 1;
         }
     }
@@ -174,6 +210,50 @@ fn main() {
     // pipeline's serial-vs-batched agreement, stock and dense mesh.
     for depth in [0usize, 2] {
         failures += check_tia_noise(depth);
+    }
+    // Dense-vs-sparse backend gate at a mesh depth with real fill-in.
+    {
+        let depth = 4usize;
+        let mesh = |base: &PexConfig| PexConfig {
+            mesh_depth: depth,
+            ..base.clone()
+        };
+        let tia = Tia::default();
+        let tia_pex = mesh(tia.pex_config());
+        failures += check_sparse_backend(
+            "tia",
+            depth,
+            &Tia::default()
+                .with_pex_config(tia_pex.clone())
+                .with_solver_config(SolverConfig::dense()),
+            &Tia::default()
+                .with_pex_config(tia_pex)
+                .with_solver_config(SolverConfig::sparse()),
+        );
+        let op = OpAmp2::default();
+        let op_pex = mesh(op.pex_config());
+        failures += check_sparse_backend(
+            "opamp2",
+            depth,
+            &OpAmp2::default()
+                .with_pex_config(op_pex.clone())
+                .with_solver_config(SolverConfig::dense()),
+            &OpAmp2::default()
+                .with_pex_config(op_pex)
+                .with_solver_config(SolverConfig::sparse()),
+        );
+        let ng = NegGmOta::default();
+        let ng_pex = mesh(ng.pex_config());
+        failures += check_sparse_backend(
+            "neggm",
+            depth,
+            &NegGmOta::default()
+                .with_pex_config(ng_pex.clone())
+                .with_solver_config(SolverConfig::dense()),
+            &NegGmOta::default()
+                .with_pex_config(ng_pex)
+                .with_solver_config(SolverConfig::sparse()),
+        );
     }
     if failures > 0 {
         eprintln!("corner_smoke: {failures} divergence(s)");

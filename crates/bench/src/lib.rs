@@ -95,6 +95,31 @@ fn ac_kernel_case(name: &str, ckt: &Circuit, initial_v: f64) -> AcKernelCase {
     }
 }
 
+/// The TIA center design extracted at `mesh_depth`, as an AC-kernel
+/// workload: the real PEX-mesh MNA system (dim ≈ 6 + 8·depth) whose
+/// stamp pattern the dense-vs-sparse factorization benches compare on.
+/// Depth 0 is the lumped extraction (dim 6); depth 16 is ~134; depth 24
+/// pushes past 190, the regime where dense O(n³) refactorization stops
+/// being viable.
+///
+/// # Panics
+///
+/// Panics if the extracted center design fails to solve — it is a fixed
+/// bench reference, so that is a setup bug.
+pub fn tia_mesh_kernel_case(mesh_depth: usize) -> AcKernelCase {
+    let tia = Tia::default();
+    let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
+    let (ckt, _) = tia.build(&idx, &Technology::ptm45());
+    let ex = extract(
+        &ckt,
+        &PexConfig {
+            mesh_depth,
+            ..tia.pex_config().clone()
+        },
+    );
+    ac_kernel_case(&format!("tia_mesh{mesh_depth}"), &ex, 0.5)
+}
+
 /// A synthetic dense diagonally-dominant complex system of dimension `n`,
 /// showing how the LU layouts scale past today's MNA dims (the SoA
 /// kernel's vectorized rank-1 update needs longer rows to amortize).

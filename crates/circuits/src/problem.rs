@@ -14,9 +14,9 @@ use autockt_sim::dc::{dc_operating_point_batch, DcBatchWorkspace, DcOptions, OpP
 use autockt_sim::device::Pvt;
 use autockt_sim::netlist::{Circuit, Node};
 use autockt_sim::noise::{
-    noise_analysis, noise_analysis_batch, noise_analysis_corners, noise_analysis_ws, NoiseResult,
+    noise_analysis_batch, noise_analysis_cfg, noise_analysis_corners, NoiseResult,
 };
-use autockt_sim::SimError;
+use autockt_sim::{SimError, SolverConfig};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -219,6 +219,23 @@ impl CornerEvaluator {
         }
     }
 
+    /// Overrides the linear-solver backend selection for every solve the
+    /// engine runs: the DC Newton iterations (via `DcOptions::solver`),
+    /// the per-corner AC sweeps, and the noise analyses all dispatch
+    /// dense or sparse from this one config. The default
+    /// ([`SolverConfig::default`]) picks automatically by MNA dimension,
+    /// so deep-mesh PEX corners factor through the CSC backend while
+    /// schematic-sized systems stay on the dense kernels.
+    pub fn with_solver_config(mut self, cfg: SolverConfig) -> Self {
+        self.dc_opts.solver = cfg;
+        self
+    }
+
+    /// The linear-solver config every corner solve dispatches on.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.dc_opts.solver
+    }
+
     /// Enables a per-corner noise analysis over `freqs`, measured at each
     /// corner's output node and temperature, and hands the result to the
     /// measure closure. Running noise *inside* the engine (instead of in
@@ -308,11 +325,27 @@ impl CornerEvaluator {
                 Some(st) => st.solve(slot, &case.ckt, &self.dc_opts)?,
                 None => autockt_sim::dc::dc_operating_point(&case.ckt, &self.dc_opts)?,
             };
-            let solver = AcSolver::new(&case.ckt, &op);
+            let solver = AcSolver::new(&case.ckt, &op).with_config(self.dc_opts.solver);
             let resp = match state.as_deref_mut() {
                 Some(st) => {
                     let h =
                         solver.solve_sources_batch_ws(&self.freqs, case.out, st.ac_workspace())?;
+                    AcResponse {
+                        freqs: self.freqs.clone(),
+                        h,
+                    }
+                }
+                None if self.dc_opts.solver.use_sparse(solver.dim()) => {
+                    // The generic dense kernel below is the equivalence
+                    // baseline and never dispatches sparse; a forced (or
+                    // auto-selected) sparse corner goes through the
+                    // workspace path, whose factorization honors the
+                    // backend config.
+                    let h = solver.solve_sources_batch_ws(
+                        &self.freqs,
+                        case.out,
+                        &mut AcWorkspace::default(),
+                    )?;
                     AcResponse {
                         freqs: self.freqs.clone(),
                         h,
@@ -336,15 +369,24 @@ impl CornerEvaluator {
                 .noise_freqs
                 .as_ref()
                 .map(|nf| match state.as_deref_mut() {
-                    Some(st) => noise_analysis_ws(
+                    Some(st) => noise_analysis_cfg(
                         &case.ckt,
                         &op,
                         case.out,
                         nf,
                         case.temp_k,
+                        self.dc_opts.solver,
                         st.ac_workspace(),
                     ),
-                    None => noise_analysis(&case.ckt, &op, case.out, nf, case.temp_k),
+                    None => noise_analysis_cfg(
+                        &case.ckt,
+                        &op,
+                        case.out,
+                        nf,
+                        case.temp_k,
+                        self.dc_opts.solver,
+                        &mut AcWorkspace::default(),
+                    ),
                 });
             rows.push(measure(
                 slot,
@@ -401,7 +443,7 @@ impl CornerEvaluator {
         let solvers: Vec<AcSolver<'_>> = cases
             .iter()
             .zip(&ops)
-            .map(|(c, op)| AcSolver::new(&c.ckt, op))
+            .map(|(c, op)| AcSolver::new(&c.ckt, op).with_config(self.dc_opts.solver))
             .collect();
         let outs: Vec<Node> = cases.iter().map(|c| c.out).collect();
         // Warm sessions take the corner-correction sweep (one base
@@ -530,6 +572,44 @@ pub trait SizingProblem: Send + Sync {
     ) -> Result<Vec<f64>, SimError> {
         let _ = state;
         self.simulate(idx, mode)
+    }
+
+    /// Like [`SizingProblem::simulate`], but overriding the linear-solver
+    /// backend config (dense | sparse | auto-by-dimension) for every solve
+    /// of the evaluation. The default implementation ignores `cfg`;
+    /// topologies that own a [`SolverConfig`] override this so sessions
+    /// (and the corner-smoke dense-vs-sparse gate) can force a backend
+    /// without rebuilding the problem.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SizingProblem::simulate`].
+    fn simulate_cfg(
+        &self,
+        idx: &[usize],
+        mode: SimMode,
+        cfg: SolverConfig,
+    ) -> Result<Vec<f64>, SimError> {
+        let _ = cfg;
+        self.simulate(idx, mode)
+    }
+
+    /// Warm-started variant of [`SizingProblem::simulate_cfg`]; the
+    /// default ignores `cfg` and falls back to
+    /// [`SizingProblem::simulate_warm`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SizingProblem::simulate`].
+    fn simulate_warm_cfg(
+        &self,
+        idx: &[usize],
+        mode: SimMode,
+        cfg: SolverConfig,
+        state: &mut WarmState,
+    ) -> Result<Vec<f64>, SimError> {
+        let _ = cfg;
+        self.simulate_warm(idx, mode, state)
     }
 
     /// Grid cardinalities `K_i`, convenience over [`SizingProblem::params`].
@@ -914,6 +994,7 @@ impl<'p> ProblemRef<'p> {
 pub struct EvalSession<'p> {
     problem: ProblemRef<'p>,
     mode: SimMode,
+    solver: Option<SolverConfig>,
     warm_start: bool,
     memoize: bool,
     memo_capacity: usize,
@@ -947,6 +1028,7 @@ impl<'p> EvalSession<'p> {
         EvalSession {
             problem,
             mode,
+            solver: None,
             warm_start: true,
             memoize: true,
             memo_capacity: EvalSession::DEFAULT_MEMO_CAPACITY,
@@ -975,6 +1057,18 @@ impl<'p> EvalSession<'p> {
     /// exactly [`SizingProblem::simulate`].
     pub fn with_warm_start(mut self, on: bool) -> Self {
         self.warm_start = on;
+        self
+    }
+
+    /// Overrides the linear-solver backend config for every evaluation in
+    /// this session, routed through [`SizingProblem::simulate_cfg`] /
+    /// [`SizingProblem::simulate_warm_cfg`]. Without this (or on problems
+    /// that keep the defaulted trait hooks) the problem's own config
+    /// applies — [`SolverConfig::default`] selects dense or sparse
+    /// automatically by MNA dimension. Memoized entries are keyed by grid
+    /// point only, so pick the config before evaluating, not per point.
+    pub fn with_solver_config(mut self, cfg: SolverConfig) -> Self {
+        self.solver = Some(cfg);
         self
     }
 
@@ -1059,12 +1153,18 @@ impl<'p> EvalSession<'p> {
             }
         }
         self.solves += 1;
-        let res = if self.warm_start {
-            self.problem
+        let res = match (self.warm_start, self.solver) {
+            (true, Some(cfg)) => {
+                self.problem
+                    .get()
+                    .simulate_warm_cfg(idx, self.mode, cfg, &mut self.warm)
+            }
+            (true, None) => self
+                .problem
                 .get()
-                .simulate_warm(idx, self.mode, &mut self.warm)
-        } else {
-            self.problem.get().simulate(idx, self.mode)
+                .simulate_warm(idx, self.mode, &mut self.warm),
+            (false, Some(cfg)) => self.problem.get().simulate_cfg(idx, self.mode, cfg),
+            (false, None) => self.problem.get().simulate(idx, self.mode),
         };
         if self.memoize {
             let warm = if self.warm_start {

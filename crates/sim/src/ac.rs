@@ -10,8 +10,45 @@
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::error::SimError;
-use crate::linalg::{ComplexLuBatch, ComplexLuSoa, LuFactors, Matrix};
+use crate::linalg::sparse::{CscMatrix, SolverConfig, SparseLu, TripletList};
+use crate::linalg::{ComplexLuBatch, ComplexLuSoa, LinearSolver, LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
+
+/// The per-frequency complex factorization of an [`AcWorkspace`]: the
+/// dense structure-of-arrays kernel below the sparse crossover, the CSC
+/// sparse LU above it (or when forced by [`SolverConfig`]). Carrying the
+/// backend inside the workspace keeps every downstream back-substitution
+/// site — the sweep loops here and the per-source solves in
+/// [`crate::noise`] — backend-agnostic: they just call
+/// [`ComplexLu::solve_into`] against whatever [`AcSolver::factor_at_ws`]
+/// produced.
+// One long-lived instance per workspace, so the dense/sparse size skew
+// is irrelevant — boxing would only add an indirection to the hot solve.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub(crate) enum ComplexLu {
+    /// Dense split re/im kernel (bitwise-equal to `LuFactors<Complex>`).
+    Dense(ComplexLuSoa),
+    /// Sparse LU over the CSC image of the stamp pattern.
+    Sparse(SparseLu<Complex>),
+}
+
+impl Default for ComplexLu {
+    fn default() -> Self {
+        ComplexLu::Dense(ComplexLuSoa::empty())
+    }
+}
+
+impl ComplexLu {
+    /// Back-substitutes `b` through whichever backend holds the current
+    /// factorization.
+    pub(crate) fn solve_into(&self, b: &[Complex], x: &mut Vec<Complex>) {
+        match self {
+            ComplexLu::Dense(lu) => lu.solve_into(b, x),
+            ComplexLu::Sparse(slu) => slu.solve_into(b, x),
+        }
+    }
+}
 
 /// Reusable buffers for repeated AC factor/solve calls: the complex system
 /// matrix lives inside the LU factors and is stamped in place per
@@ -25,8 +62,16 @@ use crate::netlist::{Circuit, Element, Node};
 /// `LuFactors<Complex>` path of [`AcSolver::factor_at`].
 #[derive(Debug, Clone, Default)]
 pub struct AcWorkspace {
-    pub(crate) lu: ComplexLuSoa,
+    pub(crate) lu: ComplexLu,
     pub(crate) pattern: Vec<(usize, usize, f64, f64)>,
+    /// CSC image of the stamp pattern (sparse backend only): built once
+    /// per linearization, revalued per frequency.
+    pub(crate) csc: CscMatrix<Complex>,
+    /// Unscaled per-entry stamps aligned with `csc`'s value order:
+    /// `re` holds the conductance, `im` the (unscaled) capacitance, so
+    /// each frequency point is a pure value rewrite `g + j*w*c`.
+    pub(crate) gc: Vec<Complex>,
+    pub(crate) trip: TripletList<Complex>,
     pub(crate) x: Vec<Complex>,
     pub(crate) rhs: Vec<Complex>,
 }
@@ -85,6 +130,7 @@ pub struct AcSolver<'a> {
     c: Matrix<f64>,
     rhs: Vec<Complex>,
     dim: usize,
+    cfg: SolverConfig,
 }
 
 impl<'a> AcSolver<'a> {
@@ -191,7 +237,23 @@ impl<'a> AcSolver<'a> {
             c,
             rhs,
             dim,
+            cfg: SolverConfig::default(),
         }
+    }
+
+    /// Overrides the linear-solver backend selection for every
+    /// workspace-based factorization this solver performs (the allocating
+    /// reference paths [`AcSolver::factor_at`] / [`AcSolver::solve_sources`]
+    /// stay on the dense generic kernel — they are the equivalence
+    /// baseline the other paths are tested against).
+    pub fn with_config(mut self, cfg: SolverConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The backend selection policy this solver factors under.
+    pub fn config(&self) -> SolverConfig {
+        self.cfg
     }
 
     /// Dimension of the MNA system.
@@ -249,9 +311,28 @@ impl<'a> AcSolver<'a> {
     }
 
     /// Collects this linearization's sparse `(row, col, g, c)` stamp
-    /// pattern into `ws`; call once before any `_ws` solve.
+    /// pattern into `ws`; call once before any `_ws` solve. When the
+    /// solver's [`SolverConfig`] routes this dimension to the sparse
+    /// backend, the pattern is additionally compressed into a CSC matrix
+    /// whose values are rewritten (not rebuilt) per frequency point.
     pub fn prepare_workspace(&self, ws: &mut AcWorkspace) {
         self.collect_pattern(&mut ws.pattern);
+        if self.cfg.use_sparse(self.dim) {
+            ws.trip.clear(self.dim);
+            for &(r, c, gg, cc) in &ws.pattern {
+                // Encode (g, c) as one complex entry; the per-frequency
+                // rewrite scales the imaginary part by w.
+                ws.trip.push(r, c, Complex::new(gg, cc));
+            }
+            ws.trip.compress_into(&mut ws.csc);
+            ws.gc.clear();
+            ws.gc.extend_from_slice(ws.csc.values());
+            if !matches!(ws.lu, ComplexLu::Sparse(_)) {
+                ws.lu = ComplexLu::Sparse(SparseLu::empty());
+            }
+        } else if !matches!(ws.lu, ComplexLu::Dense(_)) {
+            ws.lu = ComplexLu::Dense(ComplexLuSoa::empty());
+        }
     }
 
     /// Collects the sparse `(row, col, g, c)` stamp pattern into a
@@ -270,25 +351,43 @@ impl<'a> AcSolver<'a> {
         }
     }
 
-    /// Factors `G + j*2*pi*f*C` into the workspace buffers — identical
-    /// (bitwise) result to [`AcSolver::factor_at`], with zero per-point
-    /// allocation, through the vectorized split re/im kernel.
-    /// [`AcSolver::prepare_workspace`] must have been called for this
-    /// solver first.
+    /// Factors `G + j*2*pi*f*C` into the workspace buffers with zero
+    /// per-point allocation. On the dense backend (the default below the
+    /// sparse crossover) the result is identical (bitwise) to
+    /// [`AcSolver::factor_at`], through the vectorized split re/im
+    /// kernel; on the sparse backend the CSC values are rewritten in
+    /// place and refactored reusing the symbolic analysis (the pattern
+    /// never changes across a sweep). [`AcSolver::prepare_workspace`]
+    /// must have been called for this solver first.
     ///
     /// # Errors
     ///
-    /// [`SimError::SingularMatrix`] for a singular small-signal system.
+    /// [`SimError::SingularMatrix`] for a singular small-signal system on
+    /// the dense backend, [`SimError::SingularSparse`] on the sparse one.
     pub fn factor_at_ws(&self, f: f64, ws: &mut AcWorkspace) -> Result<(), SimError> {
         let w = 2.0 * std::f64::consts::PI * f;
         let n = self.dim;
-        let AcWorkspace { lu, pattern, .. } = ws;
-        lu.refactor_with(n, 1e-300, |re, im| {
-            for &(r, c, gg, cc) in pattern.iter() {
-                re[r * n + c] = gg;
-                im[r * n + c] = w * cc;
+        let AcWorkspace {
+            lu,
+            pattern,
+            csc,
+            gc,
+            ..
+        } = ws;
+        match lu {
+            ComplexLu::Dense(lu) => lu.refactor_with(n, 1e-300, |re, im| {
+                for &(r, c, gg, cc) in pattern.iter() {
+                    re[r * n + c] = gg;
+                    im[r * n + c] = w * cc;
+                }
+            }),
+            ComplexLu::Sparse(slu) => {
+                for (v, base) in csc.values_mut().iter_mut().zip(gc.iter()) {
+                    *v = Complex::new(base.re, w * base.im);
+                }
+                slu.refactor(csc, 1e-300)
             }
-        })
+        }
     }
 
     /// Like [`AcSolver::solve_sources`], reusing workspace buffers; the
@@ -350,16 +449,23 @@ impl<'a> AcSolver<'a> {
 
     /// Small-signal step response at `out`: integrates
     /// `C x' + G x = b u(t)` (with `b` the AC-source right-hand side and
-    /// zero initial state) by the trapezoidal rule. The system matrix is
-    /// factored once, so this costs one LU plus `steps` back-substitutions —
-    /// orders of magnitude cheaper than a nonlinear transient, and exact for
-    /// the small-signal settling measurements the TIA environment needs.
+    /// zero initial state) by the trapezoidal rule. The companion matrix
+    /// `A = G + 2C/h` is constant over the record, so it is factored
+    /// **once** — on whichever backend the solver's [`SolverConfig`]
+    /// selects for this dimension — and every step costs one sparse
+    /// companion product plus one back-substitution. The companion
+    /// right-hand-side stamps `2C/h - G` are likewise collected once as a
+    /// nonzero list: on an extracted mesh the MNA matrices are mostly
+    /// zeros, so the old dense `O(n^2)`-per-step accumulation was the
+    /// settling path's real bound, not the factorization.
     ///
     /// Returns `(t, y)` with `y` the small-signal deviation of `out`.
     ///
     /// # Errors
     ///
-    /// [`SimError::SingularMatrix`] if `2C/h + G` is singular.
+    /// [`SimError::SingularMatrix`] (dense backend) or
+    /// [`SimError::SingularSparse`] (sparse backend) if `2C/h + G` is
+    /// singular.
     pub fn step_response(
         &self,
         out: Node,
@@ -370,13 +476,44 @@ impl<'a> AcSolver<'a> {
         let n = self.dim;
         // A = G + 2C/h (factored once); per step:
         // A x1 = 2 b + (2C/h - G) x0  =>  rhs = 2 b + (2C/h) x0 - G x0.
-        let mut a = Matrix::<f64>::zeros(n, n);
+        // The companion stamps (r, c, 2C/h - G) are collected row-major so
+        // the per-step accumulation visits each row's nonzeros in the same
+        // order the dense loop did.
+        let mut comp: Vec<(usize, usize, f64)> = Vec::new();
         for r in 0..n {
             for c in 0..n {
-                a[(r, c)] = self.g[(r, c)] + 2.0 * self.c[(r, c)] / h;
+                let v = 2.0 * self.c[(r, c)] / h - self.g[(r, c)];
+                if v != 0.0 {
+                    comp.push((r, c, v));
+                }
             }
         }
-        let lu = crate::linalg::LuFactors::factor(a, 1e-300)?;
+        let dense_lu;
+        let sparse_lu;
+        let lu: &dyn LinearSolver<f64> = if self.cfg.use_sparse(n) {
+            let mut trip = TripletList::new(n);
+            for r in 0..n {
+                for c in 0..n {
+                    let v = self.g[(r, c)] + 2.0 * self.c[(r, c)] / h;
+                    if v != 0.0 {
+                        trip.push(r, c, v);
+                    }
+                }
+            }
+            let mut csc = CscMatrix::empty();
+            trip.compress_into(&mut csc);
+            sparse_lu = SparseLu::factor(&csc, 1e-300)?;
+            &sparse_lu
+        } else {
+            let mut a = Matrix::<f64>::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a[(r, c)] = self.g[(r, c)] + 2.0 * self.c[(r, c)] / h;
+                }
+            }
+            dense_lu = crate::linalg::LuFactors::factor(a, 1e-300)?;
+            &dense_lu
+        };
         let b: Vec<f64> = self.rhs.iter().map(|c| c.re).collect();
         let mut x = vec![0.0; n];
         let oi = self.ckt.mna_index(out);
@@ -386,13 +523,13 @@ impl<'a> AcSolver<'a> {
         y_out.push(0.0);
         let mut rhs = vec![0.0; n];
         for s in 1..=steps {
-            // rhs = 2 b + (2C/h) x - G x
-            for r in 0..n {
-                let mut acc = 2.0 * b[r];
-                for (c, &xc) in x.iter().enumerate() {
-                    acc += (2.0 * self.c[(r, c)] / h - self.g[(r, c)]) * xc;
-                }
-                rhs[r] = acc;
+            // rhs = 2 b + (2C/h) x - G x, touching only the stored
+            // companion nonzeros.
+            for (r, rv) in rhs.iter_mut().enumerate() {
+                *rv = 2.0 * b[r];
+            }
+            for &(r, c, v) in &comp {
+                rhs[r] += v * x[c];
             }
             // `rhs` is fully formed, so `x` can be overwritten in place —
             // one allocation for the whole record instead of one per step.
@@ -479,7 +616,27 @@ pub fn ac_sweep_ws(
     out: Node,
     ws: &mut AcWorkspace,
 ) -> Result<AcResponse, SimError> {
-    let solver = AcSolver::new(ckt, op);
+    ac_sweep_cfg(ckt, op, freqs, out, SolverConfig::default(), ws)
+}
+
+/// [`ac_sweep_ws`] with an explicit linear-solver backend policy: the
+/// per-point factorization runs dense or sparse per `cfg` (identical
+/// results within solver tolerance; the dense route is bitwise-equal to
+/// [`ac_sweep`]). This is how the sizing topologies thread their
+/// [`SolverConfig`] into the serial evaluation path.
+///
+/// # Errors
+///
+/// Propagates solver failures at any frequency point.
+pub fn ac_sweep_cfg(
+    ckt: &Circuit,
+    op: &OpPoint,
+    freqs: &[f64],
+    out: Node,
+    cfg: SolverConfig,
+    ws: &mut AcWorkspace,
+) -> Result<AcResponse, SimError> {
+    let solver = AcSolver::new(ckt, op).with_config(cfg);
     let h = solver.solve_sources_batch_ws(freqs, out, ws)?;
     Ok(AcResponse {
         freqs: freqs.to_vec(),
@@ -535,6 +692,13 @@ pub fn ac_sweep_batch_solvers(
         return Vec::new();
     }
     let dim = solvers[0].dim();
+    if solvers.iter().any(|s| s.config().use_sparse(s.dim())) {
+        // Sparse-routed dims: the lockstep batch kernel is dense-only, so
+        // each corner sweeps through its own sparse factor/solve path —
+        // which preserves the per-corner equivalence contract trivially
+        // (every corner runs exactly the scalar arithmetic).
+        return sparse_scalar_sweeps(solvers, freqs, outs, ws);
+    }
     if bt == 1 || solvers.iter().any(|s| s.dim() != dim) {
         return scalar_sweeps(solvers, freqs, outs);
     }
@@ -634,6 +798,30 @@ fn scalar_sweeps(
                 let x = s.solve_sources(f)?;
                 h.push(s.voltage(&x, o));
             }
+            Ok(AcResponse {
+                freqs: freqs.to_vec(),
+                h,
+            })
+        })
+        .collect()
+}
+
+/// Per-corner sweep through the batch workspace's scalar buffers with
+/// each solver's own backend dispatch — the corner-path route for
+/// sparse-routed dimensions, where neither the lockstep batch kernel nor
+/// the dense Woodbury correction applies. Identical per corner to
+/// [`AcSolver::solve_sources_batch_ws`] on a fresh workspace.
+fn sparse_scalar_sweeps(
+    solvers: &[AcSolver<'_>],
+    freqs: &[f64],
+    outs: &[Node],
+    ws: &mut AcBatchWorkspace,
+) -> Vec<Result<AcResponse, SimError>> {
+    solvers
+        .iter()
+        .zip(outs)
+        .map(|(s, &o)| {
+            let h = s.solve_sources_batch_ws(freqs, o, &mut ws.scalar)?;
             Ok(AcResponse {
                 freqs: freqs.to_vec(),
                 h,
@@ -898,6 +1086,12 @@ pub fn ac_sweep_corners(
         return Vec::new();
     }
     let n = solvers[0].dim();
+    if solvers.iter().any(|s| s.config().use_sparse(s.dim())) {
+        // The Woodbury correction machinery (dense base factor, dense
+        // correction basis) assumes the dense kernel; sparse-routed dims
+        // sweep each corner through its own sparse path instead.
+        return sparse_scalar_sweeps(solvers, freqs, outs, ws);
+    }
     if bt == 1 || solvers.iter().any(|s| s.dim() != n) {
         return scalar_sweeps(solvers, freqs, outs);
     }
@@ -1243,6 +1437,123 @@ mod tests {
         // Corner 3 is identical to the base: the correction must be a
         // no-op, bit for bit.
         assert_eq!(corr[3].as_ref().unwrap().h, corr[0].as_ref().unwrap().h);
+    }
+
+    #[test]
+    fn forced_sparse_sweep_matches_dense_within_tolerance() {
+        // A 30-segment RC ladder (dim ~32): forced-sparse AC solves must
+        // agree with the dense reference to solver tolerance at every
+        // frequency, and the forced-dense config must stay bitwise on the
+        // default path.
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        ckt.vsource(i, GND, 0.0, 1.0);
+        let mut prev = i;
+        for s in 0..30 {
+            let nn = ckt.node(&format!("m{s}"));
+            ckt.resistor(prev, nn, 1.0e3);
+            ckt.capacitor(nn, GND, 1e-12);
+            prev = nn;
+        }
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let freqs = log_freqs(1e3, 1e9, 4);
+        let dense = ac_sweep(&ckt, &op, &freqs, prev).unwrap();
+        let mut ws = AcWorkspace::new();
+        let sparse = ac_sweep_cfg(
+            &ckt,
+            &op,
+            &freqs,
+            prev,
+            crate::linalg::sparse::SolverConfig::sparse(),
+            &mut ws,
+        )
+        .unwrap();
+        for (a, b) in sparse.h.iter().zip(&dense.h) {
+            assert!(
+                (*a - *b).norm() <= 1e-9 * (1.0 + b.norm()),
+                "sparse diverged: {a} vs {b}"
+            );
+        }
+        // Workspace reuse flips cleanly back to the dense backend.
+        let again = ac_sweep_cfg(
+            &ckt,
+            &op,
+            &freqs,
+            prev,
+            crate::linalg::sparse::SolverConfig::dense(),
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(again, dense);
+    }
+
+    #[test]
+    fn forced_sparse_step_response_matches_dense() {
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.vsource(i, GND, 0.0, 1.0);
+        ckt.resistor(i, o, 1.0e3);
+        ckt.capacitor(o, GND, 1e-9);
+        let op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let dense = AcSolver::new(&ckt, &op);
+        let sparse =
+            AcSolver::new(&ckt, &op).with_config(crate::linalg::sparse::SolverConfig::sparse());
+        let (_, yd) = dense.step_response(o, 5e-6, 500).unwrap();
+        let (_, ys) = sparse.step_response(o, 5e-6, 500).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_routed_corner_sweep_matches_dense_corner_sweep() {
+        // Forced-sparse corner solvers must route around the lockstep and
+        // Woodbury machinery and still agree with the dense batch result.
+        let build = |r: f64, c: f64| {
+            let mut ckt = Circuit::new();
+            let i = ckt.node("in");
+            let o = ckt.node("out");
+            ckt.vsource(i, GND, 0.0, 1.0);
+            ckt.resistor(i, o, r);
+            ckt.capacitor(o, GND, c);
+            (ckt, o)
+        };
+        let variants = [
+            build(1.0e3, 1e-9),
+            build(1.3e3, 0.8e-9),
+            build(0.7e3, 1.4e-9),
+        ];
+        let ops: Vec<OpPoint> = variants
+            .iter()
+            .map(|(ckt, _)| dc_operating_point(ckt, &DcOptions::default()).unwrap())
+            .collect();
+        let freqs = log_freqs(1e3, 1e8, 5);
+        let outs = vec![variants[0].1; variants.len()];
+        let dense_solvers: Vec<AcSolver<'_>> = variants
+            .iter()
+            .zip(&ops)
+            .map(|((ckt, _), op)| AcSolver::new(ckt, op))
+            .collect();
+        let sparse_solvers: Vec<AcSolver<'_>> = variants
+            .iter()
+            .zip(&ops)
+            .map(|((ckt, _), op)| {
+                AcSolver::new(ckt, op).with_config(crate::linalg::sparse::SolverConfig::sparse())
+            })
+            .collect();
+        let mut ws = AcBatchWorkspace::new();
+        let dense = ac_sweep_batch_solvers(&dense_solvers, &freqs, &outs, &mut ws);
+        let sparse = ac_sweep_batch_solvers(&sparse_solvers, &freqs, &outs, &mut ws);
+        for (d, s) in dense.iter().zip(&sparse) {
+            let (d, s) = (d.as_ref().unwrap(), s.as_ref().unwrap());
+            for (a, b) in s.h.iter().zip(&d.h) {
+                assert!(
+                    (*a - *b).norm() <= 1e-9 * (1.0 + b.norm()),
+                    "sparse corner diverged: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

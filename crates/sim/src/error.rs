@@ -15,6 +15,15 @@ pub enum SimError {
         /// Column at which elimination failed.
         column: usize,
     },
+    /// The sparse-backend MNA matrix was singular to working precision:
+    /// no acceptable pivot survived in some column of the sparse LU. Kept
+    /// distinct from [`SimError::SingularMatrix`] so callers can tell
+    /// which backend rejected the system; the reported column is in the
+    /// original (unpermuted) matrix numbering, like the dense variant's.
+    SingularSparse {
+        /// Original-matrix column at which elimination failed.
+        column: usize,
+    },
     /// The Newton–Raphson DC solve did not converge.
     DcNoConvergence {
         /// Iterations performed before giving up.
@@ -52,6 +61,9 @@ impl fmt::Display for SimError {
             SimError::SingularMatrix { column } => {
                 write!(f, "singular MNA matrix at column {column}")
             }
+            SimError::SingularSparse { column } => {
+                write!(f, "singular sparse MNA matrix at column {column}")
+            }
             SimError::DcNoConvergence {
                 iterations,
                 residual,
@@ -79,6 +91,7 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let errs = [
             SimError::SingularMatrix { column: 3 },
+            SimError::SingularSparse { column: 3 },
             SimError::DcNoConvergence {
                 iterations: 50,
                 residual: 1.0,

@@ -63,6 +63,7 @@ pub mod pex;
 pub mod tran;
 
 pub use error::SimError;
+pub use linalg::sparse::{SolverBackend, SolverConfig};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::dc::{dc_operating_point, DcOptions, OpPoint};
     pub use crate::device::{MosPolarity, MosRegion, ProcessCorner, Pvt, Technology};
     pub use crate::error::SimError;
+    pub use crate::linalg::sparse::{SolverBackend, SolverConfig};
     pub use crate::measure::{db20, integrate_trapezoid, settling_time};
     pub use crate::netlist::{Circuit, Element, Mosfet, Node, Step, GND};
     pub use crate::noise::{

@@ -1,10 +1,16 @@
-//! Dense linear algebra for modified nodal analysis (MNA).
+//! Linear algebra for modified nodal analysis (MNA).
 //!
-//! Circuit matrices in this project are small (tens of unknowns), so a
-//! dense LU factorization with partial pivoting is both simpler and faster
-//! than any sparse machinery. The factorization is generic over the matrix
-//! scalar so the same code path serves real (DC, transient) and complex
-//! (AC, noise) analyses.
+//! Schematic-level circuit matrices in this project are small (tens of
+//! unknowns), where a dense LU factorization with partial pivoting is both
+//! simpler and faster than sparse machinery — those kernels live in this
+//! module. Post-layout extraction meshes push the dimension into the
+//! hundreds, where the O(n³) dense elimination loses to a fill-reducing
+//! sparse factorization; that backend lives in [`sparse`], and
+//! [`sparse::SolverConfig`] picks between the two by dimension. The dense
+//! factorization is generic over the matrix scalar so the same code path
+//! serves real (DC, transient) and complex (AC, noise) analyses.
+
+pub mod sparse;
 
 use crate::complex::Complex;
 use crate::error::SimError;
@@ -997,6 +1003,53 @@ impl ComplexLuBatch {
                 x_im[i * bt + b] = q.im;
             }
         }
+    }
+}
+
+/// A factored linear system that can back-substitute right-hand sides.
+///
+/// This is the seam between the analyses and the factorization backends:
+/// solve-side code holds "something factored" — the dense [`LuFactors`],
+/// the SoA [`ComplexLuSoa`], or the sparse [`sparse::SparseLu`] — and
+/// drives it through this trait without caring which elimination produced
+/// it. Factoring stays on the concrete types because each backend's
+/// assembly entry point is shaped differently (consume a [`Matrix`],
+/// fill SoA buffers in place, compress triplets).
+pub trait LinearSolver<T: Scalar> {
+    /// Dimension of the factored system (0 before the first factorization).
+    fn dim(&self) -> usize;
+
+    /// Solves `A x = b` into a caller-provided buffer, reusing its
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the factored dimension.
+    fn solve_into(&self, b: &[T], x: &mut Vec<T>);
+
+    /// Solves `A x = b`, allocating the solution vector.
+    fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+}
+
+impl<T: Scalar> LinearSolver<T> for LuFactors<T> {
+    fn dim(&self) -> usize {
+        self.lu.rows
+    }
+    fn solve_into(&self, b: &[T], x: &mut Vec<T>) {
+        LuFactors::solve_into(self, b, x);
+    }
+}
+
+impl LinearSolver<Complex> for ComplexLuSoa {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn solve_into(&self, b: &[Complex], x: &mut Vec<Complex>) {
+        ComplexLuSoa::solve_into(self, b, x);
     }
 }
 

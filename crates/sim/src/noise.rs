@@ -30,6 +30,7 @@ use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::device::BOLTZMANN;
 use crate::error::SimError;
+use crate::linalg::sparse::SolverConfig;
 use crate::measure::integrate_trapezoid;
 use crate::netlist::{Circuit, Element, Node};
 
@@ -283,9 +284,30 @@ pub fn noise_analysis_ws(
     temp_k: f64,
     ws: &mut AcWorkspace,
 ) -> Result<NoiseResult, SimError> {
+    noise_analysis_cfg(ckt, op, out, freqs, temp_k, SolverConfig::default(), ws)
+}
+
+/// [`noise_analysis_ws`] with an explicit linear-solver backend policy:
+/// the per-frequency factorization and every per-source back-substitution
+/// run dense or sparse per `cfg` (identical results within solver
+/// tolerance). This is how the sizing topologies thread their
+/// [`SolverConfig`] into the serial noise path.
+///
+/// # Errors
+///
+/// Same contract as [`noise_analysis`].
+pub fn noise_analysis_cfg(
+    ckt: &Circuit,
+    op: &OpPoint,
+    out: Node,
+    freqs: &[f64],
+    temp_k: f64,
+    cfg: SolverConfig,
+    ws: &mut AcWorkspace,
+) -> Result<NoiseResult, SimError> {
     validate_freqs(freqs)?;
     let sources = collect_sources(ckt, op, temp_k)?;
-    let solver = AcSolver::new(ckt, op);
+    let solver = AcSolver::new(ckt, op).with_config(cfg);
     solver.prepare_workspace(ws);
     let mut out_psd = Vec::with_capacity(freqs.len());
     let mut gain = Vec::with_capacity(freqs.len());
@@ -392,12 +414,19 @@ pub fn noise_analysis_batch(
         return (0..bt).map(|_| Err(e.clone())).collect();
     }
     let dim = solvers[0].dim();
-    if bt == 1 || solvers.iter().any(|s| s.dim() != dim) || dim > STOCK_DIM_MAX {
+    if bt == 1
+        || solvers.iter().any(|s| s.dim() != dim)
+        || dim > STOCK_DIM_MAX
+        || solvers.iter().any(|s| s.config().use_sparse(s.dim()))
+    {
         // Lockstep pays while each corner's factors fit in cache (stock
         // dims, ~1.1x); at dense dims the batch-innermost layout thrashes
         // (measured ~0.65x), so the cold path runs the scalar kernel per
         // corner there. Both are bitwise-equal to the serial reference,
-        // so the dispatch is pure performance policy.
+        // so the dispatch is pure performance policy. Sparse-routed dims
+        // take the same scalar route: the lockstep kernel is dense-only,
+        // and the scalar path dispatches each corner's factorizations
+        // through its own backend.
         return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
     }
     let Some(sources) = collect_corner_sources(solvers, ops, temps) else {
@@ -626,10 +655,17 @@ pub fn noise_analysis_corners(
         return (0..bt).map(|_| Err(e.clone())).collect();
     }
     let n = solvers[0].dim();
-    if bt == 1 || solvers.iter().any(|s| s.dim() != n) || n <= STOCK_DIM_MAX {
+    if bt == 1
+        || solvers.iter().any(|s| s.dim() != n)
+        || n <= STOCK_DIM_MAX
+        || solvers.iter().any(|s| s.config().use_sparse(s.dim()))
+    {
         // At stock extraction dims the difference support spans most of
         // the system, so the correction cannot pay — run the scalar
         // per-corner analysis (the warm serial path's exact arithmetic).
+        // Sparse-routed dims also run scalar: the Woodbury correction
+        // machinery (dense base factor and basis) assumes the dense
+        // kernel, while the scalar path dispatches per backend.
         return scalar_noise_ws(solvers, ops, outs, freqs, temps, ws);
     }
     let rhs0 = solvers[0].source_rhs();

@@ -38,9 +38,13 @@ pub struct PexConfig {
     /// `depth >= 1` models the route as a distributed RC mesh — `depth`
     /// internal nodes in series, each carrying `1/depth` of the
     /// capacitance behind [`PexConfig::mesh_res`] ohms of metal — which
-    /// grows the MNA dimension by `depth` per annotated terminal. This is
-    /// how benches reach the 32+ dims where the SoA/corner-batched
-    /// kernels have vector headroom.
+    /// grows the MNA dimension by `depth` per annotated terminal. Benches
+    /// use it to reach the 32+ dims where the SoA/corner-batched kernels
+    /// have vector headroom, and — now that the solvers dispatch to the
+    /// CSC sparse backend past the crossover dimension — the
+    /// hundreds-of-nodes extraction sizes where dense `O(n^3)`
+    /// factorization stops being viable (a TIA at depth 16 is an MNA dim
+    /// of ~134; depth 24 pushes past 190).
     pub mesh_depth: usize,
     /// Series routing resistance per mesh segment (ohms); unused at
     /// `mesh_depth == 0`. Routes are real metal, so the segments are

@@ -7,6 +7,7 @@
 
 use crate::dc::{dc_operating_point, eval_mos_oriented, DcOptions, OpPoint, WarmState};
 use crate::error::SimError;
+use crate::linalg::sparse::{CscMatrix, SparseLu};
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
 
@@ -202,6 +203,19 @@ pub fn transient_from_op(
     let idx = |n: Node| ckt.mna_index(n);
     let mut j = Matrix::zeros(dim, dim);
     let mut f = vec![0.0; dim];
+    // Persistent factorization buffers: every Newton iteration refactors
+    // in place (`refactor` is bitwise-equal to a fresh `factor`) instead
+    // of cloning the Jacobian and reallocating the factors per iteration.
+    // Above the sparse crossover the Jacobian is rescanned into CSC and
+    // refactored through the sparse kernel, which reuses its symbolic
+    // analysis as long as the nonzero pattern holds (MOS region changes
+    // can shift it; `SparseLu::refactor` re-runs the ordering then).
+    let sparse = opts.dc.solver.use_sparse(dim);
+    let mut lu = LuFactors::empty();
+    let mut csc = CscMatrix::empty();
+    let mut slu = SparseLu::empty();
+    let mut rhs = vec![0.0; dim];
+    let mut dx: Vec<f64> = Vec::new();
 
     for step in 1..=steps {
         let t = step as f64 * opts.dt;
@@ -393,9 +407,17 @@ pub fn transient_from_op(
                     }
                 }
             }
-            let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-            let lu = LuFactors::factor(j.clone(), 1e-30)?;
-            let dx = lu.solve(&rhs);
+            for (r, v) in rhs.iter_mut().zip(&f) {
+                *r = -v;
+            }
+            if sparse {
+                csc.from_dense_into(&j);
+                slu.refactor(&csc, 1e-30)?;
+                slu.solve_into(&rhs, &mut dx);
+            } else {
+                lu.refactor(&j, 1e-30)?;
+                lu.solve_into(&rhs, &mut dx);
+            }
             let mut maxd = 0.0f64;
             for (i, d) in dx.iter().enumerate() {
                 let s = if i < nv { d.clamp(-0.5, 0.5) } else { *d };
@@ -581,6 +603,35 @@ mod tests {
         }
         // The warm state now holds the transient's initial OP solution.
         assert!(state.is_warm());
+    }
+
+    #[test]
+    fn forced_sparse_transient_matches_dense() {
+        use crate::linalg::sparse::SolverConfig;
+        let mut ckt = Circuit::new();
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.vsource_step(
+            i,
+            GND,
+            Step {
+                v0: 0.0,
+                v1: 1.0,
+                t_delay: 0.0,
+            },
+            0.0,
+        );
+        ckt.resistor(i, o, 1.0e3);
+        ckt.capacitor(o, GND, 1e-9);
+        let opts = TranOptions::new(5e-6, 500);
+        let dense = transient(&ckt, &opts).unwrap();
+        let mut sp_opts = opts.clone();
+        sp_opts.dc.solver = SolverConfig::sparse();
+        let sparse = transient(&ckt, &sp_opts).unwrap();
+        assert_eq!(dense.t, sparse.t);
+        for (a, b) in dense.v.iter().flatten().zip(sparse.v.iter().flatten()) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
     }
 
     #[test]
