@@ -57,9 +57,16 @@
 //!   lumped dim up past 190, locating the backend crossover dim that
 //!   `SolverConfig`'s Auto dispatch encodes; plus full `PexWorstCase`
 //!   environment stepping at deep meshes, forced-dense vs Auto.
+//! - **btf** — the plain whole-matrix sparse LU versus the
+//!   block-triangular-form (`BtfLu`) mode on the same TIA mesh systems:
+//!   per-AC-point refactor+solve time and factor fill
+//!   (`factor_nnz`) for both, plus the Dulmage–Mendelsohn block count,
+//!   quantifying what the BTF decomposition buys (or costs) on MNA
+//!   patterns whose feedback loops merge most of the matrix into one
+//!   strongly connected block.
 //!
 //! Prints a comparison table and writes `results/BENCH_env_step.json`
-//! (schema `autockt/bench_env_step/v5`) so CI can archive the trajectory.
+//! (schema `autockt/bench_env_step/v6`) so CI can archive the trajectory.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
 //! (`--steps N`, `--episode H`, `--seed S` to override).
@@ -75,6 +82,7 @@ use autockt_sim::ac::{AcBatchWorkspace, AcSolver, AcWorkspace};
 use autockt_sim::complex::Complex;
 use autockt_sim::dc::OpPoint;
 use autockt_sim::linalg::sparse::{CscMatrix, SparseLu, TripletList};
+use autockt_sim::linalg::structure::BtfLu;
 use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
 use autockt_sim::noise::{noise_analysis_batch, noise_analysis_corners, noise_analysis_ws};
 use autockt_sim::pex::PexConfig;
@@ -407,6 +415,85 @@ fn time_sparse_kernels(case: &AcKernelCase, iters: u32) -> SparseKernelStats {
         nnz: csc.nnz(),
         dense_us,
         sparse_us,
+    }
+}
+
+struct BtfKernelStats {
+    dim: usize,
+    nnz: usize,
+    nblocks: usize,
+    plain_us: f64,
+    btf_us: f64,
+    plain_fill: usize,
+    btf_fill: usize,
+}
+
+/// One AC frequency point per iteration through the plain whole-matrix
+/// `SparseLu` versus the BTF `BtfLu` mode, both on the warm path (value
+/// rewrite + refactor reusing the symbolic analysis + solve). Fill is the
+/// structural nonzero count of the computed factors — for BTF the block
+/// factors plus the raw off-diagonal entries.
+fn time_btf_kernels(case: &AcKernelCase, iters: u32) -> BtfKernelStats {
+    let AcKernelCase {
+        n, w, pattern, rhs, ..
+    } = case;
+    let (n, w) = (*n, *w);
+    let mut trip: TripletList<Complex> = TripletList::new(n);
+    for &(r, c, gg, cc) in pattern {
+        trip.push(r, c, Complex::new(gg, cc));
+    }
+    let mut csc = CscMatrix::empty();
+    trip.compress_into(&mut csc);
+    let base: Vec<Complex> = csc.values().to_vec();
+    let rescale = |csc: &mut CscMatrix<Complex>| {
+        for (v, b) in csc.values_mut().iter_mut().zip(&base) {
+            *v = Complex::new(b.re, w * b.im);
+        }
+    };
+    rescale(&mut csc);
+
+    let mut plain = SparseLu::factor(&csc, 1e-300).expect("nonsingular");
+    let mut xp = Vec::new();
+    plain.solve_into(rhs, &mut xp);
+    let mut btf = BtfLu::empty();
+    btf.refactor(&csc, 1e-300).expect("nonsingular");
+    let mut xb = Vec::new();
+    btf.solve_into(rhs, &mut xb);
+    // Sanity gate: both modes must agree before we time them.
+    for (p, b) in xp.iter().zip(&xb) {
+        let diff = (*p - *b).norm();
+        assert!(
+            diff <= 1e-6 * (1.0 + p.norm()),
+            "plain/btf sparse modes diverge at dim {n}: {diff}"
+        );
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        rescale(black_box(&mut csc));
+        plain.refactor(&csc, 1e-300).expect("nonsingular");
+        plain.solve_into(rhs, &mut xp);
+        black_box(xp.last());
+    }
+    let plain_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        rescale(black_box(&mut csc));
+        btf.refactor(&csc, 1e-300).expect("nonsingular");
+        btf.solve_into(rhs, &mut xb);
+        black_box(xb.last());
+    }
+    let btf_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    BtfKernelStats {
+        dim: n,
+        nnz: csc.nnz(),
+        nblocks: btf.nblocks(),
+        plain_us,
+        btf_us,
+        plain_fill: plain.factor_nnz(),
+        btf_fill: btf.factor_nnz(),
     }
 }
 
@@ -777,6 +864,74 @@ fn main() {
         ));
     }
 
+    // BTF-vs-plain sparse modes: per-AC-point refactor+solve and factor
+    // fill on the same TIA mesh systems, plus the block count the
+    // Dulmage–Mendelsohn decomposition finds. MNA patterns with global
+    // feedback (the TIA's gm stamps) tend to merge into few blocks, so
+    // these rows keep the decomposition's real payoff honest.
+    println!(
+        "\n{:<10} {:>4} {:>6} {:>7} {:>13} {:>11} {:>10} {:>9} {:>7}",
+        "system",
+        "dim",
+        "nnz",
+        "blocks",
+        "plain us/pt",
+        "btf us/pt",
+        "plain nnz",
+        "btf nnz",
+        "btf x"
+    );
+    let mut btf_rows = Vec::new();
+    for (depth, iters) in [
+        (0usize, 50_000u32),
+        (4, 8_000),
+        (8, 2_000),
+        (16, 400),
+        (24, 150),
+    ] {
+        let case = tia_mesh_kernel_case(depth);
+        let st = time_btf_kernels(&case, iters);
+        let speedup = st.plain_us / st.btf_us;
+        println!(
+            "{:<10} {:>4} {:>6} {:>7} {:>13.2} {:>11.2} {:>10} {:>9} {:>6.2}x",
+            case.name,
+            st.dim,
+            st.nnz,
+            st.nblocks,
+            st.plain_us,
+            st.btf_us,
+            st.plain_fill,
+            st.btf_fill,
+            speedup
+        );
+        btf_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"system\": \"{}\",\n",
+                "      \"mesh_depth\": {},\n",
+                "      \"dim\": {},\n",
+                "      \"nnz\": {},\n",
+                "      \"nblocks\": {},\n",
+                "      \"plain_us_per_point\": {:.3},\n",
+                "      \"btf_us_per_point\": {:.3},\n",
+                "      \"plain_factor_nnz\": {},\n",
+                "      \"btf_factor_nnz\": {},\n",
+                "      \"btf_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            case.name,
+            depth,
+            st.dim,
+            st.nnz,
+            st.nblocks,
+            st.plain_us,
+            st.btf_us,
+            st.plain_fill,
+            st.btf_fill,
+            speedup
+        ));
+    }
+
     // Sparse worst-case stepping: full TIA PexWorstCase environment steps
     // at deep-mesh extractions, forced through the dense backend vs the
     // default Auto config (which crosses to sparse past the crossover
@@ -843,7 +998,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"autockt/bench_env_step/v5\",\n",
+            "  \"schema\": \"autockt/bench_env_step/v6\",\n",
             "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
             "-- --steps {} --episode {} --seed {}\",\n",
             "  \"steps_per_config\": {},\n",
@@ -858,7 +1013,8 @@ fn main() {
             "    \"crossover_dim\": {},\n",
             "    \"kernels\": [\n{}\n    ],\n",
             "    \"pex_worst_case\": [\n{}\n    ]\n",
-            "  }}\n",
+            "  }},\n",
+            "  \"btf\": [\n{}\n  ]\n",
             "}}\n"
         ),
         steps,
@@ -874,7 +1030,8 @@ fn main() {
         kernel_rows.join(",\n"),
         SolverConfig::default().crossover,
         sparse_kernel_rows.join(",\n"),
-        sparse_env_rows.join(",\n")
+        sparse_env_rows.join(",\n"),
+        btf_rows.join(",\n")
     );
     let path = results_dir().join("BENCH_env_step.json");
     let mut f = std::fs::File::create(&path).expect("create bench json");

@@ -10,7 +10,8 @@
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::error::SimError;
-use crate::linalg::sparse::{CscMatrix, SolverConfig, SparseLu, TripletList};
+use crate::linalg::sparse::{CscMatrix, SolverConfig, TripletList};
+use crate::linalg::structure::SparseSolver;
 use crate::linalg::{ComplexLuBatch, ComplexLuSoa, LinearSolver, LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
 
@@ -29,8 +30,9 @@ use crate::netlist::{Circuit, Element, Node};
 pub(crate) enum ComplexLu {
     /// Dense split re/im kernel (bitwise-equal to `LuFactors<Complex>`).
     Dense(ComplexLuSoa),
-    /// Sparse LU over the CSC image of the stamp pattern.
-    Sparse(SparseLu<Complex>),
+    /// Sparse factorization (plain or BTF per the solver's
+    /// [`SolverConfig`]) over the CSC image of the stamp pattern.
+    Sparse(SparseSolver<Complex>),
 }
 
 impl Default for ComplexLu {
@@ -219,9 +221,11 @@ impl<'a> AcSolver<'a> {
                     stamp_vccs(&mut g, *o, *on, *cp, *cn, *gm);
                 }
                 Element::Mos(m) => {
-                    let mi = mos_iter
-                        .next()
-                        .expect("operating point and circuit out of sync");
+                    // lint:allow(panic) — `op` carries one MosOp per MOS
+                    // element of the circuit it was solved on; a foreign
+                    // operating point is a caller bug, and this constructor
+                    // has no error channel to report it.
+                    let mi = mos_iter.next().expect("op and circuit out of sync");
                     stamp_g(&mut g, mi.a_d, mi.a_s, mi.gds);
                     stamp_vccs(&mut g, mi.a_d, mi.a_s, mi.g, mi.a_s, mi.gm);
                     stamp_g(&mut c, m.g, mi.a_s, mi.cgs);
@@ -327,8 +331,9 @@ impl<'a> AcSolver<'a> {
             ws.trip.compress_into(&mut ws.csc);
             ws.gc.clear();
             ws.gc.extend_from_slice(ws.csc.values());
-            if !matches!(ws.lu, ComplexLu::Sparse(_)) {
-                ws.lu = ComplexLu::Sparse(SparseLu::empty());
+            match &mut ws.lu {
+                ComplexLu::Sparse(slu) => slu.ensure_mode(self.cfg.btf),
+                lu => *lu = ComplexLu::Sparse(SparseSolver::empty(self.cfg.btf)),
             }
         } else if !matches!(ws.lu, ComplexLu::Dense(_)) {
             ws.lu = ComplexLu::Dense(ComplexLuSoa::empty());
@@ -502,7 +507,9 @@ impl<'a> AcSolver<'a> {
             }
             let mut csc = CscMatrix::empty();
             trip.compress_into(&mut csc);
-            sparse_lu = SparseLu::factor(&csc, 1e-300)?;
+            let mut slu = SparseSolver::empty(self.cfg.btf);
+            slu.refactor(&csc, 1e-300)?;
+            sparse_lu = slu;
             &sparse_lu
         } else {
             let mut a = Matrix::<f64>::zeros(n, n);

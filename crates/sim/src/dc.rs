@@ -6,7 +6,8 @@
 
 use crate::device::{MosPolarity, MosRegion};
 use crate::error::SimError;
-use crate::linalg::sparse::{CscMatrix, SolverConfig, SparseLu, StampSink, TripletList};
+use crate::linalg::sparse::{CscMatrix, SolverConfig, StampSink, TripletList};
+use crate::linalg::structure::SparseSolver;
 use crate::linalg::{LuFactors, Matrix, RealLuBatch};
 use crate::netlist::{Circuit, Element, Mosfet, Node};
 
@@ -23,11 +24,13 @@ pub struct DcWorkspace {
     dx: Vec<f64>,
     lu: LuFactors<f64>,
     /// Sparse-backend buffers: triplet assembly, compressed matrix, and
-    /// the sparse factorization whose symbolic analysis persists across
-    /// Newton iterations (the stamp pattern is constant per circuit).
+    /// the sparse factorization (plain or BTF per the solve's
+    /// [`SolverConfig`]) whose symbolic analysis — ordering, structural
+    /// preflight, block decomposition — persists across Newton
+    /// iterations (the stamp pattern is constant per circuit).
     trip: TripletList<f64>,
     csc: CscMatrix<f64>,
-    slu: SparseLu<f64>,
+    slu: SparseSolver<f64>,
 }
 
 impl DcWorkspace {
@@ -41,7 +44,7 @@ impl DcWorkspace {
             lu: LuFactors::empty(),
             trip: TripletList::new(0),
             csc: CscMatrix::empty(),
-            slu: SparseLu::empty(),
+            slu: SparseSolver::default(),
         }
     }
 }
@@ -387,10 +390,15 @@ impl<'a> Assembler<'a> {
                 Some(i) => x[i],
             }
         };
-        // gmin from every node to ground.
-        for i in 0..(self.nnodes - 1) {
-            j.add(i, i, gmin);
-            f[i] += gmin * x[i];
+        // gmin from every node to ground. Skipped entirely when disabled:
+        // an explicit zero would still be a *structural* nonzero to the
+        // sparse pattern, hiding a floating node from the structural
+        // preflight that `gmin: 0.0` exists to exercise.
+        if gmin != 0.0 {
+            for i in 0..(self.nnodes - 1) {
+                j.add(i, i, gmin);
+                f[i] += gmin * x[i];
+            }
         }
         let mut vk = 0usize;
         for (ei, e) in self.ckt.elements().iter().enumerate() {
@@ -505,7 +513,9 @@ fn newton_solve(
     let dim = asm.dim;
     let nv = asm.nnodes - 1;
     let sparse = opts.solver.use_sparse(dim);
-    if !sparse && (ws.j.rows() != dim || ws.j.cols() != dim) {
+    if sparse {
+        ws.slu.ensure_mode(opts.solver.btf);
+    } else if ws.j.rows() != dim || ws.j.cols() != dim {
         ws.j = Matrix::zeros(dim, dim);
     }
     ws.f.resize(dim, 0.0);
@@ -640,6 +650,11 @@ pub fn dc_operating_point_warm(
         let direct = newton_solve(&asm, &mut x, opts.gmin, opts, ws);
         match direct {
             Ok(it) => total_iters += it,
+            // Structural singularity is a property of the topology alone:
+            // no gmin value can repair an unmatched column, and with
+            // `opts.gmin == 0` the stepping loop below would never
+            // terminate. Report it immediately.
+            Err(e @ SimError::StructurallySingular { .. }) => return Err(e),
             Err(_) => {
                 // gmin stepping homotopy.
                 x.iter_mut().for_each(|v| *v = 0.0);
@@ -854,9 +869,9 @@ pub fn dc_operating_point_batch(
         .map(|w| matches!(w, Some(w) if w.len() == dim && w.iter().all(|v| v.is_finite())))
         .collect();
     if warm_mask.iter().any(|m| *m) {
-        for b in 0..bt {
-            if warm_mask[b] {
-                xs[b].copy_from_slice(warm[b].expect("masked"));
+        for ((x, w), &masked) in xs.iter_mut().zip(warm).zip(&warm_mask) {
+            if let (true, Some(w)) = (masked, w) {
+                x.copy_from_slice(w);
             }
         }
         for (b, it) in newton_batch(&asms, &mut xs, &warm_mask, opts.gmin, opts, ws)

@@ -24,6 +24,25 @@ pub enum SimError {
         /// Original-matrix column at which elimination failed.
         column: usize,
     },
+    /// The MNA matrix is *structurally* singular: no assignment of
+    /// matrix entries can make it numerically nonsingular, because some
+    /// column cannot be matched to a distinct row holding one of its
+    /// structural nonzeros (maximum bipartite matching on the sparsity
+    /// pattern falls short of the dimension). Detected by the structural
+    /// preflight of the sparse backend *before* any factorization work —
+    /// typically a floating node (only capacitive coupling with gmin
+    /// disabled) or a dangling net. Unlike the numeric singular variants
+    /// this is a property of the circuit topology alone, so retrying with
+    /// different values (gmin stepping, source ramping) cannot help.
+    StructurallySingular {
+        /// First unmatched column, in original MNA numbering (node
+        /// voltages first, then voltage-source branch currents).
+        column: usize,
+        /// Size of the maximum matching (the structural rank).
+        structural_rank: usize,
+        /// Dimension of the MNA system.
+        dim: usize,
+    },
     /// The Newton–Raphson DC solve did not converge.
     DcNoConvergence {
         /// Iterations performed before giving up.
@@ -64,6 +83,14 @@ impl fmt::Display for SimError {
             SimError::SingularSparse { column } => {
                 write!(f, "singular sparse MNA matrix at column {column}")
             }
+            SimError::StructurallySingular {
+                column,
+                structural_rank,
+                dim,
+            } => write!(
+                f,
+                "structurally singular MNA matrix: column {column} unmatched (structural rank {structural_rank} of {dim})"
+            ),
             SimError::DcNoConvergence {
                 iterations,
                 residual,
@@ -92,6 +119,11 @@ mod tests {
         let errs = [
             SimError::SingularMatrix { column: 3 },
             SimError::SingularSparse { column: 3 },
+            SimError::StructurallySingular {
+                column: 3,
+                structural_rank: 5,
+                dim: 6,
+            },
             SimError::DcNoConvergence {
                 iterations: 50,
                 residual: 1.0,

@@ -64,6 +64,7 @@ pub mod tran;
 
 pub use error::SimError;
 pub use linalg::sparse::{SolverBackend, SolverConfig};
+pub use linalg::structure::{BtfDecomposition, BtfLu, SparseSolver};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

@@ -11,6 +11,7 @@
 //! serves real (DC, transient) and complex (AC, noise) analyses.
 
 pub mod sparse;
+pub mod structure;
 
 use crate::complex::Complex;
 use crate::error::SimError;

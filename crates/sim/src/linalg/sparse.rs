@@ -61,6 +61,14 @@ pub struct SolverConfig {
     pub backend: SolverBackend,
     /// Dimension at which [`SolverBackend::Auto`] switches to sparse.
     pub crossover: usize,
+    /// Whether sparse factorizations use the block-triangular-form (BTF)
+    /// decomposition of [`super::structure`]: permute to block upper
+    /// triangular via Dulmage–Mendelsohn, factor only the diagonal
+    /// blocks, and solve by block back-substitution. On by default for
+    /// the sparse backend; irrelevant to the dense kernels. Irreducible
+    /// systems (a single block) degenerate to the plain sparse path up
+    /// to the one-time decomposition cost per pattern.
+    pub btf: bool,
 }
 
 impl Default for SolverConfig {
@@ -68,6 +76,7 @@ impl Default for SolverConfig {
         SolverConfig {
             backend: SolverBackend::Auto,
             crossover: DEFAULT_CROSSOVER,
+            btf: true,
         }
     }
 }
@@ -78,6 +87,7 @@ impl SolverConfig {
         SolverConfig {
             backend: SolverBackend::Dense,
             crossover: DEFAULT_CROSSOVER,
+            btf: true,
         }
     }
 
@@ -86,7 +96,14 @@ impl SolverConfig {
         SolverConfig {
             backend: SolverBackend::Sparse,
             crossover: DEFAULT_CROSSOVER,
+            btf: true,
         }
+    }
+
+    /// The same config with the BTF mode switched as given.
+    pub const fn with_btf(mut self, btf: bool) -> Self {
+        self.btf = btf;
+        self
     }
 
     /// Whether a system of dimension `dim` should use the sparse backend.
@@ -205,6 +222,8 @@ impl<T: Scalar> TripletList<T> {
         let mut prev: Option<(usize, usize)> = None;
         for &(r, c, v) in &self.entries {
             if prev == Some((r, c)) {
+                // lint:allow(panic) — `prev` is only `Some` after a prior
+                // iteration pushed a value, so `values` is nonempty here.
                 *out.values.last_mut().expect("merge follows a push") += v;
                 continue;
             }
@@ -241,10 +260,10 @@ impl<T: Scalar> TripletList<T> {
 /// within a column, no duplicates.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CscMatrix<T> {
-    n: usize,
-    col_ptr: Vec<usize>,
-    row_idx: Vec<usize>,
-    values: Vec<T>,
+    pub(crate) n: usize,
+    pub(crate) col_ptr: Vec<usize>,
+    pub(crate) row_idx: Vec<usize>,
+    pub(crate) values: Vec<T>,
 }
 
 impl<T: Scalar> CscMatrix<T> {
@@ -386,6 +405,8 @@ pub fn amd_order(n: usize, col_ptr: &[usize], row_idx: &[usize]) -> Vec<usize> {
         let v = (0..n)
             .filter(|&v| alive[v])
             .min_by_key(|&v| (adj[v].len(), v))
+            // lint:allow(panic) — exactly one node is retired per step, so
+            // after `k < n` steps `n - k > 0` nodes remain alive.
             .expect("one alive node per step");
         order.push(v);
         alive[v] = false;
@@ -522,17 +543,48 @@ impl<T: Scalar> SparseLu<T> {
     /// nonzero pattern as the previous factorization the cached
     /// fill-reducing column order is reused and no symbolic-analysis
     /// allocation happens — the Newton fast path. A changed pattern
-    /// transparently recomputes the ordering.
+    /// transparently recomputes the ordering *after* a structural
+    /// preflight ([`super::structure::structural_check`]): a pattern
+    /// whose structural rank falls short of the dimension is rejected
+    /// before any factorization work, once per pattern (the same-pattern
+    /// fast path never re-runs the check).
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::SingularSparse`] like [`SparseLu::factor`]; on
-    /// error the stored factorization is garbage and must be refactored
-    /// before the next solve.
+    /// Returns [`SimError::StructurallySingular`] from the preflight on a
+    /// rank-deficient pattern, or [`SimError::SingularSparse`] like
+    /// [`SparseLu::factor`] for a numerically singular system; on error
+    /// the stored factorization is garbage and must be refactored before
+    /// the next solve.
     pub fn refactor(&mut self, a: &CscMatrix<T>, pivot_floor: f64) -> Result<(), SimError> {
+        self.refactor_inner(a, pivot_floor, true)
+    }
+
+    /// [`SparseLu::refactor`] with the structural preflight skipped —
+    /// for callers that already know the pattern has full structural
+    /// rank (the BTF diagonal blocks are strongly connected components
+    /// of a matched graph, hence structurally nonsingular by
+    /// construction).
+    pub(crate) fn refactor_unchecked(
+        &mut self,
+        a: &CscMatrix<T>,
+        pivot_floor: f64,
+    ) -> Result<(), SimError> {
+        self.refactor_inner(a, pivot_floor, false)
+    }
+
+    fn refactor_inner(
+        &mut self,
+        a: &CscMatrix<T>,
+        pivot_floor: f64,
+        preflight: bool,
+    ) -> Result<(), SimError> {
         let same_pattern =
             self.n == a.n && self.a_colptr == a.col_ptr && self.a_rowidx == a.row_idx;
         if !same_pattern {
+            if preflight {
+                super::structure::structural_check(a.n, &a.col_ptr, &a.row_idx)?;
+            }
             self.q = amd_order(a.n, &a.col_ptr, &a.row_idx);
             self.a_colptr.clone_from(&a.col_ptr);
             self.a_rowidx.clone_from(&a.row_idx);

@@ -231,7 +231,7 @@ pub fn settling_time(t: &[f64], y: &[f64], tol_frac: f64) -> Result<f64, SimErro
             what: "degenerate waveform",
         });
     }
-    let y_final = *y.last().expect("nonempty");
+    let y_final = y[y.len() - 1];
     let y_init = y[0];
     let swing = (y_final - y_init).abs();
     if swing < 1e-15 {

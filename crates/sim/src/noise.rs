@@ -135,7 +135,8 @@ fn collect_sources(ckt: &Circuit, op: &OpPoint, temp_k: f64) -> Result<Vec<Noise
                 });
             }
             Element::Mos(m) => {
-                // Counts verified above, so the iterator cannot run dry.
+                // lint:allow(panic) — MOS counts are verified against the
+                // operating point above, so the iterator cannot run dry.
                 let mi = mos_iter.next().expect("MOS count verified");
                 let white = m.model.thermal_noise_psd(mi.gm, temp_k);
                 // flicker psd(f) = kf gm^2 / (Cox W L f)

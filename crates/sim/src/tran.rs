@@ -7,7 +7,8 @@
 
 use crate::dc::{dc_operating_point, eval_mos_oriented, DcOptions, OpPoint, WarmState};
 use crate::error::SimError;
-use crate::linalg::sparse::{CscMatrix, SparseLu};
+use crate::linalg::sparse::CscMatrix;
+use crate::linalg::structure::SparseSolver;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
 
@@ -209,11 +210,11 @@ pub fn transient_from_op(
     // Above the sparse crossover the Jacobian is rescanned into CSC and
     // refactored through the sparse kernel, which reuses its symbolic
     // analysis as long as the nonzero pattern holds (MOS region changes
-    // can shift it; `SparseLu::refactor` re-runs the ordering then).
+    // can shift it; the sparse refactor re-runs its analysis then).
     let sparse = opts.dc.solver.use_sparse(dim);
     let mut lu = LuFactors::empty();
     let mut csc = CscMatrix::empty();
-    let mut slu = SparseLu::empty();
+    let mut slu = SparseSolver::empty(opts.dc.solver.btf);
     let mut rhs = vec![0.0; dim];
     let mut dx: Vec<f64> = Vec::new();
 

@@ -226,7 +226,11 @@ proptest! {
         let dim = segs + 2; // segs internal nodes + drive node + vsource branch
         let solve_with = |backend: SolverBackend| {
             let opts = DcOptions {
-                solver: SolverConfig { backend, crossover },
+                solver: SolverConfig {
+                    backend,
+                    crossover,
+                    btf: true,
+                },
                 ..DcOptions::default()
             };
             dc_operating_point(&ckt, &opts).expect("rc ladder solves").mna_vector()
