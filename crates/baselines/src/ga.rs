@@ -134,11 +134,13 @@ pub fn ga_solve(
         })
         .collect();
 
-    let mut best = pop
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
-        .cloned()
-        .expect("nonempty population");
+    // `total_cmp` keeps selection deterministic even if a fitness ever
+    // came back NaN; an empty population (population = 0) cannot reach
+    // anything, so it short-circuits instead of panicking.
+    let mut best = match pop.iter().max_by(|a, b| a.1.total_cmp(&b.1)).cloned() {
+        Some(b) => b,
+        None => return empty_outcome(ev.sims),
+    };
 
     for _gen in 0..cfg.generations {
         if is_success(best.1) {
@@ -150,7 +152,7 @@ pub fn ga_solve(
             };
         }
         // Sort descending by fitness for elitism.
-        pop.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+        pop.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut next: Vec<(Vec<usize>, f64)> = pop.iter().take(cfg.elitism).cloned().collect();
         while next.len() < cfg.population {
             let parent = |rng: &mut StdRng, pop: &[(Vec<usize>, f64)]| -> Vec<usize> {
@@ -253,7 +255,19 @@ pub fn ga_solve_sweep(
             },
         });
     }
-    best.expect("at least one population size")
+    // An empty sweep ran no GA at all; report that honestly.
+    best.unwrap_or_else(|| empty_outcome(0))
+}
+
+/// Outcome of a degenerate run (empty population or empty sweep):
+/// nothing simulated, nothing reached.
+fn empty_outcome(sims: usize) -> GaOutcome {
+    GaOutcome {
+        reached: false,
+        sims,
+        best_reward: f64::NEG_INFINITY,
+        best_idx: Vec::new(),
+    }
 }
 
 #[cfg(test)]

@@ -112,11 +112,19 @@ pub fn ga_ml_solve(
             (g, f)
         })
         .collect();
-    let mut best = pop
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .cloned()
-        .expect("nonempty");
+    // As in `ga_solve`: `total_cmp` instead of a panicking comparator,
+    // and an empty population short-circuits to a degenerate outcome.
+    let mut best = match pop.iter().max_by(|a, b| a.1.total_cmp(&b.1)).cloned() {
+        Some(b) => b,
+        None => {
+            return GaOutcome {
+                reached: false,
+                sims,
+                best_reward: f64::NEG_INFINITY,
+                best_idx: Vec::new(),
+            }
+        }
+    };
 
     for _gen in 0..cfg.ga.generations {
         if is_success(best.1) {
@@ -140,7 +148,7 @@ pub fn ga_ml_solve(
             }
         }
         // Generate a large pool of children, screen, simulate survivors.
-        pop.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        pop.sort_by(|a, b| b.1.total_cmp(&a.1));
         let pool: Vec<Vec<usize>> = (0..cfg.ga.population * 4)
             .map(|_| {
                 let parent = |rng: &mut StdRng| -> &Vec<usize> {
@@ -189,7 +197,7 @@ pub fn ga_ml_solve(
                     (g, p)
                 })
                 .collect();
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             scored.into_iter().take(keep).map(|(g, _)| g).collect()
         } else {
             pool.into_iter().take(keep).collect()
@@ -211,7 +219,7 @@ pub fn ga_ml_solve(
             next.push((child, f));
         }
         // Keep the population at a constant size with the fittest seen.
-        next.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        next.sort_by(|a, b| b.1.total_cmp(&a.1));
         next.truncate(cfg.ga.population.max(keep));
         pop = next;
     }

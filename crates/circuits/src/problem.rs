@@ -663,6 +663,24 @@ struct MemoShard {
     order: VecDeque<Vec<usize>>,
 }
 
+/// Unwraps a shard lock, recovering from poisoning instead of cascading
+/// the panic: a poisoned shard means some *other* worker panicked while
+/// holding the lock, and every shard mutation (probe, insert, evict,
+/// clear) leaves the map/queue pair valid between statements — worst
+/// case, FIFO order drifts for a cache whose entries are immutable once
+/// inserted. Evaluation must keep running on the surviving workers.
+fn recover<'m, T>(
+    lock: Result<
+        std::sync::MutexGuard<'m, T>,
+        std::sync::PoisonError<std::sync::MutexGuard<'m, T>>,
+    >,
+) -> std::sync::MutexGuard<'m, T> {
+    match lock {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// A concurrent evaluation memo shared by every rollout worker of a
 /// training run: `N` mutex-guarded shards keyed by the discrete parameter
 /// index vector, so the 8 training environments pool their grid revisits
@@ -797,9 +815,9 @@ impl SharedMemo {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.contended[s].fetch_add(1, Ordering::Relaxed);
-                self.shards[s].lock().expect("memo shard poisoned")
+                recover(self.shards[s].lock())
             }
-            Err(std::sync::TryLockError::Poisoned(_)) => panic!("memo shard poisoned"),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
         }
     }
 
@@ -864,7 +882,7 @@ impl SharedMemo {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").map.len())
+            .map(|s| recover(s.lock()).map.len())
             .sum()
     }
 
@@ -938,7 +956,7 @@ impl SharedMemo {
     /// configurations sharing one memo allocation).
     pub fn clear(&self) {
         for s in &self.shards {
-            let mut s = s.lock().expect("memo shard poisoned");
+            let mut s = recover(s.lock());
             s.map.clear();
             s.order.clear();
         }

@@ -198,14 +198,16 @@ impl Mlp {
         }
     }
 
-    /// Input dimension.
+    /// Input dimension (0 for a layerless net, which the constructors
+    /// never build).
     pub fn n_in(&self) -> usize {
-        self.layers.first().expect("nonempty").n_in
+        self.layers.first().map_or(0, |l| l.n_in)
     }
 
-    /// Output dimension.
+    /// Output dimension (0 for a layerless net, which the constructors
+    /// never build).
     pub fn n_out(&self) -> usize {
-        self.layers.last().expect("nonempty").n_out
+        self.layers.last().map_or(0, |l| l.n_out)
     }
 
     /// Plain forward pass.
@@ -234,6 +236,8 @@ impl Mlp {
         let mut buf = Vec::new();
         let last = self.layers.len() - 1;
         for (li, layer) in self.layers.iter().enumerate() {
+            // lint:allow(panic) — `acts` is seeded with the input vector
+            // before the loop and pushed to every iteration.
             layer.forward(acts.last().expect("nonempty"), &mut buf);
             let act = if li == last {
                 self.out_act
@@ -243,6 +247,8 @@ impl Mlp {
             acts.push(buf.iter().map(|&v| act.apply(v)).collect());
         }
         (
+            // lint:allow(panic) — `acts` holds the seed input plus one
+            // activation per layer; never empty here.
             acts.last().expect("nonempty").clone(),
             ForwardCache { acts },
         )

@@ -84,12 +84,14 @@ impl PolicyNet {
         let mut off = 0;
         for &d in &self.action_dims {
             let z = &logits[off..off + d];
+            // `total_cmp` orders NaN logits deterministically instead of
+            // panicking mid-deployment; a zero-width factor (which the
+            // constructors never build) falls back to action 0.
             let best = z
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                .map(|(i, _)| i)
-                .expect("nonempty factor");
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(i, _)| i);
             actions.push(best);
             off += d;
         }

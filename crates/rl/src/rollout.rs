@@ -179,6 +179,9 @@ pub fn collect_parallel<E: Env + Send>(
             .collect();
         handles
             .into_iter()
+            // lint:allow(panic) — join() only errs when the worker itself
+            // panicked; re-raising that panic on the coordinator is the
+            // intended propagation, not a new failure mode.
             .map(|h| h.join().expect("rollout worker panicked"))
             .collect()
     });

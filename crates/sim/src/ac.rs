@@ -282,6 +282,8 @@ impl<'a> AcSolver<'a> {
             for cidx in 0..self.dim {
                 let gg = self.g[(r, cidx)];
                 let cc = self.c[(r, cidx)];
+                // lint:allow(float-eq) — exact-zero sparsity guard: only
+                // bitwise-zero stamps are skipped; rounded values stay.
                 if gg != 0.0 || cc != 0.0 {
                     y[(r, cidx)] = Complex::new(gg, w * cc);
                 }
@@ -349,6 +351,8 @@ impl<'a> AcSolver<'a> {
             for c in 0..self.dim {
                 let gg = self.g[(r, c)];
                 let cc = self.c[(r, c)];
+                // lint:allow(float-eq) — exact-zero sparsity guard: the
+                // CSC pattern must keep every bitwise-nonzero stamp.
                 if gg != 0.0 || cc != 0.0 {
                     pattern.push((r, c, gg, cc));
                 }
@@ -488,6 +492,7 @@ impl<'a> AcSolver<'a> {
         for r in 0..n {
             for c in 0..n {
                 let v = 2.0 * self.c[(r, c)] / h - self.g[(r, c)];
+                // lint:allow(float-eq) — exact-zero sparsity guard.
                 if v != 0.0 {
                     comp.push((r, c, v));
                 }
@@ -500,6 +505,7 @@ impl<'a> AcSolver<'a> {
             for r in 0..n {
                 for c in 0..n {
                     let v = self.g[(r, c)] + 2.0 * self.c[(r, c)] / h;
+                    // lint:allow(float-eq) — exact-zero sparsity guard.
                     if v != 0.0 {
                         trip.push(r, c, v);
                     }

@@ -394,6 +394,7 @@ impl<'a> Assembler<'a> {
         // an explicit zero would still be a *structural* nonzero to the
         // sparse pattern, hiding a floating node from the structural
         // preflight that `gmin: 0.0` exists to exercise.
+        // lint:allow(float-eq) — exact-zero means "disabled" by contract.
         if gmin != 0.0 {
             for i in 0..(self.nnodes - 1) {
                 j.add(i, i, gmin);

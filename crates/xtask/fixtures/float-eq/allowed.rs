@@ -1,0 +1,9 @@
+//! Fixture: justified float-literal equality does not fire.
+//! Not compiled — read by the lint's unit tests.
+
+pub fn sparsity_guard(g: f64, c: f64) -> bool {
+    // lint:allow(float-eq) — exact-zero test on purpose: an explicit 0.0
+    // stamp must be skipped, and any rounded value must be kept.
+    let skip = g == 0.0 && c == 0.0;
+    !skip
+}

@@ -1,0 +1,22 @@
+//! Fixture: nothing here may fire — integer equality, float comparisons
+//! between variables, tuple-index access, and float-literal equality in
+//! test code are all fine. Not compiled — read by unit tests.
+
+pub fn fine(n: usize, a: f64, b: f64, t: (f64, u32)) -> bool {
+    let ints = n == 0 || t.1 != 3;
+    let vars = a == b;
+    let range = a < 1.0 && b >= 0.5;
+    let tuple = t.0 == a;
+    ints || vars || range || tuple
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_expectations_are_test_business() {
+        assert!(super::fine(0, 0.5, 0.5, (0.5, 1)));
+        let x = 2.0_f64;
+        assert!(x == 2.0);
+        assert!(x != 2.5);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: four float-literal equality comparisons fire.
+//! Not compiled — read by the lint's unit tests.
+
+pub fn comparisons(x: f64, y: f64, z: f64) -> bool {
+    let a = x == 0.0;
+    let b = x != 1.0;
+    let c = 1e-9 == y;
+    let d = z == -2.5;
+    a || b || c || d
+}

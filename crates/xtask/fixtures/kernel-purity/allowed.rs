@@ -1,0 +1,13 @@
+//! Fixture: impure sites carrying justification comments do not fire.
+//! Not compiled — read by the lint's unit tests.
+
+pub fn justified(fatal: bool) {
+    if fatal {
+        // lint:allow(kernel-purity) — one-shot diagnostic on the abort
+        // path only; never reached during evaluation.
+        eprintln!("aborting");
+    }
+    // lint:allow(kernel-purity) — cold startup probe, outside the
+    // deterministic hot path by construction.
+    let _ = std::fs::metadata("Cargo.toml");
+}

@@ -1,0 +1,28 @@
+//! Fixture: nothing here may fire — `fmt::Write` is not I/O, `std::sync`
+//! is not `std::io`, doc prose about println!("…") is a comment, and
+//! test modules may print freely. Not compiled — read by unit tests.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Renders a report; callers may println!("{}", report) if they like.
+pub fn render(vals: &[f64], out: &Mutex<String>) {
+    let mut s = String::new();
+    for v in vals {
+        let _ = writeln!(s, "{v:.3e}");
+    }
+    if let Ok(mut g) = out.lock() {
+        g.push_str(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print_and_time() {
+        let t = std::time::Instant::now();
+        println!("elapsed {:?}", t.elapsed());
+        eprintln!("stderr too");
+        let _ = std::fs::metadata("Cargo.toml");
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: every kernel-purity pattern fires once, in order.
+//! Not compiled — read by the lint's unit tests.
+
+pub fn impure(x: f64) -> f64 {
+    println!("debugging {x}");
+    eprintln!("more debugging");
+    let y = dbg!(x * 2.0);
+    let _ = std::fs::read_to_string("/etc/hostname");
+    let _lock = std::io::stdout();
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    y + t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,15 @@
+//! Fixture: every panic-family site carries a justification comment, so
+//! nothing fires. Not compiled — read by the lint's unit tests.
+
+pub fn justified(x: Option<u8>) -> u8 {
+    // lint:allow(panic) — `x` is checked Some by the caller's contract.
+    let a = x.unwrap();
+    // lint:allow(panic) — dividing by the nonzero constant below is
+    // infallible; the expect documents the invariant.
+    let b = a.checked_div(2).expect("2 != 0");
+    if a == b {
+        // lint:allow(panic) — demonstration of a justified hard stop.
+        panic!("degenerate");
+    }
+    b
+}

@@ -1,0 +1,26 @@
+//! Regression fixture: exactly the shape that desynced the line-based
+//! scanner's `#[cfg(test)]` brace tracking. The `"}"` literal inside the
+//! test module made the old tracker think the module had closed, so the
+//! unwraps after it were reported (false positives), while a `"{"` in
+//! library code shifted the depth the other way. Token-level tracking
+//! must report exactly one finding: the library unwrap at the bottom.
+
+pub fn open_brace() -> &'static str {
+    "{"
+}
+
+#[cfg(test)]
+mod tests {
+    const CLOSE: &str = "}";
+
+    #[test]
+    fn inside_the_module() {
+        // Still inside the test module: must stay exempt even after the
+        // `"}"` literal above.
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let _ = CLOSE;
+    }
+}
+
+pub fn the_only_real_finding(x: Option<u8>) -> u8 { x.unwrap() }

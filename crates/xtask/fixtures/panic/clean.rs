@@ -1,0 +1,36 @@
+//! Fixture: the historical false positives of the line-based scanner.
+//! Nothing in this file may fire. Not compiled — read by unit tests.
+//!
+//! A doc comment saying panic! or .unwrap() is prose, not code.
+
+/// Returns a message that merely *mentions* panic!("like this").
+pub fn strings() -> String {
+    let plain = "do not panic! or .unwrap() anything";
+    let raw = r#"even raw strings may say r.expect("x") safely"#;
+    let brace_open = "{";
+    let ch = '{';
+    /* a block comment can claim unreachable!() too */
+    format!("{plain}{raw}{brace_open}{ch}")
+}
+
+pub fn char_close(c: char) -> bool {
+    c == '}'
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely; the `"}"` string below used to desync
+    // the line-based brace tracker and expose these lines.
+    const CLOSE: &str = "}";
+
+    #[test]
+    fn test_panics_are_exempt() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let _ = CLOSE;
+        "7".parse::<u8>().expect("parses");
+        if false {
+            panic!("unreached");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: every panic-family pattern fires exactly once, in order.
+//! Not compiled — read by the lint's unit tests.
+
+pub fn offenders(x: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let a = x.unwrap();
+    let b = r.expect("boom");
+    if a > b {
+        panic!("a > b");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => unimplemented!(),
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-lint ratchet baselines.
+//!
+//! Each lint owns one checked-in file under `crates/xtask/baselines/`
+//! holding its un-allowlisted finding count per file plus a total. The
+//! ratchet only turns one way:
+//!
+//! - a file exceeding its baselined count **fails** the lint (new
+//!   offenders must be fixed or carry a `lint:allow(<name>)`
+//!   justification);
+//! - a total *below* the baseline also fails, with instructions to run
+//!   `--update-baseline` — improvements are locked in immediately so
+//!   they cannot silently regress.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Parsed ratchet state for one lint.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub total: usize,
+    pub per_file: BTreeMap<String, usize>,
+}
+
+/// `crates/xtask/baselines/<lint>.txt`.
+pub fn path(root: &Path, lint: &str) -> PathBuf {
+    root.join("crates/xtask/baselines")
+        .join(format!("{lint}.txt"))
+}
+
+/// Loads a baseline file; a missing file is an error telling the user how
+/// to create it.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read baseline {}: {e}\n\
+             run `cargo run -p xtask -- lint --update-baseline` to create it",
+            path.display()
+        )
+    })?;
+    let mut base = Baseline::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, count)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            continue;
+        };
+        if name.trim() == "total" {
+            base.total = count;
+        } else {
+            base.per_file.insert(name.trim().to_string(), count);
+        }
+    }
+    Ok(base)
+}
+
+/// Serializes and writes a baseline: a lint-specific header, the total,
+/// then path-sorted per-file counts.
+pub fn save(
+    path: &Path,
+    lint: &str,
+    description: &str,
+    counts: &BTreeMap<String, usize>,
+) -> Result<(), String> {
+    let total: usize = counts.values().sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Ratchet baseline for the `{lint}` lint:");
+    let _ = writeln!(out, "# {description}.");
+    let _ = writeln!(
+        out,
+        "# Maintained by `cargo run -p xtask -- lint --only={lint} --update-baseline`;\n\
+         # counts may only go down. See README \"Static analysis\"."
+    );
+    let _ = writeln!(out, "total {total}");
+    for (file, count) in counts {
+        let _ = writeln!(out, "{file} {count}");
+    }
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    fs::write(path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let dir = std::env::temp_dir().join("xtask-baseline-test");
+        let _ = fs::create_dir_all(&dir);
+        let p = dir.join("demo.txt");
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/a/src/lib.rs".to_string(), 2);
+        counts.insert("crates/b/src/lib.rs".to_string(), 1);
+        save(&p, "demo", "demo lint", &counts).expect("save");
+        let loaded = load(&p).expect("load");
+        assert_eq!(loaded.total, 3);
+        assert_eq!(loaded.per_file, counts);
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_mentions_update_baseline() {
+        let err = load(Path::new("/nonexistent/definitely/absent.txt")).unwrap_err();
+        assert!(err.contains("--update-baseline"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("xtask-baseline-test2");
+        let _ = fs::create_dir_all(&dir);
+        let p = dir.join("hdr.txt");
+        fs::write(&p, "# header\n\ntotal 1\n# trailing\nsrc/lib.rs 1\n").expect("write");
+        let loaded = load(&p).expect("load");
+        assert_eq!(loaded.total, 1);
+        assert_eq!(loaded.per_file.get("src/lib.rs"), Some(&1));
+        let _ = fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,239 @@
+//! The lint engine: file collection, lint execution, ratchet comparison.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::lints::{self, Finding, LintSpec};
+use crate::source::SourceFile;
+use crate::{baseline, lints::LINTS};
+
+/// Result of one ratchet comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Findings match the baseline exactly.
+    Ok,
+    /// At least one file exceeds its baselined count.
+    Failed,
+    /// Total fell below the baseline; must be locked in.
+    Improved,
+    /// Baseline missing or unreadable.
+    NoBaseline,
+    /// `--update-baseline` rewrote the baseline this run.
+    Updated,
+}
+
+impl Status {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Failed => "failed",
+            Status::Improved => "improved-unlocked",
+            Status::NoBaseline => "no-baseline",
+            Status::Updated => "baseline-updated",
+        }
+    }
+}
+
+/// One lint's run: findings, per-file counts, and ratchet verdict.
+pub struct LintOutcome {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub status: Status,
+    pub files_scanned: usize,
+    pub total: usize,
+    pub baseline_total: usize,
+    pub findings: Vec<Finding>,
+}
+
+/// Lexed-file cache shared by all lints in one invocation.
+#[derive(Default)]
+pub struct FileCache {
+    files: BTreeMap<String, SourceFile>,
+}
+
+impl FileCache {
+    fn get(&mut self, root: &Path, rel: &str) -> Result<&SourceFile, String> {
+        if !self.files.contains_key(rel) {
+            let abs = root.join(rel);
+            let src = fs::read_to_string(&abs)
+                .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+            self.files
+                .insert(rel.to_string(), SourceFile::new(rel.to_string(), src));
+        }
+        Ok(&self.files[rel])
+    }
+}
+
+/// Collects `.rs` files under `root/<rel_root>`, skipping any `bin`
+/// directory (executable entry points are not library code). Paths come
+/// back workspace-relative with forward slashes, sorted.
+pub fn collect_lib_sources(root: &Path, rel_root: &str, skip_bin: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    walk(&root.join(rel_root), root, skip_bin, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, skip_bin: bool, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if skip_bin && path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            walk(&path, root, skip_bin, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+/// Runs one lint (by spec) over the workspace, returning its findings and
+/// the number of files scanned.
+pub fn run_lint(
+    spec: &LintSpec,
+    root: &Path,
+    cache: &mut FileCache,
+) -> Result<(Vec<Finding>, usize), String> {
+    if spec.name == "crate-layering" {
+        return run_layering(root, cache);
+    }
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for rel_root in spec.roots {
+        for rel in collect_lib_sources(root, rel_root, true) {
+            let file = cache.get(root, &rel)?;
+            findings.extend(lints::scan_file(spec.name, file));
+            scanned += 1;
+        }
+    }
+    Ok((findings, scanned))
+}
+
+/// The layering lint walks per crate: its manifest plus its whole `src`
+/// tree (`bin` targets included — an import in a binary is still an
+/// edge).
+fn run_layering(root: &Path, cache: &mut FileCache) -> Result<(Vec<Finding>, usize), String> {
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for (crate_name, dir) in lints::CRATE_DIRS {
+        let manifest_rel = if *dir == "." {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{dir}/Cargo.toml")
+        };
+        let manifest_path = root.join(&manifest_rel);
+        let toml = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        findings.extend(lints::manifest_edges(crate_name, &manifest_rel, &toml));
+        scanned += 1;
+        let src_root = if *dir == "." {
+            "src".to_string()
+        } else {
+            format!("{dir}/src")
+        };
+        for rel in collect_lib_sources(root, &src_root, false) {
+            let file = cache.get(root, &rel)?;
+            findings.extend(lints::source_edges(crate_name, file));
+            scanned += 1;
+        }
+    }
+    Ok((findings, scanned))
+}
+
+/// Path-sorted per-file counts.
+pub fn count_by_file(findings: &[Finding]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.file.clone()).or_insert(0usize) += 1;
+    }
+    counts
+}
+
+/// Compares findings to the checked-in baseline and produces the outcome
+/// (without printing).
+pub fn ratchet(
+    spec: &LintSpec,
+    root: &Path,
+    findings: Vec<Finding>,
+    files_scanned: usize,
+) -> LintOutcome {
+    let counts = count_by_file(&findings);
+    let total: usize = counts.values().sum();
+    let base = match baseline::load(&baseline::path(root, spec.name)) {
+        Ok(b) => b,
+        Err(_) => {
+            return LintOutcome {
+                name: spec.name,
+                description: spec.description,
+                status: Status::NoBaseline,
+                files_scanned,
+                total,
+                baseline_total: 0,
+                findings,
+            }
+        }
+    };
+    let over_budget = counts
+        .iter()
+        .any(|(file, count)| *count > base.per_file.get(file).copied().unwrap_or(0));
+    let status = if over_budget {
+        Status::Failed
+    } else if total < base.total {
+        Status::Improved
+    } else {
+        Status::Ok
+    };
+    LintOutcome {
+        name: spec.name,
+        description: spec.description,
+        status,
+        files_scanned,
+        total,
+        baseline_total: base.total,
+        findings,
+    }
+}
+
+/// Looks up a lint spec by name.
+pub fn spec_by_name(name: &str) -> Option<&'static LintSpec> {
+    LINTS.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_by_file_sorts_and_sums() {
+        let f = |file: &str| Finding {
+            file: file.into(),
+            line: 1,
+            pattern: "p".into(),
+            snippet: "s".into(),
+        };
+        let counts = count_by_file(&[f("b.rs"), f("a.rs"), f("b.rs")]);
+        let flat: Vec<(String, usize)> = counts.into_iter().collect();
+        assert_eq!(flat, vec![("a.rs".to_string(), 1), ("b.rs".to_string(), 2)]);
+    }
+
+    #[test]
+    fn collect_skips_bin_when_asked() {
+        // The engine's own workspace: bench has src/bin with many mains.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let with_bin = collect_lib_sources(&root, "crates/bench/src", false);
+        let without = collect_lib_sources(&root, "crates/bench/src", true);
+        assert!(with_bin.len() > without.len());
+        assert!(without.iter().all(|p| !p.contains("/bin/")));
+        assert!(with_bin.iter().any(|p| p.contains("/bin/")));
+    }
+}

@@ -1,0 +1,672 @@
+//! A small token-level lexer for Rust source, purpose-built for the lint
+//! engine (see [`crate::source`]).
+//!
+//! The goal is not to be a full `rustc` lexer but to classify every byte
+//! of a source file into one of a few token kinds so that lints match
+//! against *code* tokens only: a `panic!` inside a string literal, a `{`
+//! inside a char literal, or a pattern mentioned in a comment must never
+//! reach a lint. The tricky cases this lexer handles deliberately:
+//!
+//! - string literals with escapes, byte strings (`b"…"`), raw strings
+//!   with any number of hashes (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! - char literals including `'{'`, `'\''`, `'\u{…}'`, `b'x'` — and the
+//!   lifetime/char-literal ambiguity (`'a` vs `'a'`, `'static`, `'_`);
+//! - line comments vs doc comments (`//`, `///`, `//!`) and *nested*
+//!   block comments (`/* /* */ */`, `/** … */`, `/*! … */`);
+//! - numeric literals with enough fidelity to know whether one is a
+//!   float (`1.0`, `1.`, `1e-9`, `2f64`, but not `0x1e5` or the `0` in
+//!   tuple access `x.0`);
+//! - raw identifiers (`r#match`) vs raw strings (`r#"…"#`).
+//!
+//! Unterminated literals or comments lex to a token ending at EOF; the
+//! lexer never panics and never loops.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// A lifetime or loop label such as `'a` or `'static`.
+    Lifetime,
+    /// Character literal (`'x'`, `'{'`, `b'\n'`).
+    CharLit,
+    /// Non-raw string literal (`"…"`, `b"…"`).
+    StrLit,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStrLit,
+    /// Numeric literal; `float` is true for floating-point literals.
+    Number { float: bool },
+    /// `//` comment; `doc` is true for `///` and `//!` forms.
+    LineComment { doc: bool },
+    /// `/* … */` comment (nesting-aware); `doc` for `/**` and `/*!`.
+    BlockComment { doc: bool },
+    /// Any operator or delimiter, one or two characters.
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether this token is a comment (line or block, doc or not).
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// One token: a kind plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Two-character operators recognized as single `Punct` tokens; everything
+/// else lexes one character at a time.
+const TWO_CHAR_OPS: [&str; 10] = ["==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", ".."];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream (whitespace is dropped; everything
+/// else, comments included, becomes a token).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        chars: src.char_indices().peekable(),
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    chars: std::iter::Peekable<std::str::CharIndices<'s>>,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&(pos, c)) = self.chars.peek() {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let line = self.line;
+            let kind = self.lex_token(pos, c);
+            let end = self.pos();
+            self.tokens.push(Token {
+                kind,
+                start: pos,
+                end,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    /// Byte position of the next unconsumed char (or EOF).
+    fn pos(&mut self) -> usize {
+        match self.chars.peek() {
+            Some(&(p, _)) => p,
+            None => self.src.len(),
+        }
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek_char(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    /// The char `n` positions ahead without consuming (0 = next).
+    fn lookahead(&mut self, pos: usize, n: usize) -> Option<char> {
+        self.src[pos..].chars().nth(n)
+    }
+
+    fn lex_token(&mut self, pos: usize, c: char) -> TokenKind {
+        match c {
+            '/' => match self.lookahead(pos, 1) {
+                Some('/') => self.lex_line_comment(),
+                Some('*') => self.lex_block_comment(),
+                _ => self.lex_punct(pos),
+            },
+            '"' => {
+                self.bump();
+                self.lex_str_body()
+            }
+            '\'' => self.lex_quote(pos),
+            'r' => match (self.lookahead(pos, 1), self.lookahead(pos, 2)) {
+                (Some('"'), _) | (Some('#'), Some('"')) | (Some('#'), Some('#')) => {
+                    self.bump();
+                    self.lex_raw_str_body()
+                }
+                // `r#ident` raw identifier.
+                (Some('#'), Some(n)) if is_ident_start(n) => {
+                    self.bump();
+                    self.bump();
+                    self.lex_ident_body()
+                }
+                _ => self.lex_ident_body(),
+            },
+            'b' => match (self.lookahead(pos, 1), self.lookahead(pos, 2)) {
+                (Some('\''), _) => {
+                    self.bump();
+                    self.bump();
+                    self.lex_char_body()
+                }
+                (Some('"'), _) => {
+                    self.bump();
+                    self.bump();
+                    self.lex_str_body()
+                }
+                (Some('r'), Some('"')) | (Some('r'), Some('#')) => {
+                    self.bump();
+                    self.bump();
+                    self.lex_raw_str_body()
+                }
+                _ => self.lex_ident_body(),
+            },
+            d if d.is_ascii_digit() => self.lex_number(pos),
+            i if is_ident_start(i) => self.lex_ident_body(),
+            _ => self.lex_punct(pos),
+        }
+    }
+
+    fn lex_line_comment(&mut self) -> TokenKind {
+        // Consume `//` then everything up to (not including) the newline.
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek_char(), Some('!'))
+            || (matches!(self.peek_char(), Some('/')) && {
+                // `///` is doc, `////…` is not (rustc rule).
+                let after = self.src[self.pos()..].chars().nth(1);
+                after != Some('/')
+            });
+        while let Some(c) = self.peek_char() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn lex_block_comment(&mut self) -> TokenKind {
+        // Consume `/*`; block comments nest.
+        self.bump();
+        self.bump();
+        let doc = match self.peek_char() {
+            Some('!') => true,
+            // `/**/` is empty-not-doc, `/***` is not doc either.
+            Some('*') => !matches!(self.src[self.pos()..].chars().nth(1), Some('*') | Some('/')),
+            _ => false,
+        };
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek_char() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek_char() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// Body of a `"…"` literal; the opening quote is already consumed.
+    fn lex_str_body(&mut self) -> TokenKind {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+        TokenKind::StrLit
+    }
+
+    /// Body of a raw string starting at `#`* `"`; `r`/`br` already consumed.
+    fn lex_raw_str_body(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek_char() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek_char() != Some('"') {
+            // `r#…` that is not a string after all; treat what we saw as
+            // punctuation-ish garbage and resync (cannot happen for valid
+            // Rust, which the workspace is, since it compiles).
+            return TokenKind::Punct;
+        }
+        self.bump();
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek_char() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        TokenKind::RawStrLit
+    }
+
+    /// Body of a char literal; the opening quote is already consumed.
+    fn lex_char_body(&mut self) -> TokenKind {
+        if let Some('\\') = self.bump() {
+            // Escape: `\u{…}` consumes through the brace, any other
+            // escape consumes one char.
+            if self.peek_char() == Some('u') {
+                self.bump();
+                if self.peek_char() == Some('{') {
+                    while let Some(c) = self.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                self.bump();
+            }
+        }
+        if self.peek_char() == Some('\'') {
+            self.bump();
+        }
+        TokenKind::CharLit
+    }
+
+    /// A `'` token: lifetime (`'a`), loop label, or char literal (`'a'`,
+    /// `'{'`). Disambiguation: `'x` followed by another `'` is a char
+    /// literal; `'` followed by a non-identifier char is a char literal
+    /// (`'{'`, `'\n'`); otherwise it is a lifetime.
+    fn lex_quote(&mut self, pos: usize) -> TokenKind {
+        self.bump(); // the opening quote
+        match self.lookahead(pos, 1) {
+            Some('\\') => self.lex_char_body(),
+            Some(c) if is_ident_start(c) => {
+                if self.lookahead(pos, 2) == Some('\'') {
+                    // 'a'
+                    self.lex_char_body()
+                } else {
+                    // Lifetime: consume the identifier.
+                    while let Some(c) = self.peek_char() {
+                        if is_ident_continue(c) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => self.lex_char_body(),
+            None => TokenKind::Punct,
+        }
+    }
+
+    fn lex_ident_body(&mut self) -> TokenKind {
+        while let Some(c) = self.peek_char() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident
+    }
+
+    fn lex_number(&mut self, pos: usize) -> TokenKind {
+        // Tuple access (`x.0`, `x.0.1`): a number directly after a `.`
+        // punct is a field index, never a float — without this, `x.0.1`
+        // would lex its tail as the float `0.1`.
+        let after_dot = matches!(
+            self.tokens.last(),
+            Some(t) if t.kind == TokenKind::Punct && t.text(self.src) == "."
+        );
+        let radix_prefix = matches!(
+            (self.lookahead(pos, 0), self.lookahead(pos, 1)),
+            (Some('0'), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'))
+        );
+        let mut float = false;
+        self.bump();
+        if radix_prefix {
+            self.bump();
+            while let Some(c) = self.peek_char() {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return TokenKind::Number { float: false };
+        }
+        let digits = |lexer: &mut Self| {
+            while let Some(c) = lexer.peek_char() {
+                if c.is_ascii_digit() || c == '_' {
+                    lexer.bump();
+                } else {
+                    break;
+                }
+            }
+        };
+        digits(self);
+        if !after_dot && self.peek_char() == Some('.') {
+            // `1.5`, `1.` — but not ranges (`1..2`) or methods (`1.0.max`
+            // already split) or fields: the dot joins only when the next
+            // char is a digit or ends the literal.
+            let next = self.src[self.pos()..].chars().nth(1);
+            match next {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    digits(self);
+                }
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        if !after_dot && matches!(self.peek_char(), Some('e' | 'E')) {
+            // Exponent only if digits (optionally signed) follow.
+            let mut probe = self.src[self.pos()..].chars().skip(1);
+            let first = probe.next();
+            let exponent = match first {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+' | '-') => matches!(probe.next(), Some(c) if c.is_ascii_digit()),
+                _ => false,
+            };
+            if exponent {
+                float = true;
+                self.bump();
+                if matches!(self.peek_char(), Some('+' | '-')) {
+                    self.bump();
+                }
+                digits(self);
+            }
+        }
+        // Suffix (`f64`, `u32`, `_f32`, …).
+        let suffix_start = self.pos();
+        while let Some(c) = self.peek_char() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let suffix = &self.src[suffix_start..self.pos()];
+        if suffix.contains("f32") || suffix.contains("f64") {
+            float = true;
+        }
+        TokenKind::Number { float }
+    }
+
+    fn lex_punct(&mut self, pos: usize) -> TokenKind {
+        let rest = &self.src[pos..];
+        for op in TWO_CHAR_OPS {
+            if rest.starts_with(op) {
+                self.bump();
+                self.bump();
+                return TokenKind::Punct;
+            }
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden form: `(kind-tag, text)` pairs for the whole stream.
+    fn golden(src: &str) -> Vec<(String, String)> {
+        lex(src)
+            .iter()
+            .map(|t| {
+                let tag = match t.kind {
+                    TokenKind::Ident => "id",
+                    TokenKind::Lifetime => "lt",
+                    TokenKind::CharLit => "ch",
+                    TokenKind::StrLit => "str",
+                    TokenKind::RawStrLit => "raw",
+                    TokenKind::Number { float: true } => "flt",
+                    TokenKind::Number { float: false } => "int",
+                    TokenKind::LineComment { doc: true } => "ldoc",
+                    TokenKind::LineComment { doc: false } => "lc",
+                    TokenKind::BlockComment { doc: true } => "bdoc",
+                    TokenKind::BlockComment { doc: false } => "bc",
+                    TokenKind::Punct => "p",
+                };
+                (tag.to_string(), t.text(src).to_string())
+            })
+            .collect()
+    }
+
+    fn want(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn golden_raw_strings() {
+        assert_eq!(
+            golden(r####"let s = r#"a "quoted" panic!"# ;"####),
+            want(&[
+                ("id", "let"),
+                ("id", "s"),
+                ("p", "="),
+                ("raw", r####"r#"a "quoted" panic!"#"####),
+                ("p", ";"),
+            ])
+        );
+        assert_eq!(
+            golden(r##"r"plain" br#"bytes { } "#"##),
+            want(&[("raw", r#"r"plain""#), ("raw", r##"br#"bytes { } "#"##)])
+        );
+    }
+
+    #[test]
+    fn golden_nested_block_comments() {
+        assert_eq!(
+            golden("a /* outer /* inner { */ still } */ b"),
+            want(&[
+                ("id", "a"),
+                ("bc", "/* outer /* inner { */ still } */"),
+                ("id", "b"),
+            ])
+        );
+        assert_eq!(
+            golden("/** docs */ /*! inner */ /* plain */ x"),
+            want(&[
+                ("bdoc", "/** docs */"),
+                ("bdoc", "/*! inner */"),
+                ("bc", "/* plain */"),
+                ("id", "x"),
+            ])
+        );
+    }
+
+    #[test]
+    fn golden_char_vs_lifetime() {
+        assert_eq!(
+            golden("if c == '{' { x::<'a>('}') }"),
+            want(&[
+                ("id", "if"),
+                ("id", "c"),
+                ("p", "=="),
+                ("ch", "'{'"),
+                ("p", "{"),
+                ("id", "x"),
+                ("p", "::"),
+                ("p", "<"),
+                ("lt", "'a"),
+                ("p", ">"),
+                ("p", "("),
+                ("ch", "'}'"),
+                ("p", ")"),
+                ("p", "}"),
+            ])
+        );
+        assert_eq!(
+            golden(r"'x' 'static '_ '\'' '\u{1F600}' b'\n'"),
+            want(&[
+                ("ch", "'x'"),
+                ("lt", "'static"),
+                ("lt", "'_"),
+                ("ch", r"'\''"),
+                ("ch", r"'\u{1F600}'"),
+                ("ch", r"b'\n'"),
+            ])
+        );
+    }
+
+    #[test]
+    fn golden_doc_comments() {
+        assert_eq!(
+            golden("//! inner doc\n/// outer doc\n//// not doc\n// plain\ncode"),
+            want(&[
+                ("ldoc", "//! inner doc"),
+                ("ldoc", "/// outer doc"),
+                ("lc", "//// not doc"),
+                ("lc", "// plain"),
+                ("id", "code"),
+            ])
+        );
+    }
+
+    #[test]
+    fn golden_numbers() {
+        assert_eq!(
+            golden("1 1.0 1. 1e-9 2f64 0xFF 0x1e5 1_000.5 x.0.1 1..2"),
+            want(&[
+                ("int", "1"),
+                ("flt", "1.0"),
+                ("flt", "1."),
+                ("flt", "1e-9"),
+                ("flt", "2f64"),
+                ("int", "0xFF"),
+                ("int", "0x1e5"),
+                ("flt", "1_000.5"),
+                ("id", "x"),
+                ("p", "."),
+                ("int", "0"),
+                ("p", "."),
+                ("int", "1"),
+                ("int", "1"),
+                ("p", ".."),
+                ("int", "2"),
+            ])
+        );
+    }
+
+    #[test]
+    fn golden_strings_hide_code() {
+        // The canonical false positive the line-based scanner had: panic
+        // patterns and braces inside string literals must lex as string
+        // tokens, not code.
+        assert_eq!(
+            golden(r#"let m = "do not panic! {"; x.unwrap();"#),
+            want(&[
+                ("id", "let"),
+                ("id", "m"),
+                ("p", "="),
+                ("str", r#""do not panic! {""#),
+                ("p", ";"),
+                ("id", "x"),
+                ("p", "."),
+                ("id", "unwrap"),
+                ("p", "("),
+                ("p", ")"),
+                ("p", ";"),
+            ])
+        );
+    }
+
+    #[test]
+    fn golden_raw_idents_and_escapes() {
+        assert_eq!(
+            golden(r#"r#match r"s" "esc \" \\" b"b""#),
+            want(&[
+                ("id", "r#match"),
+                ("raw", r#"r"s""#),
+                ("str", r#""esc \" \\""#),
+                ("str", r#"b"b""#),
+            ])
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb \"x\ny\" c";
+        let toks = lex(src);
+        let lines: Vec<(String, usize)> = toks
+            .iter()
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 1),
+                ("/* one\ntwo */".to_string(), 2),
+                ("b".to_string(), 4),
+                ("\"x\ny\"".to_string(), 4),
+                ("c".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("r#\"never closed").len(), 1);
+        assert_eq!(lex("'").len(), 1);
+    }
+}

@@ -1,291 +1,262 @@
 //! Workspace maintenance tasks, driven as `cargo run -p xtask -- <task>`.
 //!
-//! ## `lint` — panic-lint ratchet
+//! ## `lint` — the static-analysis suite
 //!
-//! Statically scans the simulator's non-test sources
-//! (`crates/sim/src`, excluding `#[cfg(test)]` modules) for panicking
-//! escape hatches — `.unwrap()`, `.expect(`, `panic!` — and holds the
-//! count to a checked-in baseline (`crates/xtask/lint-baseline.txt`).
-//! The ratchet only turns one way:
+//! ```text
+//! cargo run -p xtask -- lint [--only=<name>] [--update-baseline]
+//! ```
 //!
-//! - a file exceeding its baselined count **fails** the lint (new
-//!   panics must become `SimError` returns, or carry an allowlist
-//!   justification);
-//! - a total below the baseline also fails, with instructions to run
-//!   `--update-baseline` — improvements are locked in immediately so
-//!   they cannot silently regress.
+//! Runs a token-level static-analysis pass over the workspace: sources
+//! are lexed (strings, raw strings, char literals, nested block
+//! comments, lifetimes — see `lexer.rs`) so lints match *code tokens*,
+//! never prose or literal contents. Four lints ship (see `lints.rs`):
+//! `panic`, `kernel-purity`, `crate-layering`, `float-eq`. Each holds
+//! its findings to a checked-in one-way ratchet baseline under
+//! `crates/xtask/baselines/` and honors `lint:allow(<name>)`
+//! justification comments; every run writes a machine-readable report to
+//! `target/lint-report.json`.
 //!
-//! A site that is infallible by construction can be allowlisted by a
-//! justification comment containing `lint:allow(panic)` on the line
-//! itself or within the five lines above it; the justification is part
-//! of the comment, so every suppressed site documents *why* it cannot
-//! fire.
-//!
-//! The scanner is deliberately line-based (comments stripped, test
-//! modules skipped by brace tracking): it is a ratchet against new
-//! unaudited panic sites, not a parser. Sites it cannot see (indexing,
-//! arithmetic overflow, explicit `assert!`) are out of scope — those
-//! carry `# Panics` docs instead.
+//! Sites the lexer-level lints cannot see (indexing, arithmetic
+//! overflow, explicit `assert!`) are out of scope — those carry
+//! `# Panics` docs instead.
 
-use std::fmt::Write as _;
+mod baseline;
+mod engine;
+mod lexer;
+mod lints;
+mod report;
+mod source;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Source tree the lint audits (library code only; tests and benches may
-/// panic freely).
-const LINT_ROOT: &str = "crates/sim/src";
-/// Checked-in ratchet state.
-const BASELINE: &str = "crates/xtask/lint-baseline.txt";
-/// Suppression marker; must live in a comment on the offending line or
-/// within `ALLOW_WINDOW` lines above it.
-const ALLOW_MARKER: &str = "lint:allow(panic)";
-const ALLOW_WINDOW: usize = 5;
-/// The panicking escape hatches the ratchet counts.
-const PATTERNS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
-
-/// One un-allowlisted panic site.
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    pattern: &'static str,
-    text: String,
-}
+use engine::{FileCache, LintOutcome, Status};
+use lints::LINTS;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
         Some("lint") => {
-            let update = args.any(|a| a == "--update-baseline");
-            lint(update)
+            let mut only: Option<String> = None;
+            let mut update = false;
+            for arg in &args[1..] {
+                if arg == "--update-baseline" {
+                    update = true;
+                } else if let Some(name) = arg.strip_prefix("--only=") {
+                    only = Some(name.to_string());
+                } else {
+                    eprintln!("xtask lint: unknown flag {arg:?}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            lint(only.as_deref(), update)
         }
         other => {
-            eprintln!(
-                "usage: cargo run -p xtask -- lint [--update-baseline]\n\
-                 unknown task: {other:?}"
-            );
+            eprintln!("unknown task: {other:?}\n{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint(update_baseline: bool) -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root.join(LINT_ROOT), &mut files);
-    files.sort();
-    let mut findings = Vec::new();
-    for file in &files {
-        let src = match fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("xtask lint: cannot read {}: {e}", file.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
-        scan_file(&rel, &src, &mut findings);
-    }
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--only=<name>] [--update-baseline]";
 
-    // Per-file counts, path-sorted for a stable baseline file.
-    let mut counts: Vec<(String, usize)> = Vec::new();
-    for f in &findings {
-        let key = f.file.display().to_string().replace('\\', "/");
-        match counts.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, c)) => *c += 1,
-            None => counts.push((key, 1)),
-        }
-    }
-    counts.sort();
-    let total: usize = counts.iter().map(|(_, c)| c).sum();
-
-    let baseline_path = root.join(BASELINE);
-    if update_baseline {
-        let mut out = String::from(
-            "# Panic-lint ratchet baseline: un-allowlisted `.unwrap()` / `.expect(` /\n\
-             # `panic!` sites in non-test code under crates/sim/src. Maintained by\n\
-             # `cargo run -p xtask -- lint --update-baseline`; counts may only go down.\n",
-        );
-        let _ = writeln!(out, "total {total}");
-        for (file, count) in &counts {
-            let _ = writeln!(out, "{file} {count}");
-        }
-        if let Err(e) = fs::write(&baseline_path, out) {
-            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
-            return ExitCode::FAILURE;
-        }
-        println!("xtask lint: baseline updated ({total} finding(s))");
-        return ExitCode::SUCCESS;
-    }
-
-    let baseline = match fs::read_to_string(&baseline_path) {
-        Ok(s) => s,
+fn lint(only: Option<&str>, update_baseline: bool) -> ExitCode {
+    let root = match workspace_root() {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!(
-                "xtask lint: cannot read baseline {}: {e}\n\
-                 run `cargo run -p xtask -- lint --update-baseline` to create it",
-                baseline_path.display()
-            );
+            eprintln!("xtask lint: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let mut base_total = 0usize;
-    let mut base_counts: Vec<(String, usize)> = Vec::new();
-    for line in baseline.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (name, count) = match line.rsplit_once(' ') {
-            Some(split) => split,
-            None => continue,
+    let selected: Vec<_> = match only {
+        Some(name) => match engine::spec_by_name(name) {
+            Some(spec) => vec![spec],
+            None => {
+                let known: Vec<&str> = LINTS.iter().map(|s| s.name).collect();
+                eprintln!(
+                    "xtask lint: unknown lint {name:?}; known: {}",
+                    known.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => LINTS.iter().collect(),
+    };
+
+    let mut cache = FileCache::default();
+    let mut outcomes: Vec<LintOutcome> = Vec::new();
+    for spec in selected {
+        let (findings, files_scanned) = match engine::run_lint(spec, &root, &mut cache) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask lint [{}]: {e}", spec.name);
+                return ExitCode::FAILURE;
+            }
         };
-        let count: usize = match count.parse() {
-            Ok(c) => c,
-            Err(_) => continue,
-        };
-        if name == "total" {
-            base_total = count;
+        if update_baseline {
+            let counts = engine::count_by_file(&findings);
+            let total: usize = counts.values().sum();
+            if let Err(e) = baseline::save(
+                &baseline::path(&root, spec.name),
+                spec.name,
+                spec.description,
+                &counts,
+            ) {
+                eprintln!("xtask lint [{}]: {e}", spec.name);
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "xtask lint [{}]: baseline updated ({total} finding(s))",
+                spec.name
+            );
+            outcomes.push(LintOutcome {
+                name: spec.name,
+                description: spec.description,
+                status: Status::Updated,
+                files_scanned,
+                total,
+                baseline_total: total,
+                findings,
+            });
         } else {
-            base_counts.push((name.to_string(), count));
+            outcomes.push(engine::ratchet(spec, &root, findings, files_scanned));
         }
     }
 
+    if let Err(e) = write_report(&root, &outcomes) {
+        eprintln!("xtask lint: {e}");
+        return ExitCode::FAILURE;
+    }
+
     let mut failed = false;
-    for (file, count) in &counts {
-        let allowed = base_counts
-            .iter()
-            .find(|(k, _)| k == file)
-            .map(|(_, c)| *c)
-            .unwrap_or(0);
-        if *count > allowed {
-            failed = true;
-            eprintln!("xtask lint: {file}: {count} finding(s), baseline allows {allowed}:");
-            for f in findings
-                .iter()
-                .filter(|f| f.file.display().to_string().replace('\\', "/") == *file)
-            {
-                eprintln!("  {}:{}: `{}` in: {}", file, f.line, f.pattern, f.text);
+    for o in &outcomes {
+        match o.status {
+            Status::Updated => {}
+            Status::Ok => {
+                println!(
+                    "xtask lint [{}]: ok ({} finding(s), baseline {}, {} file(s))",
+                    o.name, o.total, o.baseline_total, o.files_scanned
+                );
+            }
+            Status::NoBaseline => {
+                failed = true;
+                eprintln!(
+                    "xtask lint [{}]: missing baseline {} — run\n\
+                     `cargo run -p xtask -- lint --only={} --update-baseline` to create it",
+                    o.name,
+                    baseline::path(&root, o.name).display(),
+                    o.name
+                );
+            }
+            Status::Improved => {
+                failed = true;
+                eprintln!(
+                    "xtask lint [{}]: {} finding(s), below the baselined {} — nice;\n\
+                     lock it in with `cargo run -p xtask -- lint --only={} --update-baseline`",
+                    o.name, o.total, o.baseline_total, o.name
+                );
+            }
+            Status::Failed => {
+                failed = true;
+                let base = baseline::load(&baseline::path(&root, o.name)).unwrap_or_default();
+                let counts = engine::count_by_file(&o.findings);
+                for (file, count) in &counts {
+                    let allowed = base.per_file.get(file).copied().unwrap_or(0);
+                    if *count > allowed {
+                        eprintln!(
+                            "xtask lint [{}]: {file}: {count} finding(s), baseline allows {allowed}:",
+                            o.name
+                        );
+                        for f in o.findings.iter().filter(|f| &f.file == file) {
+                            eprintln!("  {}:{}: `{}` in: {}", file, f.line, f.pattern, f.snippet);
+                        }
+                    }
+                }
+                eprintln!(
+                    "xtask lint [{}]: new findings — fix them, or justify each site with a\n\
+                     `lint:allow({})` comment on the line or within 5 lines above",
+                    o.name, o.name
+                );
             }
         }
     }
     if failed {
-        eprintln!(
-            "xtask lint: new panic sites in library code — return a SimError instead, or\n\
-             justify infallibility with a `{ALLOW_MARKER}` comment at the site"
-        );
-        return ExitCode::FAILURE;
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
-    if total < base_total {
-        eprintln!(
-            "xtask lint: {total} finding(s), below the baselined {base_total} — nice;\n\
-             lock it in with `cargo run -p xtask -- lint --update-baseline`"
-        );
-        return ExitCode::FAILURE;
-    }
-    println!("xtask lint: ok ({total} finding(s), baseline {base_total})");
-    ExitCode::SUCCESS
 }
 
-/// Scans one source file, appending un-allowlisted findings.
-///
-/// `#[cfg(test)]`-gated modules are skipped by tracking the brace depth
-/// of the `mod` item the attribute precedes; line comments are stripped
-/// before pattern matching so prose about panicking is not counted.
-fn scan_file(rel: &Path, src: &str, findings: &mut Vec<Finding>) {
-    let lines: Vec<&str> = src.lines().collect();
-    // Depth of the currently skipped test module, if any: the module is
-    // skipped from its opening brace until the matching close.
-    let mut skip_depth: Option<i64> = None;
-    let mut depth: i64 = 0;
-    let mut pending_test_attr = false;
-    for (idx, raw) in lines.iter().enumerate() {
-        let code = strip_line_comment(raw);
-        let trimmed = code.trim();
-        if skip_depth.is_none() {
-            if trimmed.starts_with("#[cfg(test)]") {
-                pending_test_attr = true;
-            } else if pending_test_attr && trimmed.starts_with("mod ") {
-                if trimmed.contains('{') {
-                    skip_depth = Some(depth);
-                    pending_test_attr = false;
-                }
-                // `mod name;` (file module): nothing to skip inline.
-                if trimmed.ends_with(';') {
-                    pending_test_attr = false;
-                }
-            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
-                pending_test_attr = false;
-            }
-        }
-        let in_skip = skip_depth.is_some();
-        for ch in code.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if let Some(d) = skip_depth {
-                        if depth <= d {
-                            skip_depth = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        if in_skip {
+fn write_report(root: &Path, outcomes: &[LintOutcome]) -> Result<(), String> {
+    let dir = root.join("target");
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("lint-report.json");
+    fs::write(&path, report::render(outcomes))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Finds the workspace root regardless of the invoking working
+/// directory: walk up from `CARGO_MANIFEST_DIR` (set by `cargo run`) or,
+/// when absent (the binary invoked directly), from the current directory,
+/// looking for the `Cargo.toml` that declares `[workspace]` and contains
+/// this tool's crate. Fails with a clear message otherwise.
+fn workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .ok_or_else(|| "cannot determine a starting directory".to_string())?;
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
             continue;
         }
-        for pattern in PATTERNS {
-            if !code.contains(pattern) {
-                continue;
-            }
-            let allowed =
-                (idx.saturating_sub(ALLOW_WINDOW)..=idx).any(|k| lines[k].contains(ALLOW_MARKER));
-            if !allowed {
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: idx + 1,
-                    pattern,
-                    text: raw.trim().to_string(),
-                });
-            }
+        let Ok(text) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        if text.contains("[workspace]") && dir.join("crates/xtask/Cargo.toml").is_file() {
+            return Ok(dir.to_path_buf());
         }
     }
+    Err(format!(
+        "no workspace root found above {} — run from inside the autockt workspace \
+         (the root Cargo.toml declares [workspace] and crates/xtask)",
+        start.display()
+    ))
 }
 
-/// Drops a `//` line comment, leaving string literals intact enough for
-/// this lint's purposes (a `//` inside a string would truncate the line,
-/// which can only under-count — the ratchet direction that is safe).
-fn strip_line_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_the_manifest_dir() {
+        // Under `cargo test` CARGO_MANIFEST_DIR points at crates/xtask;
+        // discovery must land on the workspace root above it.
+        let root = workspace_root().expect("root discoverable");
+        assert!(root.join("crates/sim/src").is_dir());
+        assert!(root.join("Cargo.toml").is_file());
     }
-}
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let entries = match fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(_) => return,
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+    /// End-to-end: the committed baselines must be exactly in sync with
+    /// the tree — the same invariant CI enforces, kept close to the code
+    /// so `cargo test -p xtask` catches drift before CI does.
+    #[test]
+    fn committed_baselines_match_the_tree() {
+        let root = workspace_root().expect("root discoverable");
+        let mut cache = FileCache::default();
+        for spec in LINTS {
+            let (findings, files) = engine::run_lint(spec, &root, &mut cache).expect("lint runs");
+            let outcome = engine::ratchet(spec, &root, findings, files);
+            assert_eq!(
+                outcome.status,
+                Status::Ok,
+                "lint {} out of sync: {} finding(s) vs baseline {} — findings: {:#?}",
+                spec.name,
+                outcome.total,
+                outcome.baseline_total,
+                outcome.findings
+            );
         }
     }
-}
-
-/// The workspace root: this binary always runs via `cargo run -p xtask`,
-/// so the manifest dir's grandparent is the root.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
-        .unwrap_or(manifest)
 }

@@ -1,0 +1,100 @@
+//! Machine-readable lint report (`target/lint-report.json`).
+//!
+//! Hand-rolled JSON (the workspace builds offline, without serde): the
+//! schema is small and append-only. Consumers: the CI artifact upload
+//! and any tooling that wants per-lint finding lists without re-running
+//! the scan.
+
+use std::fmt::Write as _;
+
+use crate::engine::LintOutcome;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report document.
+pub fn render(outcomes: &[LintOutcome]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n  \"lints\": [\n");
+    for (li, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", esc(o.name));
+        let _ = writeln!(s, "      \"description\": \"{}\",", esc(o.description));
+        let _ = writeln!(s, "      \"status\": \"{}\",", o.status.as_str());
+        let _ = writeln!(s, "      \"files_scanned\": {},", o.files_scanned);
+        let _ = writeln!(s, "      \"total\": {},", o.total);
+        let _ = writeln!(s, "      \"baseline\": {},", o.baseline_total);
+        let _ = writeln!(s, "      \"findings\": [");
+        for (fi, f) in o.findings.iter().enumerate() {
+            let comma = if fi + 1 < o.findings.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"file\": \"{}\", \"line\": {}, \"pattern\": \"{}\", \"snippet\": \"{}\"}}{comma}",
+                esc(&f.file),
+                f.line,
+                esc(&f.pattern),
+                esc(&f.snippet)
+            );
+        }
+        let comma = if li + 1 < outcomes.len() { "," } else { "" };
+        let _ = writeln!(s, "      ]");
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{LintOutcome, Status};
+    use crate::lints::Finding;
+
+    #[test]
+    fn report_is_valid_enough_json() {
+        let outcomes = vec![LintOutcome {
+            name: "panic",
+            description: "desc with \"quotes\"",
+            status: Status::Ok,
+            files_scanned: 3,
+            total: 1,
+            baseline_total: 1,
+            findings: vec![Finding {
+                file: "crates/a/src/lib.rs".into(),
+                line: 7,
+                pattern: ".unwrap()".into(),
+                snippet: "let x = y.unwrap(); // \"quoted\"".into(),
+            }],
+        }];
+        let doc = render(&outcomes);
+        assert!(doc.contains("\"schema\": 1"));
+        assert!(doc.contains("\\\"quotes\\\""));
+        assert!(doc.contains("\"line\": 7"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = doc.matches('{').count() + doc.matches('[').count();
+        let closes = doc.matches('}').count() + doc.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(esc("a\tb\nc"), "a\\tb\\nc");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

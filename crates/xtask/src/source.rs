@@ -1,0 +1,271 @@
+//! Per-file analysis model shared by all lints.
+//!
+//! A [`SourceFile`] is a lexed source file plus the two derived views the
+//! lints need:
+//!
+//! - `code`: indices of non-comment tokens, so lints match patterns
+//!   against code only;
+//! - `in_test`: a mask over `code` marking tokens inside `#[cfg(test)]`
+//!   items or `#[test]` functions, computed by *token-level* brace
+//!   matching — braces inside string or char literals are string/char
+//!   tokens here, so they can never desync the tracker (the failure mode
+//!   of the old line-based scanner).
+//!
+//! Suppression: a finding on line `L` is allowlisted when a comment
+//! token overlapping lines `[L - ALLOW_WINDOW, L]` contains
+//! `lint:allow(<lint-name>)`. The justification lives in the same
+//! comment, so every suppressed site documents why it cannot fire.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// How far above a finding (in lines) an allow comment may sit.
+pub const ALLOW_WINDOW: usize = 5;
+
+/// A lexed source file with lint-ready views.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (stable across OSes).
+    pub rel: String,
+    pub src: String,
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    pub code: Vec<usize>,
+    /// Aligned with `code`: true for tokens inside test-gated items.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn new(rel: String, src: String) -> Self {
+        let tokens = lex(&src);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].kind.is_comment())
+            .collect();
+        let in_test = test_mask(&tokens, &code, &src);
+        SourceFile {
+            rel,
+            src,
+            tokens,
+            code,
+            in_test,
+        }
+    }
+
+    /// Text of the `i`-th *code* token.
+    pub fn code_text(&self, i: usize) -> &str {
+        self.tokens[self.code[i]].text(&self.src)
+    }
+
+    /// Kind of the `i`-th *code* token.
+    pub fn code_kind(&self, i: usize) -> TokenKind {
+        self.tokens[self.code[i]].kind
+    }
+
+    /// Line of the `i`-th *code* token.
+    pub fn code_line(&self, i: usize) -> usize {
+        self.tokens[self.code[i]].line
+    }
+
+    /// Whether `marker` (e.g. `lint:allow(panic)`) appears in a comment
+    /// on `line` or within [`ALLOW_WINDOW`] lines above it.
+    pub fn allowed(&self, line: usize, marker: &str) -> bool {
+        let lo = line.saturating_sub(ALLOW_WINDOW);
+        self.tokens.iter().any(|t| {
+            t.kind.is_comment() && {
+                let text = t.text(&self.src);
+                let start = t.line;
+                let end = start + text.matches('\n').count();
+                start <= line && end >= lo && text.contains(marker)
+            }
+        })
+    }
+
+    /// The full source line (1-based) a finding sits on, trimmed — used
+    /// for human-readable snippets.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+    }
+}
+
+/// Computes the test mask over the code-token view.
+///
+/// Recognized gates, both applied to the item that follows (skipping any
+/// further attributes): `#[cfg(test)]` and `#[test]`. The gated region
+/// runs from the attribute through the item's matching close brace (or
+/// its `;` for brace-less items). `#[cfg(not(test))]` and other cfg
+/// predicates are *not* test gates: the match is the exact token
+/// sequence `cfg ( test )`.
+fn test_mask(tokens: &[Token], code: &[usize], src: &str) -> Vec<bool> {
+    let n = code.len();
+    let mut mask = vec![false; n];
+    let text = |i: usize| tokens[code[i]].text(src);
+    let mut i = 0usize;
+    while i < n {
+        if text(i) != "#" || i + 1 >= n || text(i + 1) != "[" {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = parse_attr(tokens, code, src, i);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Find the gated item's body: skip trailing attributes, then scan
+        // to the first `{` (body start) or a terminating `;` (brace-less
+        // item such as `mod tests;` — nothing inline to mark).
+        let mut k = attr_end;
+        let mut body = None;
+        while k < n {
+            if text(k) == "#" && k + 1 < n && text(k + 1) == "[" {
+                k = parse_attr(tokens, code, src, k).0;
+                continue;
+            }
+            match text(k) {
+                "{" => {
+                    body = Some(k);
+                    break;
+                }
+                ";" => break,
+                _ => k += 1,
+            }
+        }
+        let Some(body) = body else {
+            mask[i..k.min(n)].fill(true);
+            i = k.min(n).max(i + 1);
+            continue;
+        };
+        // Mark through the matching close brace.
+        let mut depth = 0i64;
+        let mut k = body;
+        while k < n {
+            match text(k) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = k.min(n - 1);
+        mask[i..=end].fill(true);
+        i = end + 1;
+    }
+    mask
+}
+
+/// Parses an attribute starting at code index `i` (which holds `#`, with
+/// `[` at `i + 1`). Returns the code index one past the closing `]` and
+/// whether the attribute is a test gate.
+fn parse_attr(tokens: &[Token], code: &[usize], src: &str, i: usize) -> (usize, bool) {
+    let n = code.len();
+    let text = |k: usize| tokens[code[k]].text(src);
+    let mut depth = 0i64;
+    let mut k = i + 1;
+    let body_start = i + 2;
+    while k < n {
+        match text(k) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let body_end = k.min(n); // exclusive of `]`
+    let body: Vec<&str> = (body_start..body_end).map(text).collect();
+    let is_test = body == ["test"] || body == ["cfg", "(", "test", ")"];
+    (body_end.saturating_add(1).min(n), is_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("test.rs".into(), src.into())
+    }
+
+    /// Code-token texts outside test regions.
+    fn non_test_code(f: &SourceFile) -> Vec<&str> {
+        (0..f.code.len())
+            .filter(|&i| !f.in_test[i])
+            .map(|i| f.code_text(i))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let f = file(
+            "fn lib() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n\
+             fn after() {}\n",
+        );
+        let outside = non_test_code(&f);
+        assert!(!outside.contains(&"unwrap"));
+        assert!(outside.contains(&"lib"));
+        assert!(outside.contains(&"after"));
+    }
+
+    #[test]
+    fn string_braces_cannot_desync_the_mask() {
+        // Regression for the line-based scanner: a `"}"` literal inside a
+        // test module ended the skip early, and a `"{"` before it shifted
+        // depth forever. Token-level tracking sees string tokens, not
+        // braces.
+        let f = file(
+            "pub fn open() -> &'static str { \"{\" }\n\
+             #[cfg(test)]\nmod tests {\n    const CLOSE: &str = \"}\";\n    fn t() { y.unwrap(); }\n}\n\
+             pub fn close(c: char) -> bool { c == '}' }\n\
+             fn real() { z.unwrap(); }\n",
+        );
+        let outside = non_test_code(&f);
+        // The test-module unwrap is masked; the library one is not.
+        assert_eq!(outside.iter().filter(|t| **t == "unwrap").count(), 1);
+        assert!(outside.contains(&"real"));
+        assert!(outside.contains(&"close"));
+    }
+
+    #[test]
+    fn test_fn_and_stacked_attrs_are_masked() {
+        let f = file(
+            "#[test]\n#[should_panic]\nfn boom() { panic!(\"x\") }\n\
+             fn keep() { val.unwrap() }\n",
+        );
+        let outside = non_test_code(&f);
+        assert!(!outside.contains(&"panic"));
+        assert!(outside.contains(&"unwrap"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_gate() {
+        let f = file("#[cfg(not(test))]\nfn live() { a.unwrap(); }\n");
+        assert!(non_test_code(&f).contains(&"unwrap"));
+    }
+
+    #[test]
+    fn allow_marker_window() {
+        let f = file(
+            "// lint:allow(panic) — infallible by construction\n\
+             fn a() { x.unwrap(); }\n\n\n\n\n\n\
+             fn b() { y.unwrap(); }\n",
+        );
+        assert!(f.allowed(2, "lint:allow(panic)"));
+        assert!(!f.allowed(8, "lint:allow(panic)"));
+    }
+
+    #[test]
+    fn allow_marker_in_strings_or_prose_does_not_count() {
+        let f = file("fn a() { let _ = \"lint:allow(panic)\"; x.unwrap(); }\n");
+        assert!(!f.allowed(1, "lint:allow(panic)"));
+    }
+}
