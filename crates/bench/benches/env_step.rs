@@ -237,7 +237,7 @@ fn benches(c: &mut Criterion) {
 /// — the same [`AcKernelCase`] workloads as `bench_env_step`'s soa-lu
 /// section, so the two harnesses cannot drift apart.
 fn bench_ac_kernels(c: &mut Criterion) {
-    for case in ac_kernel_cases() {
+    for case in ac_kernel_cases().expect("center-design kernel workloads build") {
         let AcKernelCase {
             name,
             n,
@@ -319,7 +319,7 @@ fn bench_noise_corners(c: &mut Criterion) {
     use autockt_sim::dc::OpPoint;
     use autockt_sim::noise::{noise_analysis_batch, noise_analysis_corners, noise_analysis_ws};
     for depth in [0usize, 4] {
-        let case = autockt_bench::tia_noise_corner_case(depth);
+        let case = autockt_bench::tia_noise_corner_case(depth).expect("TIA corner workload builds");
         let solvers: Vec<AcSolver<'_>> = case
             .ckts
             .iter()
@@ -367,5 +367,49 @@ fn bench_noise_corners(c: &mut Criterion) {
     }
 }
 
-criterion_group!(bench_group, benches, bench_ac_kernels, bench_noise_corners);
+/// One full TIA corner-set settling integration (6 corners x 2048
+/// trapezoidal steps on a shared window) through the serial per-corner
+/// `step_response` loop and the corner-batched
+/// `step_response_corners` kernel (propagator at dense dims, Woodbury
+/// at sparse dims) — over the same
+/// [`autockt_bench::SettleCornerCase`] workloads as `bench_env_step`'s
+/// settle-corner section.
+fn bench_settle_corners(c: &mut Criterion) {
+    use autockt_sim::ac::AcSolver;
+    use autockt_sim::tran::step_response_corners;
+    for depth in [0usize, 4] {
+        let case = autockt_bench::tia_settle_corner_case(depth)
+            .expect("TIA settle corner workload builds");
+        let solvers: Vec<AcSolver<'_>> = case
+            .ckts
+            .iter()
+            .zip(&case.ops)
+            .map(|(ckt, op)| AcSolver::new(ckt, op))
+            .collect();
+        let refs: Vec<&AcSolver<'_>> = solvers.iter().collect();
+        let outs = vec![case.out; solvers.len()];
+        c.bench_function(&format!("settle_corners_serial_tia_mesh{depth}"), |b| {
+            b.iter(|| {
+                for s in &solvers {
+                    let r = s.step_response(case.out, case.t_stop, case.steps);
+                    black_box(r.expect("corner settles").1.last().copied());
+                }
+            });
+        });
+        c.bench_function(&format!("settle_corners_corrected_tia_mesh{depth}"), |b| {
+            b.iter(|| {
+                let r = step_response_corners(&refs, &outs, case.t_stop, case.steps);
+                black_box(r.len())
+            });
+        });
+    }
+}
+
+criterion_group!(
+    bench_group,
+    benches,
+    bench_ac_kernels,
+    bench_noise_corners,
+    bench_settle_corners
+);
 criterion_main!(bench_group);

@@ -98,7 +98,7 @@ fn bench_full_spec_eval(c: &mut Criterion) {
 /// drives the identical cases).
 fn bench_sparse_lu(c: &mut Criterion) {
     for depth in [4usize, 16] {
-        let case = tia_mesh_kernel_case(depth);
+        let case = tia_mesh_kernel_case(depth).expect("TIA mesh workload builds");
         let (n, w) = (case.n, case.w);
 
         let mut soa = ComplexLuSoa::empty();

@@ -51,6 +51,15 @@
 //!   (`noise_analysis_corners`, base factor + Woodbury with shared
 //!   per-source base solves — the warm fast path), at stock and dense
 //!   mesh dims.
+//! - **settle-corner** — one full TIA corner-set settling integration
+//!   (2048 trapezoidal steps per corner on a shared time window), run
+//!   serial per corner (`step_response`, the pre-batching behaviour),
+//!   corner-batched (`step_response_corners`: a precomputed affine
+//!   propagator per corner at dense dims, one base companion factor +
+//!   per-corner Woodbury corrections at sparse dims), and symbolic-shared
+//!   (`step_response_corners_shared`: one sparse symbolic analysis +
+//!   AMD ordering, `refactor` per corner), at the stock/dense mesh
+//!   dims and at the sparse-backend mesh dims.
 //! - **sparse-solver** — the dense SoA refactor+solve path versus the
 //!   CSC sparse-LU refactor path (symbolic analysis reused, values
 //!   rewritten per point) on the TIA's extracted mesh systems from the
@@ -66,14 +75,14 @@
 //!   strongly connected block.
 //!
 //! Prints a comparison table and writes `results/BENCH_env_step.json`
-//! (schema `autockt/bench_env_step/v6`) so CI can archive the trajectory.
+//! (schema `autockt/bench_env_step/v7`) so CI can archive the trajectory.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
 //! (`--steps N`, `--episode H`, `--seed S` to override).
 
 use autockt_bench::{
     ac_kernel_cases, arg_value, dense_kernel_case, results_dir, tia_mesh_kernel_case,
-    tia_noise_corner_case, AcKernelCase, NoiseCornerCase,
+    tia_noise_corner_case, tia_settle_corner_case, AcKernelCase, NoiseCornerCase, SettleCornerCase,
 };
 use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SharedMemo, SimMode, SizingProblem, Tia};
 use autockt_core::{EnvConfig, SizingEnv, TargetMode};
@@ -86,6 +95,7 @@ use autockt_sim::linalg::structure::BtfLu;
 use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
 use autockt_sim::noise::{noise_analysis_batch, noise_analysis_corners, noise_analysis_ws};
 use autockt_sim::pex::PexConfig;
+use autockt_sim::tran::{step_response_corners, step_response_corners_shared};
 use autockt_sim::SolverConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -274,6 +284,59 @@ fn time_noise_corner_paths(case: &NoiseCornerCase, iters: u32) -> NoiseCornerSta
         serial_us,
         corrected_us,
         batch_us,
+    }
+}
+
+struct SettleCornerStats {
+    serial_us: f64,
+    corrected_us: f64,
+    shared_us: f64,
+}
+
+/// One full corner-set settling integration per iteration through the
+/// three paths — serial per corner (`step_response`), corner-batched
+/// (`step_response_corners`: propagator at dense dims, Woodbury at
+/// sparse dims), and symbolic-shared sparse
+/// (`step_response_corners_shared`) — over the shared
+/// [`SettleCornerCase`] workload (the criterion `settle_corners_*`
+/// benches drive the identical cases).
+fn time_settle_corner_paths(case: &SettleCornerCase, iters: u32) -> SettleCornerStats {
+    let solvers: Vec<AcSolver<'_>> = case
+        .ckts
+        .iter()
+        .zip(&case.ops)
+        .map(|(c, op)| AcSolver::new(c, op))
+        .collect();
+    let refs: Vec<&AcSolver<'_>> = solvers.iter().collect();
+    let outs = vec![case.out; solvers.len()];
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for s in &solvers {
+            let r = s.step_response(case.out, case.t_stop, case.steps);
+            black_box(r.expect("corner settles").1.last().copied());
+        }
+    }
+    let serial_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let r = step_response_corners(&refs, &outs, case.t_stop, case.steps);
+        black_box(r.len());
+    }
+    let corrected_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let r = step_response_corners_shared(&refs, &outs, case.t_stop, case.steps);
+        black_box(r.len());
+    }
+    let shared_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    SettleCornerStats {
+        serial_us,
+        corrected_us,
+        shared_us,
     }
 }
 
@@ -694,7 +757,8 @@ fn main() {
         };
         let serial_p = build(CornerStrategy::Serial);
         let batched_p = build(CornerStrategy::Batched);
-        let dim = autockt_bench::extracted_center_dim(serial_p.name(), &pex);
+        let dim = autockt_bench::extracted_center_dim(serial_p.name(), &pex)
+            .expect("known benchmark topology");
         let serial = run_walk(
             &serial_p,
             SimMode::PexWorstCase,
@@ -753,7 +817,7 @@ fn main() {
     );
     let mut noise_rows = Vec::new();
     for depth in [0usize, 4] {
-        let case = tia_noise_corner_case(depth);
+        let case = tia_noise_corner_case(depth).expect("TIA corner workload builds");
         let iters = if depth == 0 { 400 } else { 60 };
         let st = time_noise_corner_paths(&case, iters);
         let corr_x = st.serial_us / st.corrected_us;
@@ -789,6 +853,53 @@ fn main() {
         ));
     }
 
+    // Settle-corner paths: one full TIA corner-set settling integration
+    // through the serial, corner-batched, and symbolic-shared sparse
+    // pipelines, at the dense dims (mesh 0/4) and sparse dims (mesh
+    // 8/16). The corrected column is the warm engine fast path; the
+    // shared column is the cold sparse path (one symbolic analysis + AMD
+    // ordering, refactor per corner).
+    println!(
+        "\n{:<8} {:>5} {:>4} {:>12} {:>13} {:>11} {:>8} {:>8}",
+        "problem", "mesh", "dim", "serial us", "corrected us", "shared us", "corr x", "shrd x"
+    );
+    let mut settle_rows = Vec::new();
+    for (depth, iters) in [(0usize, 40u32), (4, 20), (8, 10), (16, 6)] {
+        let case = tia_settle_corner_case(depth).expect("TIA settle corner workload builds");
+        let st = time_settle_corner_paths(&case, iters);
+        let corr_x = st.serial_us / st.corrected_us;
+        let shared_x = st.serial_us / st.shared_us;
+        println!(
+            "{:<8} {:>5} {:>4} {:>12.1} {:>13.1} {:>11.1} {:>7.2}x {:>7.2}x",
+            "tia", depth, case.dim, st.serial_us, st.corrected_us, st.shared_us, corr_x, shared_x
+        );
+        settle_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"problem\": \"tia\",\n",
+                "      \"mesh_depth\": {},\n",
+                "      \"mna_dim\": {},\n",
+                "      \"corners\": {},\n",
+                "      \"settle_steps\": {},\n",
+                "      \"serial_us_per_set\": {:.2},\n",
+                "      \"corrected_us_per_set\": {:.2},\n",
+                "      \"shared_us_per_set\": {:.2},\n",
+                "      \"corrected_speedup\": {:.3},\n",
+                "      \"shared_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            depth,
+            case.dim,
+            case.ckts.len(),
+            case.steps,
+            st.serial_us,
+            st.corrected_us,
+            st.shared_us,
+            corr_x,
+            shared_x
+        ));
+    }
+
     // SoA complex-LU kernel vs the generic interleaved layout, per AC
     // frequency point on the real center-design MNA systems.
     println!(
@@ -797,6 +908,7 @@ fn main() {
     );
     let mut kernel_rows = Vec::new();
     let mut kernels: Vec<(String, KernelStats)> = ac_kernel_cases()
+        .expect("center-design kernel workloads build")
         .iter()
         .map(|case| (case.name.clone(), time_lu_kernels(case, 200_000)))
         .collect();
@@ -841,7 +953,7 @@ fn main() {
         (16, 400),
         (24, 150),
     ] {
-        let case = tia_mesh_kernel_case(depth);
+        let case = tia_mesh_kernel_case(depth).expect("TIA mesh workload builds");
         let st = time_sparse_kernels(&case, iters);
         let speedup = st.dense_us / st.sparse_us;
         println!(
@@ -889,7 +1001,7 @@ fn main() {
         (16, 400),
         (24, 150),
     ] {
-        let case = tia_mesh_kernel_case(depth);
+        let case = tia_mesh_kernel_case(depth).expect("TIA mesh workload builds");
         let st = time_btf_kernels(&case, iters);
         let speedup = st.plain_us / st.btf_us;
         println!(
@@ -947,7 +1059,8 @@ fn main() {
             mesh_depth: depth,
             ..Tia::default().pex_config().clone()
         };
-        let dim = autockt_bench::extracted_center_dim("tia", &pex);
+        let dim =
+            autockt_bench::extracted_center_dim("tia", &pex).expect("known benchmark topology");
         let dense_p: Arc<dyn SizingProblem> = Arc::new(
             Tia::default()
                 .with_pex_config(pex.clone())
@@ -998,7 +1111,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"autockt/bench_env_step/v6\",\n",
+            "  \"schema\": \"autockt/bench_env_step/v7\",\n",
             "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
             "-- --steps {} --episode {} --seed {}\",\n",
             "  \"steps_per_config\": {},\n",
@@ -1008,6 +1121,7 @@ fn main() {
             "  \"shared_memo\": [\n{}\n  ],\n",
             "  \"corner_batch\": [\n{}\n  ],\n",
             "  \"noise_corner\": [\n{}\n  ],\n",
+            "  \"settle_corner\": [\n{}\n  ],\n",
             "  \"soa_lu\": [\n{}\n  ],\n",
             "  \"sparse_solver\": {{\n",
             "    \"crossover_dim\": {},\n",
@@ -1027,6 +1141,7 @@ fn main() {
         memo_rows.join(",\n"),
         corner_rows.join(",\n"),
         noise_rows.join(",\n"),
+        settle_rows.join(",\n"),
         kernel_rows.join(",\n"),
         SolverConfig::default().crossover,
         sparse_kernel_rows.join(",\n"),

@@ -198,6 +198,63 @@ fn check_tia_noise(depth: usize) -> usize {
     failures
 }
 
+/// Dedicated TIA settling-spec diff: serial vs batched (cold bitwise,
+/// warm within tolerance — the warm batched path routes the 2048-step
+/// corner-set integration through the Woodbury-corrected companion
+/// kernel), plus forced-dense vs the default Auto backend (cold, within
+/// tolerance) so a settle-path backend divergence is reported as such
+/// instead of hiding inside the full-vector comparison. Three seed
+/// designs keep the 2048-step sweeps cheap enough for CI.
+fn check_tia_settle(depth: usize) -> usize {
+    let pex = PexConfig {
+        mesh_depth: depth,
+        ..Tia::default().pex_config().clone()
+    };
+    let serial = Tia::default()
+        .with_pex_config(pex.clone())
+        .with_corner_strategy(CornerStrategy::Serial);
+    let batched = Tia::default()
+        .with_pex_config(pex.clone())
+        .with_corner_strategy(CornerStrategy::Batched);
+    let dense = Tia::default()
+        .with_pex_config(pex)
+        .with_solver_config(SolverConfig::dense());
+    let mut failures = 0;
+    let mut warm_s = WarmState::new();
+    let mut warm_b = WarmState::new();
+    let seeds: Vec<Vec<usize>> = seed_designs(&serial).into_iter().step_by(2).collect();
+    for idx in seeds {
+        let s = serial.simulate(&idx, SimMode::PexWorstCase);
+        let b = batched.simulate(&idx, SimMode::PexWorstCase);
+        let d = dense.simulate(&idx, SimMode::PexWorstCase);
+        let ws = serial.simulate_warm(&idx, SimMode::PexWorstCase, &mut warm_s);
+        let wb = batched.simulate_warm(&idx, SimMode::PexWorstCase, &mut warm_b);
+        let settle = |r: &Result<Vec<f64>, autockt_sim::SimError>| {
+            r.as_ref().ok().map(|v| v[spec_index::SETTLING])
+        };
+        let close = |p: (Option<f64>, Option<f64>)| match p {
+            (Some(a), Some(c)) => (a - c).abs() <= REL_TOL * (1.0 + a.abs().max(c.abs())),
+            (None, None) => true,
+            _ => false,
+        };
+        let (ss, sb, sd, sws, swb) = (settle(&s), settle(&b), settle(&d), settle(&ws), settle(&wb));
+        let cold_ok = ss == sb;
+        let auto_ok = close((sb, sd));
+        let warm_ok = close((sws, swb));
+        let verdict = if cold_ok && warm_ok && auto_ok {
+            "ok"
+        } else {
+            "DIVERGED"
+        };
+        println!(
+            "tia-settle mesh={depth} idx={idx:?}: cold {ss:?} vs {sb:?}, dense-vs-auto {sd:?}, \
+             warm {sws:?} vs {swb:?} [{verdict}]"
+        );
+        failures += usize::from(!cold_ok) + usize::from(!auto_ok) + usize::from(!warm_ok);
+    }
+    failures
+}
+
 fn main() {
     let mut failures = 0;
     for depth in [0usize, 2] {
@@ -246,6 +303,11 @@ fn main() {
     // pipeline's serial-vs-batched agreement, stock and dense mesh.
     for depth in [0usize, 2] {
         failures += check_tia_noise(depth);
+    }
+    // The TIA's settling spec on its own — the corner-corrected settle
+    // integration's serial-vs-batched agreement, stock and dense mesh.
+    for depth in [0usize, 4] {
+        failures += check_tia_settle(depth);
     }
     // Dense-vs-sparse backend gate at a mesh depth with real fill-in.
     {

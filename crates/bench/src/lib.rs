@@ -10,12 +10,13 @@
 pub mod exp;
 
 use autockt_circuits::{NegGmOta, OpAmp2, SizingProblem, Tia};
-use autockt_sim::ac::AcSolver;
+use autockt_sim::ac::{ac_sweep_cfg, AcSolver, AcWorkspace};
 use autockt_sim::complex::Complex;
 use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint};
 use autockt_sim::device::{Pvt, Technology};
 use autockt_sim::netlist::{Circuit, Node};
 use autockt_sim::pex::{extract, PexConfig};
+use autockt_sim::{SimError, SolverConfig};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -42,11 +43,12 @@ pub struct AcKernelCase {
 /// The real center-design MNA systems: the TIA (dim 4) and the two-stage
 /// op-amp (dim 11, the ROADMAP's per-point reference).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a center design fails to solve — these are the bench's fixed
-/// reference circuits, so that is a setup bug.
-pub fn ac_kernel_cases() -> Vec<AcKernelCase> {
+/// Returns the solver failure if a center design's operating point does
+/// not solve — these are the bench's fixed reference circuits, so any
+/// error is a setup bug the caller should surface loudly.
+pub fn ac_kernel_cases() -> Result<Vec<AcKernelCase>, SimError> {
     let tech = Technology::ptm45();
     let tia = Tia::default();
     let tidx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
@@ -54,21 +56,20 @@ pub fn ac_kernel_cases() -> Vec<AcKernelCase> {
     let opamp = OpAmp2::default();
     let oidx: Vec<usize> = opamp.cardinalities().iter().map(|k| k / 2).collect();
     let (op_ckt, _, _) = opamp.build(&oidx, &tech);
-    vec![
-        ac_kernel_case("tia", &tia_ckt, 0.5),
-        ac_kernel_case("opamp2", &op_ckt, 0.6),
-    ]
+    Ok(vec![
+        ac_kernel_case("tia", &tia_ckt, 0.5)?,
+        ac_kernel_case("opamp2", &op_ckt, 0.6)?,
+    ])
 }
 
-fn ac_kernel_case(name: &str, ckt: &Circuit, initial_v: f64) -> AcKernelCase {
+fn ac_kernel_case(name: &str, ckt: &Circuit, initial_v: f64) -> Result<AcKernelCase, SimError> {
     let op = dc_operating_point(
         ckt,
         &DcOptions {
             initial_v,
             ..DcOptions::default()
         },
-    )
-    .expect("center design solves");
+    )?;
     let solver = AcSolver::new(ckt, &op);
     let n = solver.dim();
     let freq = 1e9;
@@ -86,13 +87,13 @@ fn ac_kernel_case(name: &str, ckt: &Circuit, initial_v: f64) -> AcKernelCase {
             }
         }
     }
-    AcKernelCase {
+    Ok(AcKernelCase {
         name: name.to_string(),
         n,
         w,
         pattern,
         rhs: solver.source_rhs().to_vec(),
-    }
+    })
 }
 
 /// The TIA center design extracted at `mesh_depth`, as an AC-kernel
@@ -102,11 +103,11 @@ fn ac_kernel_case(name: &str, ckt: &Circuit, initial_v: f64) -> AcKernelCase {
 /// pushes past 190, the regime where dense O(n³) refactorization stops
 /// being viable.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the extracted center design fails to solve — it is a fixed
-/// bench reference, so that is a setup bug.
-pub fn tia_mesh_kernel_case(mesh_depth: usize) -> AcKernelCase {
+/// Returns the solver failure if the extracted center design does not
+/// solve — it is a fixed bench reference, so that is a setup bug.
+pub fn tia_mesh_kernel_case(mesh_depth: usize) -> Result<AcKernelCase, SimError> {
     let tia = Tia::default();
     let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
     let (ckt, _) = tia.build(&idx, &Technology::ptm45());
@@ -175,11 +176,12 @@ pub struct NoiseCornerCase {
 /// Builds the TIA noise-corner workload at `mesh_depth` (see
 /// [`NoiseCornerCase`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a corner's operating point fails to solve — these are the
-/// bench's fixed reference circuits, so that is a setup bug.
-pub fn tia_noise_corner_case(mesh_depth: usize) -> NoiseCornerCase {
+/// Returns the solver failure if a corner's operating point does not
+/// solve — these are the bench's fixed reference circuits, so that is a
+/// setup bug the caller should surface loudly.
+pub fn tia_noise_corner_case(mesh_depth: usize) -> Result<NoiseCornerCase, SimError> {
     let tia = Tia::default();
     let idx: Vec<usize> = tia.cardinalities().iter().map(|k| k / 2).collect();
     let pex = PexConfig {
@@ -200,23 +202,93 @@ pub fn tia_noise_corner_case(mesh_depth: usize) -> NoiseCornerCase {
                 initial_v: tech.vdd / 2.0,
                 ..DcOptions::default()
             },
-        )
-        .expect("TIA corner solves");
+        )?;
         out = Some(o);
         ckts.push(ex);
         ops.push(op);
         temps.push(pvt.temp_kelvin());
     }
+    let out = out.ok_or(SimError::InvalidOptions {
+        what: "empty PVT corner set",
+    })?;
     let dim = ckts[0].mna_dim();
-    NoiseCornerCase {
+    Ok(NoiseCornerCase {
         mesh_depth,
         dim,
         ckts,
         ops,
-        out: out.expect("corner set is nonempty"),
+        out,
         temps,
         freqs: Tia::noise_freqs(),
+    })
+}
+
+/// One corner-batched settling workload: the TIA center design extracted
+/// at one mesh depth across the full PVT corner set, with cold operating
+/// points solved and the shared integration window already derived from
+/// the corner cutoffs — shared by the criterion `settle_corners_*`
+/// benches and the `bench_env_step` settle-corner section so both time
+/// the identical corner set over the identical time grid.
+pub struct SettleCornerCase {
+    /// Mesh depth of the extraction.
+    pub mesh_depth: usize,
+    /// Per-corner MNA dimension.
+    pub dim: usize,
+    /// Extracted corner circuits.
+    pub ckts: Vec<Circuit>,
+    /// Per-corner cold operating points.
+    pub ops: Vec<OpPoint>,
+    /// Output node (shared — corner sets share structure).
+    pub out: Node,
+    /// Shared integration window `8 / min corner cutoff`, matching the
+    /// engine's settle stage.
+    pub t_stop: f64,
+    /// Trapezoidal steps per record (the TIA's production 2048).
+    pub steps: usize,
+}
+
+/// Builds the TIA settling-corner workload at `mesh_depth` (see
+/// [`SettleCornerCase`]): the noise workload's corner set, plus the
+/// shared settling window from each corner's -3 dB cutoff.
+///
+/// # Errors
+///
+/// Returns the solver failure if a corner does not solve or no corner
+/// has a valid cutoff — these are the bench's fixed reference circuits,
+/// so that is a setup bug the caller should surface loudly.
+pub fn tia_settle_corner_case(mesh_depth: usize) -> Result<SettleCornerCase, SimError> {
+    let nc = tia_noise_corner_case(mesh_depth)?;
+    let freqs = autockt_sim::ac::log_freqs(1e5, 1e12, 10);
+    let mut min_cutoff = f64::INFINITY;
+    for (ckt, op) in nc.ckts.iter().zip(&nc.ops) {
+        let resp = ac_sweep_cfg(
+            ckt,
+            op,
+            &freqs,
+            nc.out,
+            SolverConfig::default(),
+            &mut AcWorkspace::default(),
+        )?;
+        if let Ok(c) = resp.f_3db() {
+            if c > 0.0 {
+                min_cutoff = min_cutoff.min(c);
+            }
+        }
     }
+    if !min_cutoff.is_finite() {
+        return Err(SimError::MeasureFailed {
+            what: "no TIA corner has a valid cutoff",
+        });
+    }
+    Ok(SettleCornerCase {
+        mesh_depth,
+        dim: nc.dim,
+        ckts: nc.ckts,
+        ops: nc.ops,
+        out: nc.out,
+        t_stop: 8.0 / min_cutoff,
+        steps: 2048,
+    })
 }
 
 /// MNA dimension of a topology's center design after parasitic
@@ -225,10 +297,10 @@ pub fn tia_noise_corner_case(mesh_depth: usize) -> NoiseCornerCase {
 /// build suffices). `name` is the topology's [`SizingProblem::name`]
 /// (`"tia"`, `"opamp2"`, `"neggm_ota"`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown topology name.
-pub fn extracted_center_dim(name: &str, pex: &PexConfig) -> usize {
+/// Returns [`SimError::InvalidOptions`] on an unknown topology name.
+pub fn extracted_center_dim(name: &str, pex: &PexConfig) -> Result<usize, SimError> {
     let center =
         |p: &dyn SizingProblem| -> Vec<usize> { p.cardinalities().iter().map(|k| k / 2).collect() };
     let ckt = match name {
@@ -244,9 +316,13 @@ pub fn extracted_center_dim(name: &str, pex: &PexConfig) -> usize {
             let p = NegGmOta::default();
             p.build(&center(&p), &Technology::finfet16()).0
         }
-        other => panic!("unknown topology {other}"),
+        _ => {
+            return Err(SimError::InvalidOptions {
+                what: "unknown benchmark topology",
+            })
+        }
     };
-    extract(&ckt, pex).mna_dim()
+    Ok(extract(&ckt, pex).mna_dim())
 }
 
 /// Returns the `results/` directory at the workspace root, creating it if
@@ -257,12 +333,17 @@ pub fn extracted_center_dim(name: &str, pex: &PexConfig) -> usize {
 /// Panics if the directory cannot be created.
 pub fn results_dir() -> PathBuf {
     let dir = workspace_root().join("results");
+    // lint:allow(panic) — experiment harness I/O: the binaries want loud
+    // failures, and there is no sensible recovery from an unwritable
+    // results directory.
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
 
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    // lint:allow(panic) — a compile-time path invariant of the workspace
+    // layout, not a runtime condition.
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -277,10 +358,13 @@ fn workspace_root() -> PathBuf {
 /// Panics on I/O failure — experiment binaries want loud failures.
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
     let path = results_dir().join(name);
+    // lint:allow(panic) — experiment harness I/O: a result file that
+    // cannot be written should abort the run loudly, not be skipped.
     let mut f = fs::File::create(&path).expect("create csv");
     writeln!(f, "{}", header.join(",")).expect("write header");
     for row in rows {
         let line: Vec<String> = row.iter().map(|v| format!("{v:.6e}")).collect();
+        // lint:allow(panic) — same loud-failure contract as above.
         writeln!(f, "{}", line.join(",")).expect("write row");
     }
     path

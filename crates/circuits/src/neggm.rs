@@ -301,7 +301,9 @@ impl NegGmOta {
                             vdd_src: 0,
                         }
                     },
-                    |_slot, _case, _op, _solver, resp, _ws, _noise| self.corner_specs(resp),
+                    |_slot, _case, _op, _solver, resp, _ws, _noise, _settle| {
+                        self.corner_specs(resp)
+                    },
                     state,
                 )
             }

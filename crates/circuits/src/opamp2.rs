@@ -280,7 +280,7 @@ impl OpAmp2 {
                             vdd_src: vs,
                         }
                     },
-                    |_slot, case, op, _solver, resp, _ws, _noise| {
+                    |_slot, case, op, _solver, resp, _ws, _noise, _settle| {
                         self.corner_specs(op, case.vdd_src, resp)
                     },
                     state,

@@ -16,6 +16,7 @@ use autockt_sim::netlist::{Circuit, Node};
 use autockt_sim::noise::{
     noise_analysis_batch, noise_analysis_cfg, noise_analysis_corners, NoiseResult,
 };
+use autockt_sim::tran::{step_response_corners, step_response_corners_shared};
 use autockt_sim::{SimError, SolverConfig};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -119,6 +120,41 @@ pub enum CornerStrategy {
     Batched,
 }
 
+/// Configuration of the engine-run settling stage
+/// ([`CornerEvaluator::with_settling`]): how many trapezoidal steps each
+/// record integrates and how the shared time window scales with the
+/// corner set's bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SettleSpec {
+    /// Trapezoidal integration steps per record (the TIA uses 2048).
+    pub steps: usize,
+    /// Time window as a multiple of the slowest valid corner's cutoff
+    /// period: `t_stop = window / min corner cutoff`. Sharing one window
+    /// (and therefore one step size `h`) across the corner set is what
+    /// lets the batched strategy integrate every corner through one
+    /// kernel (the dense propagator / sparse Woodbury dispatch of
+    /// [`autockt_sim::tran::step_response_corners`]).
+    pub window: f64,
+}
+
+/// One corner's settling record from the engine's settle stage: the
+/// `(t, y)` step-response samples, or the solver error that corner's
+/// integration hit.
+pub type SettleRecord = Result<(Vec<f64>, Vec<f64>), SimError>;
+
+/// How a settle stage integrates its corner records.
+enum SettleDispatch {
+    /// Scalar per-corner kernel — the serial reference.
+    Scalar,
+    /// Scalar arithmetic with the sparse symbolic analysis shared across
+    /// the corner set (cold batched: bitwise-equal to `Scalar`).
+    Shared,
+    /// Corner-batched sweep — dense propagator or sparse
+    /// base-plus-Woodbury by regime (warm batched: within solver
+    /// tolerance).
+    Corrected,
+}
+
 /// The corner list of a worst-case evaluation: which PVT points every
 /// design is checked at.
 #[derive(Debug, Clone)]
@@ -199,6 +235,7 @@ pub struct CornerEvaluator {
     freqs: Vec<f64>,
     strategy: CornerStrategy,
     noise_freqs: Option<Vec<f64>>,
+    settle: Option<SettleSpec>,
 }
 
 impl CornerEvaluator {
@@ -216,6 +253,7 @@ impl CornerEvaluator {
             freqs,
             strategy,
             noise_freqs: None,
+            settle: None,
         }
     }
 
@@ -250,9 +288,81 @@ impl CornerEvaluator {
         self
     }
 
+    /// Enables a per-corner linear step-response settling stage and hands
+    /// each corner's `(t, y)` record to the measure closure. The engine
+    /// first sweeps every corner, then integrates all valid corners (those
+    /// with a positive -3 dB cutoff) over **one shared time window**
+    /// `spec.window / min cutoff`; corners without a valid cutoff receive
+    /// `None` (topologies map that to the spec's fail value, matching
+    /// their pre-engine local measurement).
+    ///
+    /// Running settling *inside* the engine is what lets the batched
+    /// strategy corner-batch it: serial corners integrate through the
+    /// scalar [`AcSolver::step_response`], cold batched shares the sparse
+    /// symbolic analysis across the set (`step_response_corners_shared`,
+    /// bitwise-identical per corner), and warm batched runs
+    /// `step_response_corners` — each corner's constant companion folded
+    /// into a precomputed affine propagator at dense dims, base-factor +
+    /// Woodbury sibling correction at sparse dims.
+    pub fn with_settling(mut self, spec: SettleSpec) -> Self {
+        self.settle = Some(spec);
+        self
+    }
+
     /// The corner plan.
     pub fn plan(&self) -> &CornerPlan {
         &self.plan
+    }
+
+    /// Runs the settling stage over the solved corner set: picks the
+    /// shared time window from the slowest valid corner cutoff, then
+    /// integrates every valid corner through the dispatch's kernel.
+    /// Returns `None` when no settle stage is configured; per-corner
+    /// `None` marks an invalid cutoff (no settling record).
+    fn settle_stage(
+        &self,
+        solvers: &[AcSolver<'_>],
+        outs: &[Node],
+        resps: &[AcResponse],
+        dispatch: SettleDispatch,
+    ) -> Option<Vec<Option<SettleRecord>>> {
+        let spec = self.settle?;
+        let mut slots: Vec<Option<SettleRecord>> = (0..solvers.len()).map(|_| None).collect();
+        let mut live = Vec::new();
+        let mut min_cutoff = f64::INFINITY;
+        for (i, r) in resps.iter().enumerate() {
+            if let Ok(c) = r.f_3db() {
+                if c > 0.0 {
+                    min_cutoff = min_cutoff.min(c);
+                    live.push(i);
+                }
+            }
+        }
+        if live.is_empty() {
+            return Some(slots);
+        }
+        let t_stop = spec.window / min_cutoff;
+        match dispatch {
+            SettleDispatch::Scalar => {
+                for &i in &live {
+                    slots[i] = Some(solvers[i].step_response(outs[i], t_stop, spec.steps));
+                }
+            }
+            SettleDispatch::Shared | SettleDispatch::Corrected => {
+                let ls: Vec<&AcSolver<'_>> = live.iter().map(|&i| &solvers[i]).collect();
+                let lo: Vec<Node> = live.iter().map(|&i| outs[i]).collect();
+                let recs = match dispatch {
+                    SettleDispatch::Shared => {
+                        step_response_corners_shared(&ls, &lo, t_stop, spec.steps)
+                    }
+                    _ => step_response_corners(&ls, &lo, t_stop, spec.steps),
+                };
+                for (&i, r) in live.iter().zip(recs) {
+                    slots[i] = Some(r);
+                }
+            }
+        }
+        Some(slots)
     }
 
     /// Evaluates every corner and reduces the per-corner spec rows to
@@ -260,12 +370,15 @@ impl CornerEvaluator {
     ///
     /// `build` produces corner `slot`'s circuit; `measure` turns corner
     /// `slot`'s operating point, linearization, swept response, and —
-    /// when [`CornerEvaluator::with_noise`] is set — noise analysis into
-    /// a spec row (it receives the session's [`AcWorkspace`] when
-    /// warm-started, for allocation-free measurements). A noise failure
-    /// is handed to the closure rather than aborting the corner, so
-    /// topologies can map it to a spec's fail value. `state` carries the
-    /// per-corner warm slots; `None` evaluates cold.
+    /// when [`CornerEvaluator::with_noise`] /
+    /// [`CornerEvaluator::with_settling`] are set — noise analysis and
+    /// settling record into a spec row (it receives the session's
+    /// [`AcWorkspace`] when warm-started, for allocation-free
+    /// measurements). A noise failure is handed to the closure rather
+    /// than aborting the corner, so topologies can map it to a spec's
+    /// fail value; likewise a settling record's `Err` lets the closure
+    /// decide. `state` carries the per-corner warm slots; `None`
+    /// evaluates cold.
     ///
     /// # Errors
     ///
@@ -289,6 +402,7 @@ impl CornerEvaluator {
             &AcResponse,
             Option<&mut AcWorkspace>,
             Option<&Result<NoiseResult, SimError>>,
+            Option<&SettleRecord>,
         ) -> Result<Vec<f64>, SimError>,
     {
         let rows = match self.strategy {
@@ -316,8 +430,15 @@ impl CornerEvaluator {
             &AcResponse,
             Option<&mut AcWorkspace>,
             Option<&Result<NoiseResult, SimError>>,
+            Option<&SettleRecord>,
         ) -> Result<Vec<f64>, SimError>,
     {
+        if self.settle.is_some() {
+            // The shared settling window needs every corner's cutoff
+            // before any record integrates, so a settle-enabled serial
+            // evaluation runs stage-major instead of corner-major.
+            return self.rows_serial_phased(build, measure, state);
+        }
         let mut rows = Vec::with_capacity(self.plan.len());
         for (slot, pvt) in self.plan.corners.iter().enumerate() {
             let case = build(slot, pvt);
@@ -396,6 +517,142 @@ impl CornerEvaluator {
                 &resp,
                 state.as_deref_mut().map(WarmState::ac_workspace),
                 noise.as_ref(),
+                None,
+            )?);
+        }
+        Ok(rows)
+    }
+
+    /// One corner's scalar AC sweep and optional noise analysis — exactly
+    /// the interleaved serial loop's kernels, factored out so the phased
+    /// (settle-enabled) serial path produces bitwise-identical responses.
+    #[allow(clippy::type_complexity)]
+    fn serial_sweep(
+        &self,
+        case: &CornerCase,
+        op: &OpPoint,
+        state: &mut Option<&mut WarmState>,
+    ) -> Result<(AcResponse, Option<Result<NoiseResult, SimError>>), SimError> {
+        let solver = AcSolver::new(&case.ckt, op).with_config(self.dc_opts.solver);
+        let resp = match state.as_deref_mut() {
+            Some(st) => {
+                let h = solver.solve_sources_batch_ws(&self.freqs, case.out, st.ac_workspace())?;
+                AcResponse {
+                    freqs: self.freqs.clone(),
+                    h,
+                }
+            }
+            None if self.dc_opts.solver.use_sparse(solver.dim()) => {
+                let h = solver.solve_sources_batch_ws(
+                    &self.freqs,
+                    case.out,
+                    &mut AcWorkspace::default(),
+                )?;
+                AcResponse {
+                    freqs: self.freqs.clone(),
+                    h,
+                }
+            }
+            None => {
+                let mut h = Vec::with_capacity(self.freqs.len());
+                for &f in &self.freqs {
+                    let x = solver.solve_sources(f)?;
+                    h.push(solver.voltage(&x, case.out));
+                }
+                AcResponse {
+                    freqs: self.freqs.clone(),
+                    h,
+                }
+            }
+        };
+        let noise = self
+            .noise_freqs
+            .as_ref()
+            .map(|nf| match state.as_deref_mut() {
+                Some(st) => noise_analysis_cfg(
+                    &case.ckt,
+                    op,
+                    case.out,
+                    nf,
+                    case.temp_k,
+                    self.dc_opts.solver,
+                    st.ac_workspace(),
+                ),
+                None => noise_analysis_cfg(
+                    &case.ckt,
+                    op,
+                    case.out,
+                    nf,
+                    case.temp_k,
+                    self.dc_opts.solver,
+                    &mut AcWorkspace::default(),
+                ),
+            });
+        Ok((resp, noise))
+    }
+
+    /// The serial path when a settle stage is configured: corner-by-corner
+    /// build/DC/AC/noise in slot order through the same scalar kernels as
+    /// the interleaved loop, then the scalar settle stage over the shared
+    /// window, then the measurements.
+    fn rows_serial_phased<B, M>(
+        &self,
+        mut build: B,
+        mut measure: M,
+        mut state: Option<&mut WarmState>,
+    ) -> Result<Vec<Vec<f64>>, SimError>
+    where
+        B: FnMut(usize, &Pvt) -> CornerCase,
+        M: FnMut(
+            usize,
+            &CornerCase,
+            &OpPoint,
+            &AcSolver<'_>,
+            &AcResponse,
+            Option<&mut AcWorkspace>,
+            Option<&Result<NoiseResult, SimError>>,
+            Option<&SettleRecord>,
+        ) -> Result<Vec<f64>, SimError>,
+    {
+        let mut cases = Vec::with_capacity(self.plan.len());
+        let mut ops = Vec::with_capacity(self.plan.len());
+        let mut resps = Vec::with_capacity(self.plan.len());
+        let mut noises = Vec::with_capacity(self.plan.len());
+        for (slot, pvt) in self.plan.corners.iter().enumerate() {
+            let case = build(slot, pvt);
+            let op = match state.as_deref_mut() {
+                Some(st) => st.solve(slot, &case.ckt, &self.dc_opts)?,
+                None => autockt_sim::dc::dc_operating_point(&case.ckt, &self.dc_opts)?,
+            };
+            let (resp, noise) = self.serial_sweep(&case, &op, &mut state)?;
+            cases.push(case);
+            ops.push(op);
+            resps.push(resp);
+            noises.push(noise);
+        }
+        let solvers: Vec<AcSolver<'_>> = cases
+            .iter()
+            .zip(&ops)
+            .map(|(c, op)| AcSolver::new(&c.ckt, op).with_config(self.dc_opts.solver))
+            .collect();
+        let outs: Vec<Node> = cases.iter().map(|c| c.out).collect();
+        let settles = self.settle_stage(&solvers, &outs, &resps, SettleDispatch::Scalar);
+        let mut rows = Vec::with_capacity(cases.len());
+        for (slot, ((case, op), (solver, resp))) in cases
+            .iter()
+            .zip(&ops)
+            .zip(solvers.iter().zip(&resps))
+            .enumerate()
+        {
+            rows.push(measure(
+                slot,
+                case,
+                op,
+                solver,
+                resp,
+                state.as_deref_mut().map(WarmState::ac_workspace),
+                noises[slot].as_ref(),
+                settles.as_ref().and_then(|v| v[slot].as_ref()),
             )?);
         }
         Ok(rows)
@@ -419,6 +676,7 @@ impl CornerEvaluator {
             &AcResponse,
             Option<&mut AcWorkspace>,
             Option<&Result<NoiseResult, SimError>>,
+            Option<&SettleRecord>,
         ) -> Result<Vec<f64>, SimError>,
     {
         let cases: Vec<CornerCase> = self
@@ -483,6 +741,20 @@ impl CornerEvaluator {
                     }
                 }
             });
+        // Settling rides the dispatch too: cold shares the sparse
+        // symbolic analysis across the set (bitwise-identical to the
+        // phased serial reference), warm runs the corner-batched kernel
+        // (dense propagator / sparse Woodbury by regime).
+        let settles = self.settle_stage(
+            &solvers,
+            &outs,
+            &resps,
+            if state.is_some() {
+                SettleDispatch::Corrected
+            } else {
+                SettleDispatch::Shared
+            },
+        );
         let mut rows = Vec::with_capacity(cases.len());
         for (slot, ((case, op), (solver, resp))) in cases
             .iter()
@@ -498,6 +770,7 @@ impl CornerEvaluator {
                 resp,
                 state.as_deref_mut().map(WarmState::ac_workspace),
                 noise_results.as_ref().map(|v| &v[slot]),
+                settles.as_ref().and_then(|v| v[slot].as_ref()),
             )?);
         }
         Ok(rows)
@@ -1506,7 +1779,7 @@ mod tests {
         engine.evaluate(
             &specs,
             |slot, _pvt| rc_case(slot, defective),
-            |_slot, _case, _op, _solver, resp, _ws, _noise| {
+            |_slot, _case, _op, _solver, resp, _ws, _noise, _settle| {
                 Ok(vec![resp.h[0].norm(), resp.h.last().unwrap().norm()])
             },
             warm,
@@ -1525,7 +1798,7 @@ mod tests {
             engine.evaluate(
                 &specs,
                 |slot, _pvt| rc_case(slot, None),
-                |_slot, _case, _op, _solver, resp, _ws, noise| {
+                |_slot, _case, _op, _solver, resp, _ws, noise, _settle| {
                     let nr = noise
                         .expect("engine must run noise")
                         .as_ref()
@@ -1541,6 +1814,51 @@ mod tests {
         assert!(serial[1] > 0.0, "noisy resistors must produce output noise");
         // Warm runs agree within solver tolerance (linear circuits: the
         // corrected path is exact, so this is tight).
+        let mut ws = WarmState::new();
+        let mut wb = WarmState::new();
+        let s = run(CornerStrategy::Serial, Some(&mut ws)).unwrap();
+        let b = run(CornerStrategy::Batched, Some(&mut wb)).unwrap();
+        for (x, y) in s.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    /// Engine-level settle wiring: with `with_settling`, both strategies
+    /// hand the measure closure a per-corner `(t, y)` settling record
+    /// over one shared time window, and the cold batched records
+    /// (symbolic-sharing path) are bitwise-identical to the phased
+    /// serial reference.
+    #[test]
+    fn corner_engine_settle_batched_matches_serial_bitwise() {
+        let run = |strategy: CornerStrategy, warm: Option<&mut WarmState>| {
+            let (engine, specs) = rc_engine(strategy);
+            let engine = engine.with_settling(SettleSpec {
+                steps: 256,
+                window: 8.0,
+            });
+            engine.evaluate(
+                &specs,
+                |slot, _pvt| rc_case(slot, None),
+                |_slot, _case, _op, _solver, resp, _ws, _noise, settle| {
+                    let (t, y) = settle
+                        .expect("rc corners have a valid cutoff")
+                        .as_ref()
+                        .expect("rc settling integrates");
+                    assert_eq!(t.len(), 257, "steps + 1 samples per record");
+                    assert!(t[t.len() - 1] > 0.0, "shared window must be positive");
+                    Ok(vec![resp.h[0].norm(), *y.last().unwrap()])
+                },
+                warm,
+            )
+        };
+        let serial = run(CornerStrategy::Serial, None).unwrap();
+        let batched = run(CornerStrategy::Batched, None).unwrap();
+        assert_eq!(serial, batched, "cold settle stage must be bitwise");
+        // The RC corners settle toward the driven DC level, so the record
+        // end is a real voltage, not a zero placeholder.
+        assert!(serial[1].abs() > 0.0);
+        // Warm runs agree within solver tolerance (linear circuits: the
+        // corrected path is exact to roundoff).
         let mut ws = WarmState::new();
         let mut wb = WarmState::new();
         let s = run(CornerStrategy::Serial, Some(&mut ws)).unwrap();

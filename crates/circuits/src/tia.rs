@@ -10,8 +10,8 @@
 //! output noise.
 
 use crate::problem::{
-    CornerCase, CornerEvaluator, CornerPlan, CornerStrategy, ParamSpec, SimMode, SizingProblem,
-    SpecDef, SpecKind,
+    CornerCase, CornerEvaluator, CornerPlan, CornerStrategy, ParamSpec, SettleRecord, SettleSpec,
+    SimMode, SizingProblem, SpecDef, SpecKind,
 };
 use autockt_sim::ac::{ac_sweep_cfg, log_freqs, AcResponse, AcSolver, AcWorkspace};
 use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint, WarmState};
@@ -309,18 +309,27 @@ impl Tia {
                 Ok(specs)
             }
             SimMode::PexWorstCase => {
-                // Noise runs inside the engine (`with_noise`) so the
-                // batched strategy can factor it with the corner set:
-                // lockstep (bitwise) cold, base-plus-Woodbury corrected
-                // warm — the TIA's worst-case step is noise-bound, so
-                // this is where its dense-dim speedup comes from.
+                // Noise and settling run inside the engine (`with_noise`
+                // / `with_settling`) so the batched strategy can factor
+                // them with the corner set: lockstep / symbolic-sharing
+                // (bitwise) cold, corner-batched (propagator/Woodbury
+                // by regime) warm —
+                // the TIA's worst-case step is noise- and settle-bound,
+                // so this is where its dense-dim speedup comes from.
+                // Settling integrates one shared window scaled to the
+                // slowest corner's cutoff (window 8.0, as the per-corner
+                // measurement used), 2048 trapezoidal steps.
                 let engine = CornerEvaluator::new(
                     CornerPlan::pvt_worst_case(),
                     self.dc_opts(),
                     Tia::ac_freqs(),
                     self.corner_strategy,
                 )
-                .with_noise(Tia::noise_freqs());
+                .with_noise(Tia::noise_freqs())
+                .with_settling(SettleSpec {
+                    steps: 2048,
+                    window: 8.0,
+                });
                 engine.evaluate(
                     &self.specs,
                     |_slot, pvt| {
@@ -333,7 +342,7 @@ impl Tia {
                             vdd_src: 0,
                         }
                     },
-                    |_slot, case, op, solver, resp, ws, noise| {
+                    |_slot, case, op, solver, resp, ws, noise, settle| {
                         self.corner_specs(
                             &case.ckt,
                             case.out,
@@ -343,6 +352,7 @@ impl Tia {
                             resp,
                             ws,
                             noise,
+                            settle,
                         )
                     },
                     state,
@@ -409,15 +419,16 @@ impl Tia {
                 &mut AcWorkspace::default(),
             )?,
         };
-        self.corner_specs(ckt, out, temp_k, op, None, &resp, ac_ws, None)
+        self.corner_specs(ckt, out, temp_k, op, None, &resp, ac_ws, None, None)
     }
 
     /// Spec extraction shared by the single-corner measurement and the
     /// corner engine: cutoff from the swept response, settling from the
-    /// linear step response (reusing `solver`'s stamps when the engine
-    /// already built them), and integrated output noise at `temp_k` —
-    /// taken from the engine's corner-batched analysis when provided
-    /// (`noise`), run scalar here otherwise (single-corner fidelities).
+    /// linear step response — taken from the engine's settle stage when
+    /// provided (`settle`: corner-batched over a shared window), run
+    /// scalar here otherwise (single-corner fidelities, own-bandwidth
+    /// window) — and integrated output noise at `temp_k`, likewise from
+    /// the engine's corner-batched analysis when provided (`noise`).
     #[allow(clippy::too_many_arguments)]
     fn corner_specs(
         &self,
@@ -429,27 +440,37 @@ impl Tia {
         resp: &AcResponse,
         ac_ws: Option<&mut AcWorkspace>,
         noise: Option<&Result<NoiseResult, SimError>>,
+        settle: Option<&SettleRecord>,
     ) -> Result<Vec<f64>, SimError> {
         let cutoff = resp
             .f_3db()
             .unwrap_or(self.specs[spec_index::CUTOFF].fail_value);
 
         // Settling: window scaled to the measured bandwidth so both 5 ps
-        // and 500 ps responses resolve on a 2048-step grid.
-        let settling = if cutoff > 0.0 {
-            let own;
-            let solver = match solver {
-                Some(s) => s,
-                None => {
-                    own = AcSolver::new(ckt, op).with_config(self.solver);
-                    &own
-                }
-            };
-            let t_stop = 8.0 / cutoff;
-            let (t, y) = solver.step_response(out, t_stop, 2048)?;
-            settling_time(&t, &y, 0.02).unwrap_or(self.specs[spec_index::SETTLING].fail_value)
-        } else {
-            self.specs[spec_index::SETTLING].fail_value
+        // and 500 ps responses resolve on a 2048-step grid. The engine's
+        // settle stage (corner evaluations) already integrated the
+        // record; an engine-detected invalid cutoff arrives as `None`
+        // and falls into the `cutoff <= 0` arm below, matching the
+        // local measurement.
+        let settling = match settle {
+            Some(Ok((t, y))) => {
+                settling_time(t, y, 0.02).unwrap_or(self.specs[spec_index::SETTLING].fail_value)
+            }
+            Some(Err(e)) => return Err(e.clone()),
+            None if cutoff > 0.0 => {
+                let own;
+                let solver = match solver {
+                    Some(s) => s,
+                    None => {
+                        own = AcSolver::new(ckt, op).with_config(self.solver);
+                        &own
+                    }
+                };
+                let t_stop = 8.0 / cutoff;
+                let (t, y) = solver.step_response(out, t_stop, 2048)?;
+                settling_time(&t, &y, 0.02).unwrap_or(self.specs[spec_index::SETTLING].fail_value)
+            }
+            None => self.specs[spec_index::SETTLING].fail_value,
         };
 
         // Integrated output noise across the amplifier band: the corner

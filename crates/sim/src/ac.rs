@@ -10,6 +10,9 @@
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::error::SimError;
+use crate::linalg::correction::{
+    corrected_entry, factor_correction, solve_correction_basis, CornerDiff,
+};
 use crate::linalg::sparse::{CscMatrix, SolverConfig, TripletList};
 use crate::linalg::structure::SparseSolver;
 use crate::linalg::{ComplexLuBatch, ComplexLuSoa, LinearSolver, LuFactors, Matrix};
@@ -394,7 +397,27 @@ impl<'a> AcSolver<'a> {
                 for (v, base) in csc.values_mut().iter_mut().zip(gc.iter()) {
                     *v = Complex::new(base.re, w * base.im);
                 }
-                slu.refactor(csc, 1e-300)
+                slu.refactor(csc, 1e-300)?;
+                if self.cfg.dense_by_fill(n, slu.factor_nnz()) {
+                    // The measured factor fill crossed the config's
+                    // limit: this pattern is too dense for the sparse
+                    // traversal to pay, so flip the workspace to the
+                    // dense kernel and refactor this same point there —
+                    // every later point of the sweep (and of reuses of
+                    // this workspace until the next
+                    // [`AcSolver::prepare_workspace`]) then takes the
+                    // dense branch directly. Costs one throwaway sparse
+                    // factorization per sweep.
+                    let mut dense = ComplexLuSoa::empty();
+                    dense.refactor_with(n, 1e-300, |re, im| {
+                        for &(r, c, gg, cc) in pattern.iter() {
+                            re[r * n + c] = gg;
+                            im[r * n + c] = w * cc;
+                        }
+                    })?;
+                    *lu = ComplexLu::Dense(dense);
+                }
+                Ok(())
             }
         }
     }
@@ -456,6 +479,13 @@ impl<'a> AcSolver<'a> {
         self.ckt.mna_index(node)
     }
 
+    /// The `(G, C)` small-signal stamp matrices of this linearization —
+    /// the corner-batched settling integration in [`crate::tran`]
+    /// assembles per-corner trapezoidal companions straight from them.
+    pub(crate) fn stamps(&self) -> (&Matrix<f64>, &Matrix<f64>) {
+        (&self.g, &self.c)
+    }
+
     /// Small-signal step response at `out`: integrates
     /// `C x' + G x = b u(t)` (with `b` the AC-source right-hand side and
     /// zero initial state) by the trapezoidal rule. The companion matrix
@@ -481,6 +511,24 @@ impl<'a> AcSolver<'a> {
         t_stop: f64,
         steps: usize,
     ) -> Result<(Vec<f64>, Vec<f64>), SimError> {
+        self.step_response_via(out, t_stop, steps, &mut SparseSolver::empty(self.cfg.btf))
+    }
+
+    /// [`AcSolver::step_response`] against a caller-held sparse solver:
+    /// the corner-batched settling path passes one solver across a whole
+    /// corner set, so the symbolic analysis + AMD ordering are computed
+    /// once (corners share their stamp pattern) and every sibling runs a
+    /// values-only refactor. Same-pattern refactors are bitwise-equal to
+    /// fresh factorizations (property-tested), and the scalar
+    /// [`AcSolver::step_response`] is literally this function with a
+    /// fresh solver — so sharing cannot perturb results.
+    pub(crate) fn step_response_via(
+        &self,
+        out: Node,
+        t_stop: f64,
+        steps: usize,
+        shared: &mut SparseSolver<f64>,
+    ) -> Result<(Vec<f64>, Vec<f64>), SimError> {
         let h = t_stop / steps as f64;
         let n = self.dim;
         // A = G + 2C/h (factored once); per step:
@@ -498,9 +546,12 @@ impl<'a> AcSolver<'a> {
                 }
             }
         }
-        let dense_lu;
-        let sparse_lu;
-        let lu: &dyn LinearSolver<f64> = if self.cfg.use_sparse(n) {
+        // Sparse-route the companion when configured, but drop back to
+        // the dense kernel if the measured factor fill crosses the
+        // config's limit — the 2048 back-substitutions are cheaper dense
+        // then, at the cost of one throwaway sparse factorization.
+        let mut use_sparse = false;
+        if self.cfg.use_sparse(n) {
             let mut trip = TripletList::new(n);
             for r in 0..n {
                 for c in 0..n {
@@ -513,10 +564,13 @@ impl<'a> AcSolver<'a> {
             }
             let mut csc = CscMatrix::empty();
             trip.compress_into(&mut csc);
-            let mut slu = SparseSolver::empty(self.cfg.btf);
-            slu.refactor(&csc, 1e-300)?;
-            sparse_lu = slu;
-            &sparse_lu
+            shared.ensure_mode(self.cfg.btf);
+            shared.refactor(&csc, 1e-300)?;
+            use_sparse = !self.cfg.dense_by_fill(n, shared.factor_nnz());
+        }
+        let dense_lu;
+        let lu: &dyn LinearSolver<f64> = if use_sparse {
+            &*shared
         } else {
             let mut a = Matrix::<f64>::zeros(n, n);
             for r in 0..n {
@@ -830,6 +884,13 @@ fn sparse_scalar_sweeps(
     outs: &[Node],
     ws: &mut AcBatchWorkspace,
 ) -> Vec<Result<AcResponse, SimError>> {
+    // Corner sets share their stamp *pattern* (same netlist structure),
+    // and every corner here sweeps through the one `ws.scalar` sparse
+    // solver — so `SparseSolver::refactor`'s same-pattern check reuses the
+    // symbolic analysis + AMD ordering across the whole corner set, and
+    // only corner 0 pays the full analysis. Same-pattern refactors are
+    // bitwise-equal to fresh factorizations (property-tested), which is
+    // what keeps this path on the cold bitwise contract.
     solvers
         .iter()
         .zip(outs)
@@ -841,6 +902,159 @@ fn sparse_scalar_sweeps(
             })
         })
         .collect()
+}
+
+/// Corner-correction AC sweep for sparse-routed dimensions — the warm
+/// batched corner engine's fast path above the crossover. The base
+/// corner's system is factored **sparsely** once per frequency (symbolic
+/// analysis + AMD ordering shared across the sweep via the workspace's
+/// refactor fast path) and every sibling is recovered through the same
+/// Woodbury correction as the dense [`ac_sweep_corners`] — the
+/// correction basis and small systems are dense but only `|R| x n`, so
+/// the sparse factor's fill advantage is kept where it matters. Falls
+/// back to [`sparse_scalar_sweeps`] on structural mismatch, unprofitable
+/// support, or mismatched sources, and to a direct per-corner sparse
+/// solve at any frequency where the base factor or a correction system
+/// is singular.
+fn sparse_corner_sweeps(
+    solvers: &[AcSolver<'_>],
+    freqs: &[f64],
+    outs: &[Node],
+    ws: &mut AcBatchWorkspace,
+) -> Vec<Result<AcResponse, SimError>> {
+    let bt = solvers.len();
+    let n = solvers[0].dim();
+    if bt == 1 || solvers.iter().any(|s| s.dim() != n) {
+        return sparse_scalar_sweeps(solvers, freqs, outs, ws);
+    }
+    let rhs0 = solvers[0].source_rhs();
+    if solvers.iter().any(|s| s.source_rhs() != rhs0) {
+        return sparse_scalar_sweeps(solvers, freqs, outs, ws);
+    }
+    ws.patterns.resize(bt, Vec::new());
+    for (pat, s) in ws.patterns.iter_mut().zip(solvers) {
+        s.collect_pattern(pat);
+    }
+    let cd = CornerDiff::from_patterns(&ws.patterns, n);
+    if !cd.profitable(n) {
+        return sparse_scalar_sweeps(solvers, freqs, outs, ws);
+    }
+    let rn = cd.support();
+
+    let oi: Vec<Option<usize>> = solvers
+        .iter()
+        .zip(outs)
+        .map(|(s, &o)| s.mna_index(o))
+        .collect();
+    let mut h: Vec<Vec<Complex>> = vec![Vec::with_capacity(freqs.len()); bt];
+    let mut errs: Vec<Option<SimError>> = vec![None; bt];
+    let mut u = vec![Complex::ZERO; rn];
+    let mut z = Vec::new();
+    // Rare-path scratch: per-corner direct solves on base/correction
+    // singularities re-prepare this workspace for whichever corner needs
+    // it.
+    let mut spare = AcWorkspace::new();
+    solvers[0].prepare_workspace(&mut ws.scalar);
+    for &fq in freqs {
+        let w_ang = 2.0 * std::f64::consts::PI * fq;
+        let base_ok = solvers[0].factor_at_ws(fq, &mut ws.scalar).is_ok();
+        if !base_ok {
+            for b in 0..bt {
+                if errs[b].is_some() {
+                    continue;
+                }
+                match direct_sparse_corner_point(&solvers[b], fq, &mut spare, oi[b]) {
+                    Ok(v) => h[b].push(v),
+                    Err(e) => errs[b] = Some(e),
+                }
+            }
+            continue;
+        }
+        {
+            let AcBatchWorkspace {
+                scalar,
+                y0,
+                unit,
+                xcol,
+                wflat,
+                ..
+            } = &mut *ws;
+            let base: &dyn LinearSolver<Complex> = match &scalar.lu {
+                ComplexLu::Dense(lu) => lu,
+                ComplexLu::Sparse(slu) => slu,
+            };
+            base.solve_into(rhs0, y0);
+            solve_correction_basis(base, &cd.rows, n, unit, xcol, wflat);
+        }
+        for b in 0..bt {
+            if errs[b].is_some() {
+                continue;
+            }
+            let base_v = oi[b].map_or(Complex::ZERO, |i| ws.y0[i]);
+            let diff = &cd.diffs[b];
+            if diff.is_empty() {
+                h[b].push(base_v);
+                continue;
+            }
+            let ok = factor_correction(
+                &mut ws.small,
+                diff,
+                &cd.row_pos,
+                rn,
+                n,
+                |dg, dc| Complex::new(dg, w_ang * dc),
+                &ws.wflat,
+            )
+            .is_ok();
+            if ok {
+                let v = corrected_entry(
+                    &ws.small,
+                    diff,
+                    &cd.row_pos,
+                    &ws.wflat,
+                    &ws.y0,
+                    oi[b],
+                    |dg, dc| Complex::new(dg, w_ang * dc),
+                    n,
+                    rn,
+                    &mut u,
+                    &mut z,
+                );
+                h[b].push(v);
+            } else {
+                match direct_sparse_corner_point(&solvers[b], fq, &mut spare, oi[b]) {
+                    Ok(v) => h[b].push(v),
+                    Err(e) => errs[b] = Some(e),
+                }
+            }
+        }
+    }
+    errs.iter_mut()
+        .zip(h)
+        .map(|(e, hb)| match e.take() {
+            Some(e) => Err(e),
+            None => Ok(AcResponse {
+                freqs: freqs.to_vec(),
+                h: hb,
+            }),
+        })
+        .collect()
+}
+
+/// Factors corner `b`'s full system at one frequency through its own
+/// backend dispatch into `spare` and solves its source vector — the
+/// per-point fallback of [`sparse_corner_sweeps`].
+fn direct_sparse_corner_point(
+    s: &AcSolver<'_>,
+    fq: f64,
+    spare: &mut AcWorkspace,
+    oi: Option<usize>,
+) -> Result<Complex, SimError> {
+    s.prepare_workspace(spare);
+    s.factor_at_ws(fq, spare)?;
+    let AcWorkspace { lu, x, .. } = spare;
+    lu.solve_into(s.source_rhs(), x);
+    Ok(oi.map_or(Complex::ZERO, |i| x[i]))
 }
 
 /// Allocation-free scalar sweep per corner through the batch workspace's
@@ -891,176 +1105,6 @@ fn scalar_sweeps_ws(
 /// either way.
 pub(crate) const STOCK_DIM_MAX: usize = 16;
 
-/// The stamp-difference structure of a corner set relative to its base
-/// corner: which matrix rows any sibling differs on, and each corner's
-/// sparse `(row, col, dG, dC)` difference list. This is the shared
-/// skeleton of every base-plus-Woodbury corner correction — the AC sweep
-/// ([`ac_sweep_corners`]) and the noise analysis
-/// ([`crate::noise::noise_analysis_corners`]) both build one per
-/// evaluation and correct against it per frequency.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct CornerDiff {
-    /// Union of rows any corner's stamps differ on, ascending.
-    pub(crate) rows: Vec<usize>,
-    /// `row -> position in rows` map (`usize::MAX` off-support).
-    pub(crate) row_pos: Vec<usize>,
-    /// Per-corner sparse stamp difference vs corner 0 (`diffs[0]` empty).
-    pub(crate) diffs: Vec<Vec<(usize, usize, f64, f64)>>,
-}
-
-impl CornerDiff {
-    /// Computes every corner's dense stamp difference against
-    /// `patterns[0]` and the union of affected rows.
-    pub(crate) fn from_patterns(
-        patterns: &[Vec<(usize, usize, f64, f64)>],
-        n: usize,
-    ) -> CornerDiff {
-        let n2 = n * n;
-        let mut g0 = vec![0.0; n2];
-        let mut c0 = vec![0.0; n2];
-        for &(r, c, g, cc) in &patterns[0] {
-            g0[r * n + c] = g;
-            c0[r * n + c] = cc;
-        }
-        let mut gs = vec![0.0; n2];
-        let mut cs = vec![0.0; n2];
-        let mut diffs: Vec<Vec<(usize, usize, f64, f64)>> = vec![Vec::new()];
-        for pat in &patterns[1..] {
-            gs.fill(0.0);
-            cs.fill(0.0);
-            for &(r, c, g, cc) in pat {
-                gs[r * n + c] = g;
-                cs[r * n + c] = cc;
-            }
-            let mut d = Vec::new();
-            for r in 0..n {
-                for c in 0..n {
-                    let i = r * n + c;
-                    if gs[i] != g0[i] || cs[i] != c0[i] {
-                        d.push((r, c, gs[i] - g0[i], cs[i] - c0[i]));
-                    }
-                }
-            }
-            diffs.push(d);
-        }
-        let mut rows: Vec<usize> = diffs.iter().flatten().map(|d| d.0).collect();
-        rows.sort_unstable();
-        rows.dedup();
-        let mut row_pos = vec![usize::MAX; n];
-        for (j, &r) in rows.iter().enumerate() {
-            row_pos[r] = j;
-        }
-        CornerDiff {
-            rows,
-            row_pos,
-            diffs,
-        }
-    }
-
-    /// Number of support rows `|R|` — the rank of every correction.
-    pub(crate) fn support(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Whether the correction can pay at dimension `n`: the per-frequency
-    /// cost is ~`1 + |R|/n` factorization-equivalents, so a support
-    /// spanning a third of the system already erases the win.
-    pub(crate) fn profitable(&self, n: usize) -> bool {
-        3 * self.support() < n
-    }
-}
-
-/// Solves the correction basis `W = A0^{-1} P_R` — one back-substitution
-/// per support row against the factored base system, shared by every
-/// corner (and, in the noise analysis, every right-hand side) of a
-/// frequency point. `wflat` is filled column-major: `wflat[j*n..]` is the
-/// solution for support row `rows[j]`.
-pub(crate) fn solve_correction_basis(
-    base: &ComplexLuSoa,
-    rows: &[usize],
-    n: usize,
-    unit: &mut Vec<Complex>,
-    xcol: &mut Vec<Complex>,
-    wflat: &mut Vec<Complex>,
-) {
-    wflat.clear();
-    for &rj in rows {
-        unit.clear();
-        unit.resize(n, Complex::ZERO);
-        unit[rj] = Complex::ONE;
-        base.solve_into(unit, xcol);
-        wflat.extend_from_slice(xcol);
-    }
-}
-
-/// Factors one corner's capacitance matrix `S_b = I + N_b W` at angular
-/// frequency `w_ang` into `small` — done once per (corner, frequency),
-/// after which [`corrected_entry`] applies it to any number of
-/// right-hand sides.
-///
-/// # Errors
-///
-/// [`SimError::SingularMatrix`] when the corner shifted the base too hard
-/// for the correction to hold (callers fall back to a direct
-/// factorization of that corner).
-pub(crate) fn factor_correction(
-    small: &mut LuFactors<Complex>,
-    diff: &[(usize, usize, f64, f64)],
-    row_pos: &[usize],
-    rn: usize,
-    n: usize,
-    w_ang: f64,
-    wflat: &[Complex],
-) -> Result<(), SimError> {
-    small.refactor_with(rn, 1e-300, |sm| {
-        for i in 0..rn {
-            sm[(i, i)] = Complex::ONE;
-        }
-        for &(r, c, dg, dc) in diff {
-            let m = Complex::new(dg, w_ang * dc);
-            let jr = row_pos[r];
-            for j2 in 0..rn {
-                sm[(jr, j2)] += m * wflat[j2 * n + c];
-            }
-        }
-    })
-}
-
-/// Woodbury application: entry `o` of corner `b`'s solution recovered
-/// from the base solution `y` —
-/// `x_b[o] = y[o] - (W S_b^{-1} N_b y)[o]` — at the cost of one sparse
-/// product, one `|R| x |R|` solve, and one dot product. `small` must hold
-/// the corner's factored correction ([`factor_correction`]).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn corrected_entry(
-    small: &LuFactors<Complex>,
-    diff: &[(usize, usize, f64, f64)],
-    row_pos: &[usize],
-    wflat: &[Complex],
-    y: &[Complex],
-    o: Option<usize>,
-    w_ang: f64,
-    n: usize,
-    rn: usize,
-    u: &mut Vec<Complex>,
-    z: &mut Vec<Complex>,
-) -> Complex {
-    let Some(o) = o else {
-        return Complex::ZERO;
-    };
-    u.clear();
-    u.resize(rn, Complex::ZERO);
-    for &(r, c, dg, dc) in diff {
-        u[row_pos[r]] += Complex::new(dg, w_ang * dc) * y[c];
-    }
-    small.solve_into(u, z);
-    let mut v = y[o];
-    for (j2, zj) in z.iter().enumerate() {
-        v -= wflat[j2 * n + o] * *zj;
-    }
-    v
-}
-
 /// Corner-correction AC sweep: the fast path of the *warm* batched corner
 /// engine. The B corner systems of a worst-case evaluation differ only in
 /// their device stamps — the parasitic mesh, passives, sources, and gmin
@@ -1100,10 +1144,10 @@ pub fn ac_sweep_corners(
     }
     let n = solvers[0].dim();
     if solvers.iter().any(|s| s.config().use_sparse(s.dim())) {
-        // The Woodbury correction machinery (dense base factor, dense
-        // correction basis) assumes the dense kernel; sparse-routed dims
-        // sweep each corner through its own sparse path instead.
-        return sparse_scalar_sweeps(solvers, freqs, outs, ws);
+        // Sparse-routed dims get their own corrected sweep: sparse base
+        // factor per frequency (symbolic analysis shared across the
+        // sweep), dense low-rank correction per sibling.
+        return sparse_corner_sweeps(solvers, freqs, outs, ws);
     }
     if bt == 1 || solvers.iter().any(|s| s.dim() != n) {
         return scalar_sweeps(solvers, freqs, outs);
@@ -1181,7 +1225,7 @@ pub fn ac_sweep_corners(
                 wflat,
                 ..
             } = &mut *ws;
-            solve_correction_basis(base, &cd.rows, n, unit, xcol, wflat);
+            solve_correction_basis(&*base, &cd.rows, n, unit, xcol, wflat);
         }
         for b in 0..bt {
             if errs[b].is_some() {
@@ -1197,8 +1241,16 @@ pub fn ac_sweep_corners(
             // the sparse stamp differences — into the reused small-LU
             // buffer, so the per-(corner, frequency) correction
             // allocates nothing.
-            let ok = factor_correction(&mut ws.small, diff, &cd.row_pos, rn, n, w_ang, &ws.wflat)
-                .is_ok();
+            let ok = factor_correction(
+                &mut ws.small,
+                diff,
+                &cd.row_pos,
+                rn,
+                n,
+                |dg, dc| Complex::new(dg, w_ang * dc),
+                &ws.wflat,
+            )
+            .is_ok();
             if ok {
                 let v = corrected_entry(
                     &ws.small,
@@ -1207,7 +1259,7 @@ pub fn ac_sweep_corners(
                     &ws.wflat,
                     &ws.y0,
                     oi[b],
-                    w_ang,
+                    |dg, dc| Complex::new(dg, w_ang * dc),
                     n,
                     rn,
                     &mut u,

@@ -10,6 +10,7 @@
 //! factorization is generic over the matrix scalar so the same code path
 //! serves real (DC, transient) and complex (AC, noise) analyses.
 
+pub(crate) mod correction;
 pub mod sparse;
 pub mod structure;
 
@@ -352,6 +353,60 @@ impl<T: Scalar> LuFactors<T> {
                 acc -= *l * x[j];
             }
             x[i] = acc / row[i];
+        }
+    }
+
+    /// Solves `A X = B` for `lanes` right-hand sides in one pass over the
+    /// factors, with `b` and `x` in lane-innermost layout
+    /// (`[i * lanes + lane]`). Each lane performs the exact arithmetic of
+    /// [`LuFactors::solve_into`] in the exact order — permutation, forward,
+    /// backward — so every lane's solution is bitwise-equal to a scalar
+    /// solve of that lane; the fusion only shares the single traversal of
+    /// the `n x n` factor across all lanes (memory traffic `n² + lanes·n`
+    /// instead of `lanes·n²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim * lanes`.
+    pub fn solve_multi_into(&self, b: &[T], lanes: usize, x: &mut Vec<T>) {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n * lanes, "dimension mismatch");
+        x.clear();
+        x.reserve(n * lanes);
+        for &p in &self.perm {
+            x.extend_from_slice(&b[p * lanes..(p + 1) * lanes]);
+        }
+        let data = &self.lu.data;
+        // Forward substitution (L has unit diagonal), all lanes per row.
+        for i in 1..n {
+            let row = &data[i * n..i * n + i];
+            let (done, rest) = x.split_at_mut(i * lanes);
+            let xi = &mut rest[..lanes];
+            for (j, l) in row.iter().enumerate() {
+                let xj = &done[j * lanes..(j + 1) * lanes];
+                for (acc, &v) in xi.iter_mut().zip(xj) {
+                    let upd = *l * v;
+                    *acc -= upd;
+                }
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let row = &data[i * n..(i + 1) * n];
+            let (head, tail) = x.split_at_mut((i + 1) * lanes);
+            let xi = &mut head[i * lanes..];
+            for (j, l) in row.iter().enumerate().skip(i + 1) {
+                let xj = &tail[(j - i - 1) * lanes..(j - i) * lanes];
+                for (acc, &v) in xi.iter_mut().zip(xj) {
+                    let upd = *l * v;
+                    *acc -= upd;
+                }
+            }
+            let d = row[i];
+            for acc in xi.iter_mut() {
+                let v = *acc / d;
+                *acc = v;
+            }
         }
     }
 }
@@ -718,7 +773,27 @@ impl RealLuBatch {
     ///
     /// Panics if `rhs.len() != dim * batch`.
     pub fn solve_batch_into(&self, rhs: &[f64], x: &mut Vec<f64>, acc: &mut Vec<f64>) {
-        let (n, bt) = (self.n, self.batch);
+        // Lane-count-specialized like `eliminate`: the corner-batched
+        // settling sweep calls this once per time step against one
+        // factorization, so the `B`-wide substitution loops — not the
+        // elimination — are the hot path there, and they only vectorize
+        // when the trip count is a compile-time constant.
+        match self.batch {
+            1 => self.solve_impl::<1>(rhs, x, acc),
+            2 => self.solve_impl::<2>(rhs, x, acc),
+            3 => self.solve_impl::<3>(rhs, x, acc),
+            4 => self.solve_impl::<4>(rhs, x, acc),
+            5 => self.solve_impl::<5>(rhs, x, acc),
+            6 => self.solve_impl::<6>(rhs, x, acc),
+            7 => self.solve_impl::<7>(rhs, x, acc),
+            8 => self.solve_impl::<8>(rhs, x, acc),
+            _ => self.solve_impl::<0>(rhs, x, acc),
+        }
+    }
+
+    fn solve_impl<const B: usize>(&self, rhs: &[f64], x: &mut Vec<f64>, acc: &mut Vec<f64>) {
+        let n = self.n;
+        let bt = if B == 0 { self.batch } else { B };
         assert_eq!(rhs.len(), n * bt, "dimension mismatch");
         x.clear();
         for i in 0..n {

@@ -69,7 +69,21 @@ pub struct SolverConfig {
     /// systems (a single block) degenerate to the plain sparse path up
     /// to the one-time decomposition cost per pattern.
     pub btf: bool,
+    /// Fill-ratio escape hatch for [`SolverBackend::Auto`]: once a system
+    /// has been factored sparsely, workspaces compare the measured factor
+    /// nnz against `fill_limit_pct` percent of the dense `n²` and drop
+    /// back to the dense kernels when the factors are no longer sparse
+    /// enough to pay for the indirection (ROADMAP: "tuning the crossover
+    /// by fill rather than dim alone"). `0` disables the check. Stored as
+    /// an integer percentage so the config stays `Eq`/hashable.
+    pub fill_limit_pct: u8,
 }
+
+/// Default [`SolverConfig::fill_limit_pct`]: past ~35% structural fill the
+/// left-looking sparse kernels lose their traversal advantage over the
+/// vectorized dense elimination (measured on randomized near-dense meshes
+/// in the crossover unit tests).
+pub const DEFAULT_FILL_LIMIT_PCT: u8 = 35;
 
 impl Default for SolverConfig {
     fn default() -> Self {
@@ -77,6 +91,7 @@ impl Default for SolverConfig {
             backend: SolverBackend::Auto,
             crossover: DEFAULT_CROSSOVER,
             btf: true,
+            fill_limit_pct: DEFAULT_FILL_LIMIT_PCT,
         }
     }
 }
@@ -88,6 +103,7 @@ impl SolverConfig {
             backend: SolverBackend::Dense,
             crossover: DEFAULT_CROSSOVER,
             btf: true,
+            fill_limit_pct: DEFAULT_FILL_LIMIT_PCT,
         }
     }
 
@@ -97,12 +113,20 @@ impl SolverConfig {
             backend: SolverBackend::Sparse,
             crossover: DEFAULT_CROSSOVER,
             btf: true,
+            fill_limit_pct: DEFAULT_FILL_LIMIT_PCT,
         }
     }
 
     /// The same config with the BTF mode switched as given.
     pub const fn with_btf(mut self, btf: bool) -> Self {
         self.btf = btf;
+        self
+    }
+
+    /// The same config with the fill-ratio limit switched as given
+    /// (`0` disables the fill-based dense fallback).
+    pub const fn with_fill_limit_pct(mut self, pct: u8) -> Self {
+        self.fill_limit_pct = pct;
         self
     }
 
@@ -113,6 +137,19 @@ impl SolverConfig {
             SolverBackend::Sparse => true,
             SolverBackend::Auto => dim >= self.crossover,
         }
+    }
+
+    /// Whether an `Auto`-selected sparse factorization whose measured
+    /// factor holds `factor_nnz` structural nonzeros should fall back to
+    /// the dense kernels: true once the fill ratio reaches
+    /// `fill_limit_pct` percent of the dense `dim²`. Forced
+    /// [`SolverBackend::Sparse`] (and `Dense`) configs never flip, and
+    /// `fill_limit_pct == 0` disables the check.
+    pub fn dense_by_fill(&self, dim: usize, factor_nnz: usize) -> bool {
+        self.backend == SolverBackend::Auto
+            && self.fill_limit_pct > 0
+            && dim > 0
+            && factor_nnz * 100 >= usize::from(self.fill_limit_pct) * dim * dim
     }
 }
 
@@ -795,6 +832,65 @@ impl<T: Scalar> SparseLu<T> {
             }
         }
     }
+
+    /// Solves `A X = B` for `lanes` right-hand sides in one traversal of
+    /// the sparse factors, with `b` and `x` in lane-innermost layout
+    /// (`[i * lanes + lane]`). Each lane performs the exact arithmetic of
+    /// [`SparseLu::solve_into`] in the exact order (permutation, forward
+    /// over L's columns, backward over U's columns), so every lane's
+    /// solution is bitwise-equal to a scalar solve of that lane; the
+    /// fusion shares the single walk over the factor indices/values
+    /// across all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim * lanes`.
+    pub fn solve_multi_into(&self, b: &[T], lanes: usize, x: &mut Vec<T>) {
+        let n = self.n;
+        assert_eq!(b.len(), n * lanes, "dimension mismatch");
+        x.clear();
+        x.resize(n * lanes, T::zero());
+        for k in 0..n {
+            let (src, dst) = (self.p[k] * lanes, self.q[k] * lanes);
+            x[dst..dst + lanes].copy_from_slice(&b[src..src + lanes]);
+        }
+        // Per-column pivot values, copied out so the scatter updates can
+        // borrow `x` mutably.
+        let mut xj = vec![T::zero(); lanes];
+        // Forward substitution; L's unit diagonal is stored first in each
+        // column and skipped.
+        for j in 0..n {
+            let base = self.q[j] * lanes;
+            xj.copy_from_slice(&x[base..base + lanes]);
+            for pp in self.l_colptr[j] + 1..self.l_colptr[j + 1] {
+                let l = self.l_values[pp];
+                let rb = self.l_rowidx[pp] * lanes;
+                for (lane, &v) in xj.iter().enumerate() {
+                    let upd = l * v;
+                    x[rb + lane] -= upd;
+                }
+            }
+        }
+        // Back substitution; U's diagonal is stored last in each column.
+        for j in (0..n).rev() {
+            let s = self.u_colptr[j];
+            let e = self.u_colptr[j + 1];
+            let d = self.u_values[e - 1];
+            let base = self.q[j] * lanes;
+            for (lane, slot) in xj.iter_mut().enumerate() {
+                *slot = x[base + lane] / d;
+                x[base + lane] = *slot;
+            }
+            for pp in s..e - 1 {
+                let u = self.u_values[pp];
+                let rb = self.u_rowidx[pp] * lanes;
+                for (lane, &v) in xj.iter().enumerate() {
+                    let upd = u * v;
+                    x[rb + lane] -= upd;
+                }
+            }
+        }
+    }
 }
 
 impl<T: Scalar> LinearSolver<T> for SparseLu<T> {
@@ -1015,5 +1111,88 @@ mod tests {
         assert!(auto.use_sparse(DEFAULT_CROSSOVER));
         assert!(!SolverConfig::dense().use_sparse(10_000));
         assert!(SolverConfig::sparse().use_sparse(1));
+    }
+
+    #[test]
+    fn dense_by_fill_threshold_sides() {
+        let auto = SolverConfig::default();
+        let n = 40;
+        // Exactly at the threshold counts as dense-worthy (>=), one
+        // nonzero below it does not.
+        let at = usize::from(DEFAULT_FILL_LIMIT_PCT) * n * n / 100;
+        assert!(auto.dense_by_fill(n, at));
+        assert!(!auto.dense_by_fill(n, at - 1));
+        // A mesh-like factor (a few percent fill) never trips it.
+        assert!(!auto.dense_by_fill(n, 6 * n));
+        // Forced backends and a disabled limit never flip.
+        assert!(!SolverConfig::sparse().dense_by_fill(n, n * n));
+        assert!(!SolverConfig::dense().dense_by_fill(n, n * n));
+        assert!(!auto.with_fill_limit_pct(0).dense_by_fill(n, n * n));
+        assert!(!auto.dense_by_fill(0, 0));
+    }
+
+    /// The default fill limit separates the structures the simulator
+    /// actually meets: near-dense randomized patterns (broad coupling,
+    /// the shape a dense kernel beats sparse on) land above it, while
+    /// 2D-mesh factors (PEX extraction shape) stay far below it.
+    #[test]
+    fn default_fill_limit_separates_mesh_from_near_dense() {
+        // Near-dense: a banded matrix whose band spans most of the
+        // system fills in past the limit.
+        let n = 24;
+        let mut dense_ish = Matrix::<f64>::zeros(n, n);
+        let mut seed = 88172645463325252u64;
+        let mut next = move || {
+            // xorshift64 — deterministic, no external RNG.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for r in 0..n {
+            for c in 0..n {
+                if r != c && r.abs_diff(c) < 3 * n / 4 {
+                    dense_ish[(r, c)] = next() - 0.5;
+                }
+            }
+        }
+        for r in 0..n {
+            let rowsum: f64 = (0..n).map(|c| dense_ish[(r, c)].abs()).sum();
+            dense_ish[(r, r)] = rowsum + 1.0;
+        }
+        let lu = SparseLu::factor(&CscMatrix::from_dense(&dense_ish), 1e-300).expect("dominant");
+        let auto = SolverConfig::default();
+        assert!(
+            auto.dense_by_fill(n, lu.factor_nnz()),
+            "near-dense band fill {} below limit at n={n}",
+            lu.factor_nnz()
+        );
+
+        // Mesh: k x k grid Laplacian stays well under the limit.
+        let k = 8;
+        let m = k * k;
+        let mut mesh = Matrix::<f64>::zeros(m, m);
+        for r in 0..k {
+            for c in 0..k {
+                let i = r * k + c;
+                if c + 1 < k {
+                    mesh[(i, i + 1)] = -1.0;
+                    mesh[(i + 1, i)] = -1.0;
+                }
+                if r + 1 < k {
+                    mesh[(i, i + k)] = -1.0;
+                    mesh[(i + k, i)] = -1.0;
+                }
+            }
+        }
+        for i in 0..m {
+            mesh[(i, i)] = 5.0;
+        }
+        let mlu = SparseLu::factor(&CscMatrix::from_dense(&mesh), 1e-300).expect("dominant");
+        assert!(
+            !auto.dense_by_fill(m, mlu.factor_nnz()),
+            "mesh fill {} trips limit at n={m}",
+            mlu.factor_nnz()
+        );
     }
 }

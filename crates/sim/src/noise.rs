@@ -22,14 +22,14 @@
 //!   by the whole corner set. Exact to roundoff (the warm path's
 //!   solver-tolerance contract), and the dense-dim fast path.
 
-use crate::ac::{
-    corrected_entry, factor_correction, solve_correction_basis, AcBatchWorkspace, AcSolver,
-    AcWorkspace, CornerDiff, STOCK_DIM_MAX,
-};
+use crate::ac::{AcBatchWorkspace, AcSolver, AcWorkspace, STOCK_DIM_MAX};
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::device::BOLTZMANN;
 use crate::error::SimError;
+use crate::linalg::correction::{
+    corrected_entry, factor_correction, solve_correction_basis, CornerDiff,
+};
 use crate::linalg::sparse::SolverConfig;
 use crate::measure::integrate_trapezoid;
 use crate::netlist::{Circuit, Element, Node};
@@ -752,7 +752,7 @@ pub fn noise_analysis_corners(
                 wflat,
                 ..
             } = &mut *ws;
-            solve_correction_basis(base, &cd.rows, n, unit, xcol, wflat);
+            solve_correction_basis(&*base, &cd.rows, n, unit, xcol, wflat);
         }
         // Per-source base solves, computed once and shared by the whole
         // corner set — the structural win of the corrected analysis.
@@ -794,8 +794,16 @@ pub fn noise_analysis_corners(
                 out_psd[b].push(p);
                 continue;
             }
-            let ok = factor_correction(&mut ws.small, diff, &cd.row_pos, rn, n, w_ang, &ws.wflat)
-                .is_ok();
+            let ok = factor_correction(
+                &mut ws.small,
+                diff,
+                &cd.row_pos,
+                rn,
+                n,
+                |dg, dc| Complex::new(dg, w_ang * dc),
+                &ws.wflat,
+            )
+            .is_ok();
             if !ok {
                 match direct_noise_point(ws, b, n, w_ang, rhs0, oi[b], &sources[b], &inj, fq) {
                     Ok((g, p)) => {
@@ -813,7 +821,7 @@ pub fn noise_analysis_corners(
                 &ws.wflat,
                 &ws.y0,
                 oi[b],
-                w_ang,
+                |dg, dc| Complex::new(dg, w_ang * dc),
                 n,
                 rn,
                 &mut u,
@@ -829,7 +837,7 @@ pub fn noise_analysis_corners(
                     &ws.wflat,
                     &ws.ys[s * n..(s + 1) * n],
                     oi[b],
-                    w_ang,
+                    |dg, dc| Complex::new(dg, w_ang * dc),
                     n,
                     rn,
                     &mut u,

@@ -5,9 +5,13 @@
 //! are re-linearized each Newton iteration; step sources follow their
 //! [`crate::netlist::Step`] waveforms.
 
+use crate::ac::{AcSolver, STOCK_DIM_MAX};
 use crate::dc::{dc_operating_point, eval_mos_oriented, DcOptions, OpPoint, WarmState};
 use crate::error::SimError;
-use crate::linalg::sparse::CscMatrix;
+use crate::linalg::correction::{
+    corrected_vector, factor_correction, solve_correction_basis, CornerDiff,
+};
+use crate::linalg::sparse::{CscMatrix, SparseLu, TripletList};
 use crate::linalg::structure::SparseSolver;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
@@ -461,6 +465,366 @@ pub fn transient_from_op(
         t: t_points,
         v: v_points,
     })
+}
+
+/// One corner's settling record: the `(t, y)` sample vectors of a step
+/// response, or the solver error that corner failed with.
+pub type StepRecord = Result<(Vec<f64>, Vec<f64>), SimError>;
+
+/// Corner-batched small-signal step response — the warm fast path of the
+/// settling measurement across a PVT corner set sharing one time window.
+///
+/// The trapezoidal companion `A_b = G_b + 2C_b/h` is constant over the
+/// whole record, so the scalar kernel already factors it once per corner
+/// and amortizes that cost over the 2048 back-substitutions — the
+/// batched win has to come from the *per-step solves*, and the kernel
+/// picks its mechanism by backend regime:
+///
+/// - **Dense dims** (crossover- or fill-limit-routed): each corner's
+///   constant companion is folded into a precomputed affine propagator
+///   `x1 = M x0 + k` (`M = A^{-1}(2C/h - G)`, `k = A^{-1} 2b`), so the
+///   per-step cost drops from a back-substitution pair to one `n^2`
+///   chain-free matrix-vector product — see [`corners_propagator`].
+///   Lanes agree with the scalar kernel to solver tolerance.
+/// - **Sparse dims**: the per-step sparse back-substitution is already
+///   cheap, so the kernel instead factors the **base corner's companion
+///   once**, builds the [`CornerDiff`] low-rank structure over the
+///   per-corner stamp deltas, and recovers every sibling's state per
+///   step through the Woodbury identity
+///   (`x_b = y_b - W S_b^{-1} N_b y_b`); each corner's `|R| x |R|`
+///   correction system is factored once per corner set. Corner 0 and
+///   empty-diff siblings take their lane of the fused solve directly
+///   (bitwise); corrected siblings are exact to roundoff.
+///
+/// Both regimes live under the warm path's solver-tolerance contract —
+/// the cold settling path is [`step_response_corners_shared`], which is
+/// bitwise. Falls back per corner to the scalar kernel on structural
+/// mismatch, a singular lane/base, or (sparse regime) unprofitable
+/// support (`3|R| >= n`); stock dims (`n <= 16`) always take the scalar
+/// path.
+///
+/// Returns one `(t, y)` record per corner, ordered like `solvers`.
+///
+/// # Panics
+///
+/// Panics if `solvers` and `outs` have different lengths.
+pub fn step_response_corners(
+    solvers: &[&AcSolver<'_>],
+    outs: &[Node],
+    t_stop: f64,
+    steps: usize,
+) -> Vec<StepRecord> {
+    assert_eq!(solvers.len(), outs.len(), "one output node per corner");
+    let bt = solvers.len();
+    if bt == 0 {
+        return Vec::new();
+    }
+    let n = solvers[0].dim();
+    let scalar_all = || {
+        solvers
+            .iter()
+            .zip(outs)
+            .map(|(s, &o)| s.step_response(o, t_stop, steps))
+            .collect()
+    };
+    if bt == 1 || n <= STOCK_DIM_MAX || solvers.iter().any(|s| s.dim() != n) {
+        return scalar_all();
+    }
+    let h = t_stop / steps as f64;
+    let cfg = solvers[0].config();
+    if cfg.use_sparse(n) {
+        let mut patterns: Vec<Vec<(usize, usize, f64, f64)>> = vec![Vec::new(); bt];
+        for (pat, s) in patterns.iter_mut().zip(solvers) {
+            s.collect_pattern(pat);
+        }
+        let cd = CornerDiff::from_patterns(&patterns, n);
+        if !cd.profitable(n) {
+            return scalar_all();
+        }
+        // Base companion A0 = G0 + 2*C0/h on the *plain* sparse kernel
+        // (the correction basis needs one whole-matrix solve per support
+        // row, which the BTF block solve provides no advantage for).
+        let mut trip = TripletList::new(n);
+        for &(r, c, gg, cc) in &patterns[0] {
+            let v = gg + 2.0 * cc / h;
+            // lint:allow(float-eq) — exact-zero sparsity guard.
+            if v != 0.0 {
+                trip.push(r, c, v);
+            }
+        }
+        let mut csc = CscMatrix::empty();
+        trip.compress_into(&mut csc);
+        let mut slu = SparseLu::empty();
+        if slu.refactor(&csc, 1e-300).is_err() {
+            // Base corner singular: let every corner report through its
+            // own scalar solve.
+            return scalar_all();
+        }
+        if !cfg.dense_by_fill(n, slu.factor_nnz()) {
+            return corners_woodbury(solvers, outs, t_stop, steps, h, &slu, &patterns, &cd);
+        }
+        // Fill blow-up: the scalar kernel drops to its dense LU here,
+        // which is the propagator kernel's regime.
+    }
+    corners_propagator(solvers, outs, t_stop, steps, h)
+}
+
+/// Dense-regime settling kernel: the per-step implicit solve is replaced
+/// by a per-corner precomputed **propagator**. The trapezoidal companion
+/// is constant over the record, so the step update
+/// `A x1 = 2b + (2C/h - G) x0` is the affine fixed map `x1 = M x0 + k`
+/// with `M = A^{-1} (2C/h - G)` and `k = A^{-1} (2b)` — each corner pays
+/// `n + 1` extra back-substitutions once, and every step collapses to
+/// one `n^2` matrix-vector product, half the flops of a back-substitution
+/// pair. The matvec runs column-major (axpy accumulation), so the inner
+/// loop is `n` independent multiply-adds with none of the substitution
+/// dependency chain, and each corner's propagator stays L1-resident for
+/// its whole sweep. Algebraically the map is the scalar kernel's exact
+/// update; in floating point the precomputed `M` commits its solve
+/// roundoff once, so lanes agree with [`AcSolver::step_response`] to
+/// solver tolerance — the warm path's contract — not bitwise. A singular
+/// companion drops that corner to the scalar path so it reports the
+/// scalar error.
+fn corners_propagator(
+    solvers: &[&AcSolver<'_>],
+    outs: &[Node],
+    t_stop: f64,
+    steps: usize,
+    h: f64,
+) -> Vec<StepRecord> {
+    let n = solvers[0].dim();
+    solvers
+        .iter()
+        .zip(outs)
+        .map(|(s, &o)| {
+            let (g, c) = s.stamps();
+            let mut a = Matrix::<f64>::zeros(n, n);
+            for r in 0..n {
+                for col in 0..n {
+                    a[(r, col)] = g[(r, col)] + 2.0 * c[(r, col)] / h;
+                }
+            }
+            let lu = match LuFactors::factor(a, 1e-300) {
+                Ok(lu) => lu,
+                // Singular companion: the scalar kernel reports it.
+                Err(_) => return s.step_response(o, t_stop, steps),
+            };
+            // M column by column — `A^{-1} (2C/h - G) e_j` — stored
+            // column-major so the per-step accumulation walks contiguous
+            // columns.
+            let mut mcols = vec![0.0; n * n];
+            let mut bcol = vec![0.0; n];
+            let mut xcol = Vec::new();
+            for j in 0..n {
+                for (i, bi) in bcol.iter_mut().enumerate() {
+                    *bi = 2.0 * c[(i, j)] / h - g[(i, j)];
+                }
+                lu.solve_into(&bcol, &mut xcol);
+                mcols[j * n..(j + 1) * n].copy_from_slice(&xcol);
+            }
+            let b2: Vec<f64> = s.source_rhs().iter().map(|cb| 2.0 * cb.re).collect();
+            let mut k = Vec::new();
+            lu.solve_into(&b2, &mut k);
+
+            let oi = s.mna_index(o);
+            let mut x = vec![0.0; n];
+            let mut xn = vec![0.0; n];
+            let mut t_out = Vec::with_capacity(steps + 1);
+            let mut y_out = Vec::with_capacity(steps + 1);
+            t_out.push(0.0);
+            y_out.push(0.0);
+            for sidx in 1..=steps {
+                // x1 = M x0 + k, axpy over M's columns: the inner loop
+                // carries no dependency between iterations, so it
+                // pipelines where the back-substitution chain stalls.
+                xn.copy_from_slice(&k);
+                for (j, &xj) in x.iter().enumerate() {
+                    let mcol = &mcols[j * n..(j + 1) * n];
+                    for (xi, &mij) in xn.iter_mut().zip(mcol) {
+                        *xi += mij * xj;
+                    }
+                }
+                std::mem::swap(&mut x, &mut xn);
+                t_out.push(sidx as f64 * h);
+                y_out.push(oi.map_or(0.0, |i| x[i]));
+            }
+            Ok((t_out, y_out))
+        })
+        .collect()
+}
+
+/// Sparse-regime settling kernel: Woodbury-corrects every sibling's
+/// per-step state against the once-factored base-corner companion — see
+/// [`step_response_corners`] for the contract.
+#[allow(clippy::too_many_arguments)]
+fn corners_woodbury(
+    solvers: &[&AcSolver<'_>],
+    outs: &[Node],
+    t_stop: f64,
+    steps: usize,
+    h: f64,
+    base: &SparseLu<f64>,
+    patterns: &[Vec<(usize, usize, f64, f64)>],
+    cd: &CornerDiff,
+) -> Vec<StepRecord> {
+    let bt = solvers.len();
+    let n = solvers[0].dim();
+    let rn = cd.support();
+    // Same companion arithmetic as the scalar kernel (`2*c/h` with this
+    // exact rounding) so the uncorrected lanes stay bitwise-equal.
+    let combine = |dg: f64, dc: f64| dg + 2.0 * dc / h;
+
+    // W = A0^{-1} P_R — |R| back-substitutions, shared by every corner
+    // and every time step.
+    let mut unit = Vec::new();
+    let mut xcol = Vec::new();
+    let mut wflat = Vec::new();
+    solve_correction_basis(base, &cd.rows, n, &mut unit, &mut xcol, &mut wflat);
+
+    // Per-corner correction factors S_b = I + N_b W, factored once for
+    // the whole record (the companion has no per-step dependence). A
+    // singular correction (corner shifted the base too hard) drops that
+    // corner to the scalar kernel.
+    let mut smalls: Vec<Option<LuFactors<f64>>> = Vec::with_capacity(bt);
+    let mut fallback = vec![false; bt];
+    for (diff, fb) in cd.diffs.iter().zip(fallback.iter_mut()) {
+        if diff.is_empty() {
+            smalls.push(None);
+            continue;
+        }
+        let mut small = LuFactors::empty();
+        match factor_correction(&mut small, diff, &cd.row_pos, rn, n, combine, &wflat) {
+            Ok(()) => smalls.push(Some(small)),
+            Err(_) => {
+                *fb = true;
+                smalls.push(None);
+            }
+        }
+    }
+    let active: Vec<usize> = (0..bt).filter(|&b| !fallback[b]).collect();
+    let lanes = active.len();
+
+    let mut out: Vec<StepRecord> = (0..bt).map(|_| Ok((Vec::new(), Vec::new()))).collect();
+    if lanes > 0 {
+        // Companion right-hand-side stamps per active corner, from the
+        // same pattern entries (and in the same row-major order) the
+        // scalar kernel walks.
+        let comps: Vec<Vec<(usize, usize, f64)>> = active
+            .iter()
+            .map(|&b| {
+                patterns[b]
+                    .iter()
+                    .filter_map(|&(r, c, gg, cc)| {
+                        let v = 2.0 * cc / h - gg;
+                        // lint:allow(float-eq) — exact-zero sparsity guard.
+                        (v != 0.0).then_some((r, c, v))
+                    })
+                    .collect()
+            })
+            .collect();
+        let bvecs: Vec<Vec<f64>> = active
+            .iter()
+            .map(|&b| solvers[b].source_rhs().iter().map(|c| c.re).collect())
+            .collect();
+        let oi: Vec<Option<usize>> = active
+            .iter()
+            .map(|&b| solvers[b].mna_index(outs[b]))
+            .collect();
+        let mut xs: Vec<Vec<f64>> = vec![vec![0.0; n]; lanes];
+        let mut touts: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); lanes];
+        let mut youts: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); lanes];
+        for l in 0..lanes {
+            touts[l].push(0.0);
+            youts[l].push(0.0);
+        }
+        let mut rhs_flat = vec![0.0; n * lanes];
+        let mut ys_flat = Vec::new();
+        let mut ylane = vec![0.0; n];
+        let mut u = Vec::new();
+        let mut z = Vec::new();
+        for s in 1..=steps {
+            for (l, bv) in bvecs.iter().enumerate() {
+                for (i, &bi) in bv.iter().enumerate() {
+                    rhs_flat[i * lanes + l] = 2.0 * bi;
+                }
+                for &(r, c, v) in &comps[l] {
+                    rhs_flat[r * lanes + l] += v * xs[l][c];
+                }
+            }
+            base.solve_multi_into(&rhs_flat, lanes, &mut ys_flat);
+            for (l, &b) in active.iter().enumerate() {
+                match &smalls[b] {
+                    None => {
+                        // Stamps equal the base: the fused solve's lane
+                        // *is* this corner's solve.
+                        for (i, xi) in xs[l].iter_mut().enumerate() {
+                            *xi = ys_flat[i * lanes + l];
+                        }
+                    }
+                    Some(small) => {
+                        for (i, yi) in ylane.iter_mut().enumerate() {
+                            *yi = ys_flat[i * lanes + l];
+                        }
+                        corrected_vector(
+                            small,
+                            &cd.diffs[b],
+                            &cd.row_pos,
+                            &wflat,
+                            &ylane,
+                            combine,
+                            n,
+                            rn,
+                            &mut u,
+                            &mut z,
+                            &mut xs[l],
+                        );
+                    }
+                }
+                touts[l].push(s as f64 * h);
+                youts[l].push(oi[l].map_or(0.0, |i| xs[l][i]));
+            }
+        }
+        for ((&b, t), y) in active.iter().zip(touts).zip(youts) {
+            out[b] = Ok((t, y));
+        }
+    }
+    for (b, slot) in out.iter_mut().enumerate() {
+        if fallback[b] {
+            *slot = solvers[b].step_response(outs[b], t_stop, steps);
+        }
+    }
+    out
+}
+
+/// Cold corner-batched step response: every corner runs the exact scalar
+/// [`AcSolver::step_response`] arithmetic (bitwise-equal results), but
+/// sparse-routed dims share one [`SparseSolver`] across the corner set —
+/// corners share their companion stamp *pattern*, so the symbolic
+/// analysis + AMD ordering (and BTF decomposition) are computed once and
+/// every sibling pays only a values refactor. Same-pattern refactors are
+/// bitwise-equal to fresh factorizations, so this sharing is invisible
+/// in the results — which is what keeps this path on the cold bitwise
+/// contract while still removing the per-corner analysis cost.
+///
+/// # Panics
+///
+/// Panics if `solvers` and `outs` have different lengths.
+pub fn step_response_corners_shared(
+    solvers: &[&AcSolver<'_>],
+    outs: &[Node],
+    t_stop: f64,
+    steps: usize,
+) -> Vec<StepRecord> {
+    assert_eq!(solvers.len(), outs.len(), "one output node per corner");
+    if solvers.is_empty() {
+        return Vec::new();
+    }
+    let mut shared = SparseSolver::empty(solvers[0].config().btf);
+    solvers
+        .iter()
+        .zip(outs)
+        .map(|(s, &o)| s.step_response_via(o, t_stop, steps, &mut shared))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,296 @@
+//! Property: the corner-batched settling integrations are equivalent to
+//! the scalar per-corner reference.
+//!
+//! [`step_response_corners`] is two kernels behind one dispatch. At
+//! dense-routed dims each corner's constant companion is folded into a
+//! precomputed affine propagator `x1 = M x0 + k` — algebraically the
+//! scalar update, but with the solve roundoff committed into `M` once —
+//! so every corner must agree with the scalar
+//! [`AcSolver::step_response`] to roundoff. At sparse-routed dims it
+//! factors only the base corner's companion and recovers each sibling
+//! through the low-rank Woodbury correction, which is algebraically
+//! exact — siblings must agree to roundoff, while the base corner and
+//! any corner whose device stamps match the base (empty diff) run the
+//! scalar arithmetic in the scalar order and must agree **bitwise**. At
+//! stock dims (`n <= 16`), on corner sets whose dims differ, and on
+//! singular/unprofitable bases the kernel falls back to the scalar path
+//! per corner, so every lane tightens back to bitwise. [`step_response_corners_shared`] shares one symbolic
+//! analysis + AMD ordering across the corner set and refactors per
+//! sibling — same-pattern refactor is bitwise-stable, so every corner
+//! must match the scalar path bitwise.
+
+use autockt_sim::ac::AcSolver;
+use autockt_sim::dc::{dc_operating_point, DcOptions, OpPoint};
+use autockt_sim::device::{MosPolarity, Technology};
+use autockt_sim::netlist::{Circuit, Mosfet, Node, GND};
+use autockt_sim::tran::{step_response_corners, step_response_corners_shared};
+use autockt_sim::SolverConfig;
+use proptest::prelude::*;
+
+/// Shared settling window and step count for every equivalence check:
+/// a few output time constants of the fixture (R ~ 7 kΩ into 0.1 pF),
+/// enough steps to exercise the multi-lane back-substitution without
+/// slowing the suite down.
+const T_STOP: f64 = 4.0e-8;
+const STEPS: usize = 96;
+
+/// A common-source amplifier driving a `depth`-segment RC mesh — the
+/// worst-case-PVT shape: the mesh (and every passive) is shared by all
+/// corners, only the device stamps differ with `w`.
+fn amp_with_mesh(w: f64, depth: usize) -> (Circuit, Node) {
+    let t = Technology::ptm45();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let g = ckt.node("g");
+    let d = ckt.node("d");
+    ckt.vsource(vdd, GND, 1.0, 0.0);
+    ckt.vsource(g, GND, 0.55, 1.0);
+    ckt.resistor(vdd, d, 5.0e3);
+    ckt.mosfet(Mosfet {
+        polarity: MosPolarity::Nmos,
+        d,
+        g,
+        s: GND,
+        w,
+        l: 90e-9,
+        mult: 1.0,
+        model: t.nmos,
+    });
+    let mut prev = d;
+    for s in 0..depth {
+        let n = ckt.node(&format!("m{s}"));
+        ckt.resistor(prev, n, 1.0e3);
+        ckt.capacitor(n, GND, 2e-15);
+        prev = n;
+    }
+    let out = ckt.node("out");
+    ckt.resistor(prev, out, 1.0e3);
+    ckt.capacitor(out, GND, 1e-13);
+    (ckt, out)
+}
+
+/// Builds the corner set and solves every operating point cold.
+fn corner_set(widths: &[f64], depth: usize) -> (Vec<(Circuit, Node)>, Vec<OpPoint>) {
+    let variants: Vec<(Circuit, Node)> = widths.iter().map(|&w| amp_with_mesh(w, depth)).collect();
+    let ops: Vec<OpPoint> = variants
+        .iter()
+        .map(|(ckt, _)| dc_operating_point(ckt, &DcOptions::default()).expect("amp solves"))
+        .collect();
+    (variants, ops)
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Which lanes of the corrected kernel must match the scalar reference
+/// bitwise (the rest must match to roundoff).
+#[derive(Clone, Copy, PartialEq)]
+enum Bitwise {
+    /// Scalar fallback regimes: every lane.
+    All,
+    /// Sparse Woodbury regime: the base corner and empty-diff siblings.
+    BaseLanes,
+    /// Dense propagator regime: no lane — `M` commits solve roundoff.
+    None,
+}
+
+/// Runs the scalar reference per corner, then checks the corrected
+/// kernel: lanes selected by `mode` must match exactly, the rest to
+/// roundoff.
+fn check_corrected(
+    widths: &[f64],
+    depth: usize,
+    cfg: SolverConfig,
+    mode: Bitwise,
+) -> Result<(), String> {
+    let (variants, ops) = corner_set(widths, depth);
+    let solvers: Vec<AcSolver<'_>> = variants
+        .iter()
+        .zip(&ops)
+        .map(|((ckt, _), op)| AcSolver::new(ckt, op).with_config(cfg))
+        .collect();
+    let refs: Vec<&AcSolver<'_>> = solvers.iter().collect();
+    let outs: Vec<Node> = variants.iter().map(|(_, o)| *o).collect();
+
+    let scalar: Vec<_> = refs
+        .iter()
+        .zip(&outs)
+        .map(|(s, &o)| s.step_response(o, T_STOP, STEPS))
+        .collect();
+    let corr = step_response_corners(&refs, &outs, T_STOP, STEPS);
+    if corr.len() != scalar.len() {
+        return Err(format!(
+            "corrected returned {} records for {} corners",
+            corr.len(),
+            scalar.len()
+        ));
+    }
+    for (b, (cc, ss)) in corr.iter().zip(&scalar).enumerate() {
+        match (cc, ss) {
+            (Ok((ct, cy)), Ok((st, sy))) => {
+                // The time axis is h = t_stop/steps scaled by the step
+                // index on both paths — always bitwise.
+                if ct != st {
+                    return Err(format!("time axis diverged at corner {b}"));
+                }
+                let bitwise = match mode {
+                    Bitwise::All => true,
+                    Bitwise::BaseLanes => b == 0 || widths[b] == widths[0],
+                    Bitwise::None => false,
+                };
+                if bitwise {
+                    if cy != sy {
+                        return Err(format!("scalar-lane corner {b} diverged bitwise"));
+                    }
+                    continue;
+                }
+                for (i, (c, s)) in cy.iter().zip(sy).enumerate() {
+                    if !rel_close(*c, *s, 1e-9) {
+                        return Err(format!(
+                            "corrected sample {i} diverged at corner {b}: {c} vs {s}"
+                        ));
+                    }
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => {
+                return Err(format!(
+                    "corrected outcome diverged at corner {b}: {cc:?} vs {ss:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Dense dims (16 < dim < crossover): the propagator kernel — every
+    /// corner agrees with the scalar path to roundoff, duplicates and
+    /// spread-out siblings alike. A duplicate corner rides along to
+    /// cover the equal-stamps lane too.
+    #[test]
+    fn settle_propagator_dense_is_close(
+        base_w in 0.8e-6..4.0e-6f64,
+        deltas in prop::collection::vec(-0.3..0.3f64, 4),
+        depth in 18usize..30,
+    ) {
+        let widths: Vec<f64> = std::iter::once(base_w)
+            .chain(std::iter::once(base_w)) // duplicate corner: equal stamps
+            .chain(deltas.iter().map(|d| base_w * (1.0 + d)))
+            .collect();
+        let r = check_corrected(&widths, depth, SolverConfig::default(), Bitwise::None);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// Stock dims (dim <= 16): the kernel falls back to the scalar path
+    /// per corner, so every lane is bitwise.
+    #[test]
+    fn settle_corrected_bitwise_at_stock_dims(
+        base_w in 0.8e-6..4.0e-6f64,
+        deltas in prop::collection::vec(-0.3..0.3f64, 5),
+        depth in 0usize..8,
+    ) {
+        let widths: Vec<f64> = std::iter::once(base_w)
+            .chain(deltas.iter().map(|d| base_w * (1.0 + d)))
+            .collect();
+        let r = check_corrected(&widths, depth, SolverConfig::default(), Bitwise::All);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// Sparse base (forced sparse backend, BTF off so the scalar path
+    /// factors the same plain sparse LU as the corrected base): base
+    /// corner bitwise, corrected siblings to roundoff.
+    #[test]
+    fn settle_corrected_close_sparse_base(
+        base_w in 0.8e-6..4.0e-6f64,
+        deltas in prop::collection::vec(-0.3..0.3f64, 3),
+        depth in 18usize..26,
+    ) {
+        let widths: Vec<f64> = std::iter::once(base_w)
+            .chain(deltas.iter().map(|d| base_w * (1.0 + d)))
+            .collect();
+        let cfg = SolverConfig::sparse().with_btf(false);
+        let r = check_corrected(&widths, depth, cfg, Bitwise::BaseLanes);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// Symbolic-shared sparse path: one analysis + AMD ordering,
+    /// `refactor` per corner — every corner bitwise against a fresh
+    /// per-corner factorization (the scalar path), BTF on and off.
+    #[test]
+    fn settle_shared_refactor_is_bitwise(
+        base_w in 0.8e-6..4.0e-6f64,
+        deltas in prop::collection::vec(-0.3..0.3f64, 4),
+        depth in 18usize..26,
+        btf in 0usize..2,
+    ) {
+        let widths: Vec<f64> = std::iter::once(base_w)
+            .chain(deltas.iter().map(|d| base_w * (1.0 + d)))
+            .collect();
+        let cfg = SolverConfig::sparse().with_btf(btf == 1);
+        let (variants, ops) = corner_set(&widths, depth);
+        let solvers: Vec<AcSolver<'_>> = variants
+            .iter()
+            .zip(&ops)
+            .map(|((ckt, _), op)| AcSolver::new(ckt, op).with_config(cfg))
+            .collect();
+        let refs: Vec<&AcSolver<'_>> = solvers.iter().collect();
+        let outs: Vec<Node> = variants.iter().map(|(_, o)| *o).collect();
+        let scalar: Vec<_> = refs
+            .iter()
+            .zip(&outs)
+            .map(|(s, &o)| s.step_response(o, T_STOP, STEPS))
+            .collect();
+        let shared = step_response_corners_shared(&refs, &outs, T_STOP, STEPS);
+        for (b, (sh, sc)) in shared.iter().zip(&scalar).enumerate() {
+            prop_assert_eq!(sh, sc, "shared-symbolic corner {} diverged", b);
+        }
+    }
+}
+
+/// Corners whose MNA dims differ (structural mismatch) must fall back
+/// to the scalar path per corner — bitwise, no cross-corner sharing.
+#[test]
+fn dim_mismatch_falls_back_to_scalar_bitwise() {
+    let depths = [20usize, 24, 22];
+    let variants: Vec<(Circuit, Node)> = depths.iter().map(|&d| amp_with_mesh(2.0e-6, d)).collect();
+    let ops: Vec<OpPoint> = variants
+        .iter()
+        .map(|(ckt, _)| dc_operating_point(ckt, &DcOptions::default()).expect("amp solves"))
+        .collect();
+    let solvers: Vec<AcSolver<'_>> = variants
+        .iter()
+        .zip(&ops)
+        .map(|((ckt, _), op)| AcSolver::new(ckt, op))
+        .collect();
+    let refs: Vec<&AcSolver<'_>> = solvers.iter().collect();
+    let outs: Vec<Node> = variants.iter().map(|(_, o)| *o).collect();
+    let corr = step_response_corners(&refs, &outs, T_STOP, STEPS);
+    assert_eq!(corr.len(), refs.len());
+    for (b, (cc, (s, &o))) in corr.iter().zip(refs.iter().zip(&outs)).enumerate() {
+        let sc = s.step_response(o, T_STOP, STEPS);
+        assert_eq!(cc, &sc, "fallback corner {b} diverged from scalar");
+    }
+}
+
+/// Single-corner and empty corner sets run (or skip) the scalar path.
+#[test]
+fn single_corner_and_empty_batches() {
+    let (variants, ops) = corner_set(&[2.0e-6], 20);
+    let solvers: Vec<AcSolver<'_>> = variants
+        .iter()
+        .zip(&ops)
+        .map(|((ckt, _), op)| AcSolver::new(ckt, op))
+        .collect();
+    let refs: Vec<&AcSolver<'_>> = solvers.iter().collect();
+    let outs: Vec<Node> = variants.iter().map(|(_, o)| *o).collect();
+    let scalar = refs[0].step_response(outs[0], T_STOP, STEPS);
+    let corr = step_response_corners(&refs, &outs, T_STOP, STEPS);
+    assert_eq!(corr.len(), 1);
+    assert_eq!(&corr[0], &scalar);
+    let shared = step_response_corners_shared(&refs, &outs, T_STOP, STEPS);
+    assert_eq!(&shared[0], &scalar);
+    assert!(step_response_corners(&[], &[], T_STOP, STEPS).is_empty());
+    assert!(step_response_corners_shared(&[], &[], T_STOP, STEPS).is_empty());
+}

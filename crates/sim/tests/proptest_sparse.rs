@@ -229,7 +229,7 @@ proptest! {
                 solver: SolverConfig {
                     backend,
                     crossover,
-                    btf: true,
+                    ..SolverConfig::default()
                 },
                 ..DcOptions::default()
             };
