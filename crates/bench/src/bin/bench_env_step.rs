@@ -73,9 +73,19 @@
 //!   quantifying what the BTF decomposition buys (or costs) on MNA
 //!   patterns whose feedback loops merge most of the matrix into one
 //!   strongly connected block.
+//! - **machine-saturation** — the tile scheduler's forced-lane rows:
+//!   dense-mesh TIA `PexWorstCase` stepping at `Parallelism::Off` vs
+//!   `Threads(n)` (steps/sec vs total threads), threaded-scalar corner
+//!   evaluation vs the batched-lockstep engine (does threading the
+//!   scalar kernels beat SIMD over the corner axis?), and threaded BTF
+//!   block factoring on the dim-116+ extracted meshes. The host's
+//!   `available_parallelism` and the scheduler's configured budget are
+//!   recorded in the header; on a saturated or single-core host these
+//!   rows are *losses*, and they are recorded exactly as measured —
+//!   the point of the section is the honest crossover, not a best case.
 //!
 //! Prints a comparison table and writes `results/BENCH_env_step.json`
-//! (schema `autockt/bench_env_step/v7`) so CI can archive the trajectory.
+//! (schema `autockt/bench_env_step/v8`) so CI can archive the trajectory.
 //!
 //! Run: `cargo run --release -p autockt_bench --bin bench_env_step`
 //! (`--steps N`, `--episode H`, `--seed S` to override).
@@ -96,7 +106,7 @@ use autockt_sim::linalg::{ComplexLuSoa, LuFactors};
 use autockt_sim::noise::{noise_analysis_batch, noise_analysis_corners, noise_analysis_ws};
 use autockt_sim::pex::PexConfig;
 use autockt_sim::tran::{step_response_corners, step_response_corners_shared};
-use autockt_sim::SolverConfig;
+use autockt_sim::{Parallelism, SolverConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -560,6 +570,78 @@ fn time_btf_kernels(case: &AcKernelCase, iters: u32) -> BtfKernelStats {
     }
 }
 
+struct BtfThreadStats {
+    dim: usize,
+    nblocks: usize,
+    serial_us: f64,
+    threaded_us: f64,
+}
+
+/// One AC frequency point per iteration through `BtfLu` with the tile
+/// scheduler off versus forced to `threads` lanes over the BTF blocks
+/// (value rewrite + refactor + solve both ways). The two modes are
+/// bitwise-identical by contract — asserted before timing — so these
+/// rows measure pure scheduling overhead vs block-level concurrency.
+fn time_btf_threads(case: &AcKernelCase, iters: u32, threads: usize) -> BtfThreadStats {
+    let AcKernelCase {
+        n, w, pattern, rhs, ..
+    } = case;
+    let (n, w) = (*n, *w);
+    let mut trip: TripletList<Complex> = TripletList::new(n);
+    for &(r, c, gg, cc) in pattern {
+        trip.push(r, c, Complex::new(gg, cc));
+    }
+    let mut csc = CscMatrix::empty();
+    trip.compress_into(&mut csc);
+    let base: Vec<Complex> = csc.values().to_vec();
+    let rescale = |csc: &mut CscMatrix<Complex>| {
+        for (v, b) in csc.values_mut().iter_mut().zip(&base) {
+            *v = Complex::new(b.re, w * b.im);
+        }
+    };
+    rescale(&mut csc);
+
+    let mut serial = BtfLu::empty();
+    serial.set_parallelism(Parallelism::Off);
+    serial.refactor(&csc, 1e-300).expect("nonsingular");
+    let mut xs = Vec::new();
+    serial.solve_into(rhs, &mut xs);
+    let mut btf = BtfLu::empty();
+    btf.set_parallelism(Parallelism::Threads(threads));
+    btf.refactor(&csc, 1e-300).expect("nonsingular");
+    let mut xt = Vec::new();
+    btf.solve_into(rhs, &mut xt);
+    assert_eq!(
+        xs, xt,
+        "threaded BTF diverged from serial at dim {n} with {threads} lanes"
+    );
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        rescale(black_box(&mut csc));
+        serial.refactor(&csc, 1e-300).expect("nonsingular");
+        serial.solve_into(rhs, &mut xs);
+        black_box(xs.last());
+    }
+    let serial_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        rescale(black_box(&mut csc));
+        btf.refactor(&csc, 1e-300).expect("nonsingular");
+        btf.solve_into(rhs, &mut xt);
+        black_box(xt.last());
+    }
+    let threaded_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    BtfThreadStats {
+        dim: n,
+        nblocks: btf.nblocks(),
+        serial_us,
+        threaded_us,
+    }
+}
+
 fn main() {
     let steps: usize = arg_value("--steps")
         .and_then(|s| s.parse().ok())
@@ -570,6 +652,10 @@ fn main() {
     let seed: u64 = arg_value("--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(17);
+
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget = autockt_sim::par::thread_budget();
+    println!("host: available_parallelism={available}, tile-scheduler thread budget={budget}");
 
     let topologies: Vec<(&str, Arc<dyn SizingProblem>)> = vec![
         ("tia", Arc::new(Tia::default())),
@@ -1108,15 +1194,199 @@ fn main() {
         ));
     }
 
+    // Machine saturation: the tile scheduler's forced-lane rows. Dense-
+    // mesh TIA PexWorstCase stepping at Off vs Threads(n): steps/sec vs
+    // total threads. On a host with headroom the Threads rows win; on a
+    // saturated or single-core host they are scheduling-overhead losses
+    // — either way the measured number is recorded.
+    println!(
+        "\n{:<8} {:>5} {:>4} {:>8} {:>14} {:>10}",
+        "problem", "mesh", "dim", "threads", "st/s", "vs serial"
+    );
+    let sat_steps = (steps / 40).max(8);
+    let mut sat_env_rows = Vec::new();
+    {
+        let depth = 4usize;
+        let pex = PexConfig {
+            mesh_depth: depth,
+            ..Tia::default().pex_config().clone()
+        };
+        let dim =
+            autockt_bench::extracted_center_dim("tia", &pex).expect("known benchmark topology");
+        let mut serial_sps = 0.0f64;
+        for threads in [1usize, 2, 4] {
+            let par = if threads == 1 {
+                Parallelism::Off
+            } else {
+                Parallelism::Threads(threads)
+            };
+            let p: Arc<dyn SizingProblem> = Arc::new(
+                Tia::default()
+                    .with_pex_config(pex.clone())
+                    .with_solver_config(SolverConfig::default().with_parallelism(par)),
+            );
+            let st = run_walk(
+                &p,
+                SimMode::PexWorstCase,
+                Walk::Explore,
+                true,
+                false,
+                sat_steps,
+                episode,
+                seed,
+            );
+            if threads == 1 {
+                serial_sps = st.steps_per_sec;
+            }
+            let speedup = st.steps_per_sec / serial_sps;
+            println!(
+                "{:<8} {:>5} {:>4} {:>8} {:>14.2} {:>9.2}x",
+                "tia", depth, dim, threads, st.steps_per_sec, speedup
+            );
+            sat_env_rows.push(format!(
+                concat!(
+                    "      {{\n",
+                    "        \"problem\": \"tia\",\n",
+                    "        \"mesh_depth\": {},\n",
+                    "        \"mna_dim\": {},\n",
+                    "        \"threads_total\": {},\n",
+                    "        \"steps\": {},\n",
+                    "        \"steps_per_sec\": {:.3},\n",
+                    "        \"speedup_vs_serial\": {:.3}\n",
+                    "      }}"
+                ),
+                depth, dim, threads, sat_steps, st.steps_per_sec, speedup
+            ));
+        }
+    }
+
+    // Threaded-scalar vs batched-lockstep crossover: the corner set
+    // evaluated by scalar kernels with four forced lanes versus the
+    // serial lockstep (SIMD-over-corners) engine. Lockstep usually wins
+    // on throughput-per-thread; these rows locate where (if anywhere)
+    // thread-level parallelism overtakes the vectorized batch.
+    println!(
+        "\n{:<8} {:>5} {:>4} {:>8} {:>16} {:>15} {:>11}",
+        "problem", "mesh", "dim", "threads", "thr-scalar st/s", "lockstep st/s", "lockstep x"
+    );
+    let mut sat_cross_rows = Vec::new();
+    for depth in [0usize, 4] {
+        let pex = PexConfig {
+            mesh_depth: depth,
+            ..Tia::default().pex_config().clone()
+        };
+        let dim =
+            autockt_bench::extracted_center_dim("tia", &pex).expect("known benchmark topology");
+        let threads = 4usize;
+        let threaded_scalar: Arc<dyn SizingProblem> = Arc::new(
+            Tia::default()
+                .with_pex_config(pex.clone())
+                .with_corner_strategy(CornerStrategy::Serial)
+                .with_solver_config(
+                    SolverConfig::default().with_parallelism(Parallelism::Threads(threads)),
+                ),
+        );
+        let lockstep: Arc<dyn SizingProblem> = Arc::new(
+            Tia::default()
+                .with_pex_config(pex)
+                .with_corner_strategy(CornerStrategy::Batched)
+                .with_solver_config(SolverConfig::default().with_parallelism(Parallelism::Off)),
+        );
+        let ts = run_walk(
+            &threaded_scalar,
+            SimMode::PexWorstCase,
+            Walk::Explore,
+            true,
+            false,
+            sat_steps,
+            episode,
+            seed,
+        );
+        let ls = run_walk(
+            &lockstep,
+            SimMode::PexWorstCase,
+            Walk::Explore,
+            true,
+            false,
+            sat_steps,
+            episode,
+            seed,
+        );
+        let lockstep_x = ls.steps_per_sec / ts.steps_per_sec;
+        println!(
+            "{:<8} {:>5} {:>4} {:>8} {:>16.2} {:>15.2} {:>10.2}x",
+            "tia", depth, dim, threads, ts.steps_per_sec, ls.steps_per_sec, lockstep_x
+        );
+        sat_cross_rows.push(format!(
+            concat!(
+                "      {{\n",
+                "        \"problem\": \"tia\",\n",
+                "        \"mesh_depth\": {},\n",
+                "        \"mna_dim\": {},\n",
+                "        \"threads\": {},\n",
+                "        \"steps\": {},\n",
+                "        \"threaded_scalar_steps_per_sec\": {:.3},\n",
+                "        \"batched_lockstep_steps_per_sec\": {:.3},\n",
+                "        \"lockstep_over_threaded\": {:.3}\n",
+                "      }}"
+            ),
+            depth, dim, threads, sat_steps, ts.steps_per_sec, ls.steps_per_sec, lockstep_x
+        ));
+    }
+
+    // Threaded BTF block factoring on the extracted meshes past dim 116:
+    // forced lanes over the Dulmage–Mendelsohn blocks vs the serial
+    // block walk, bitwise-asserted before timing.
+    println!(
+        "\n{:<10} {:>4} {:>7} {:>8} {:>13} {:>13} {:>9}",
+        "system", "dim", "blocks", "threads", "serial us/pt", "thread us/pt", "thread x"
+    );
+    let mut sat_btf_rows = Vec::new();
+    for (depth, iters) in [(8usize, 2_000u32), (16, 400)] {
+        let case = tia_mesh_kernel_case(depth).expect("TIA mesh workload builds");
+        for threads in [2usize, 4] {
+            let st = time_btf_threads(&case, iters, threads);
+            let speedup = st.serial_us / st.threaded_us;
+            println!(
+                "{:<10} {:>4} {:>7} {:>8} {:>13.2} {:>13.2} {:>8.2}x",
+                case.name, st.dim, st.nblocks, threads, st.serial_us, st.threaded_us, speedup
+            );
+            sat_btf_rows.push(format!(
+                concat!(
+                    "      {{\n",
+                    "        \"system\": \"{}\",\n",
+                    "        \"mesh_depth\": {},\n",
+                    "        \"dim\": {},\n",
+                    "        \"nblocks\": {},\n",
+                    "        \"threads\": {},\n",
+                    "        \"serial_us_per_point\": {:.3},\n",
+                    "        \"threaded_us_per_point\": {:.3},\n",
+                    "        \"threaded_speedup\": {:.3}\n",
+                    "      }}"
+                ),
+                case.name,
+                depth,
+                st.dim,
+                st.nblocks,
+                threads,
+                st.serial_us,
+                st.threaded_us,
+                speedup
+            ));
+        }
+    }
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"autockt/bench_env_step/v7\",\n",
+            "  \"schema\": \"autockt/bench_env_step/v8\",\n",
             "  \"command\": \"cargo run --release -p autockt_bench --bin bench_env_step ",
             "-- --steps {} --episode {} --seed {}\",\n",
             "  \"steps_per_config\": {},\n",
             "  \"episode_len\": {},\n",
             "  \"seed\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"thread_budget\": {},\n",
             "  \"results\": [\n{}\n  ],\n",
             "  \"shared_memo\": [\n{}\n  ],\n",
             "  \"corner_batch\": [\n{}\n  ],\n",
@@ -1128,7 +1398,12 @@ fn main() {
             "    \"kernels\": [\n{}\n    ],\n",
             "    \"pex_worst_case\": [\n{}\n    ]\n",
             "  }},\n",
-            "  \"btf\": [\n{}\n  ]\n",
+            "  \"btf\": [\n{}\n  ],\n",
+            "  \"machine_saturation\": {{\n",
+            "    \"env_step\": [\n{}\n    ],\n",
+            "    \"scalar_vs_lockstep\": [\n{}\n    ],\n",
+            "    \"btf_blocks\": [\n{}\n    ]\n",
+            "  }}\n",
             "}}\n"
         ),
         steps,
@@ -1137,6 +1412,8 @@ fn main() {
         steps,
         episode,
         seed,
+        available,
+        budget,
         rows.join(",\n"),
         memo_rows.join(",\n"),
         corner_rows.join(",\n"),
@@ -1146,7 +1423,10 @@ fn main() {
         SolverConfig::default().crossover,
         sparse_kernel_rows.join(",\n"),
         sparse_env_rows.join(",\n"),
-        btf_rows.join(",\n")
+        btf_rows.join(",\n"),
+        sat_env_rows.join(",\n"),
+        sat_cross_rows.join(",\n"),
+        sat_btf_rows.join(",\n")
     );
     let path = results_dir().join("BENCH_env_step.json");
     let mut f = std::fs::File::create(&path).expect("create bench json");

@@ -17,7 +17,7 @@ use autockt_circuits::tia::spec_index;
 use autockt_circuits::{CornerStrategy, NegGmOta, OpAmp2, SimMode, SizingProblem, Tia};
 use autockt_sim::dc::WarmState;
 use autockt_sim::pex::PexConfig;
-use autockt_sim::SolverConfig;
+use autockt_sim::{Parallelism, SolverConfig};
 
 /// Same tolerance as the warm-equivalence property suites.
 const REL_TOL: f64 = 5e-3;
@@ -145,6 +145,39 @@ fn check_btf_mode(
         println!("{name:<8} mesh={depth} idx={idx:?}: btf-vs-plain={ok} [{verdict}]");
         if !ok {
             eprintln!("  plain: {p:?}\n  btf: {b:?}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Thread gate: on three seed designs per topology, a cold
+/// `PexWorstCase` evaluation with the tile scheduler forced to four
+/// lanes must be **bitwise-identical** to the `Parallelism::Off`
+/// reference — the threaded frequency sweeps, noise analyses, and BTF
+/// block factoring reorder no arithmetic under any schedule. Run at
+/// depth 0 (small systems: forced lanes on tiny tile counts, ragged
+/// tails) and at the fill-heavy extracted mesh.
+fn check_threaded(
+    name: &str,
+    depth: usize,
+    serial: &dyn SizingProblem,
+    threaded: &dyn SizingProblem,
+) -> usize {
+    let mut failures = 0;
+    let seeds: Vec<Vec<usize>> = seed_designs(serial).into_iter().step_by(2).collect();
+    for idx in seeds {
+        let s = serial.simulate(&idx, SimMode::PexWorstCase);
+        let t = threaded.simulate(&idx, SimMode::PexWorstCase);
+        let ok = match (&s, &t) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        let verdict = if ok { "ok" } else { "DIVERGED" };
+        println!("{name:<8} mesh={depth} idx={idx:?}: threaded-vs-serial={ok} [{verdict}]");
+        if !ok {
+            eprintln!("  serial: {s:?}\n  threaded: {t:?}");
             failures += 1;
         }
     }
@@ -395,6 +428,52 @@ fn main() {
             &NegGmOta::default()
                 .with_pex_config(ng_pex)
                 .with_solver_config(SolverConfig::sparse().with_btf(true)),
+        );
+    }
+    // Threaded-vs-serial gate: forced four-lane tile schedules must be
+    // bitwise-identical to the serial walks, stock and dense mesh.
+    for depth in [0usize, 4] {
+        let mesh = |base: &PexConfig| PexConfig {
+            mesh_depth: depth,
+            ..base.clone()
+        };
+        let serial_cfg = SolverConfig::default().with_parallelism(Parallelism::Off);
+        let threaded_cfg = SolverConfig::default().with_parallelism(Parallelism::Threads(4));
+        let tia = Tia::default();
+        let tia_pex = mesh(tia.pex_config());
+        failures += check_threaded(
+            "tia",
+            depth,
+            &Tia::default()
+                .with_pex_config(tia_pex.clone())
+                .with_solver_config(serial_cfg),
+            &Tia::default()
+                .with_pex_config(tia_pex)
+                .with_solver_config(threaded_cfg),
+        );
+        let op = OpAmp2::default();
+        let op_pex = mesh(op.pex_config());
+        failures += check_threaded(
+            "opamp2",
+            depth,
+            &OpAmp2::default()
+                .with_pex_config(op_pex.clone())
+                .with_solver_config(serial_cfg),
+            &OpAmp2::default()
+                .with_pex_config(op_pex)
+                .with_solver_config(threaded_cfg),
+        );
+        let ng = NegGmOta::default();
+        let ng_pex = mesh(ng.pex_config());
+        failures += check_threaded(
+            "neggm",
+            depth,
+            &NegGmOta::default()
+                .with_pex_config(ng_pex.clone())
+                .with_solver_config(serial_cfg),
+            &NegGmOta::default()
+                .with_pex_config(ng_pex)
+                .with_solver_config(threaded_cfg),
         );
     }
     if failures > 0 {

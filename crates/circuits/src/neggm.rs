@@ -372,6 +372,10 @@ impl SizingProblem for NegGmOta {
         self.simulate_inner(idx, mode, Some(state))
     }
 
+    fn solver_config(&self) -> SolverConfig {
+        self.solver
+    }
+
     fn simulate_cfg(
         &self,
         idx: &[usize],

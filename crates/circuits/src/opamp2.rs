@@ -358,6 +358,10 @@ impl SizingProblem for OpAmp2 {
         self.simulate_inner(idx, mode, Some(state))
     }
 
+    fn solver_config(&self) -> SolverConfig {
+        self.solver
+    }
+
     fn simulate_cfg(
         &self,
         idx: &[usize],

@@ -17,7 +17,7 @@ use autockt_sim::noise::{
     noise_analysis_batch, noise_analysis_cfg, noise_analysis_corners, NoiseResult,
 };
 use autockt_sim::tran::{step_response_corners, step_response_corners_shared};
-use autockt_sim::{SimError, SolverConfig};
+use autockt_sim::{Parallelism, SimError, SolverConfig};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -272,6 +272,18 @@ impl CornerEvaluator {
     /// The linear-solver config every corner solve dispatches on.
     pub fn solver_config(&self) -> SolverConfig {
         self.dc_opts.solver
+    }
+
+    /// Sets the parallel-execution policy
+    /// ([`autockt_sim::Parallelism`]) on the engine's solver config: the
+    /// AC sweeps, noise analyses, and sparse BTF factorizations the
+    /// engine runs tile their independent work across threads per this
+    /// knob (threaded results are bitwise-identical to serial, so the
+    /// engine's dispatch contracts are unaffected). Keeps every other
+    /// config field as previously set.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.dc_opts.solver = self.dc_opts.solver.with_parallelism(par);
+        self
     }
 
     /// Enables a per-corner noise analysis over `freqs`, measured at each
@@ -847,6 +859,16 @@ pub trait SizingProblem: Send + Sync {
         self.simulate(idx, mode)
     }
 
+    /// The linear-solver backend config this problem's own evaluations
+    /// dispatch on when the caller supplies no override. The default
+    /// returns [`SolverConfig::default`]; topologies that own a config
+    /// override this so sessions can layer single knobs (e.g.
+    /// [`EvalSession::with_parallelism`]) on top of the problem's config
+    /// instead of silently replacing it.
+    fn solver_config(&self) -> SolverConfig {
+        SolverConfig::default()
+    }
+
     /// Like [`SizingProblem::simulate`], but overriding the linear-solver
     /// backend config (dense | sparse | auto-by-dimension) for every solve
     /// of the evaluation. The default implementation ignores `cfg`;
@@ -1360,6 +1382,21 @@ impl<'p> EvalSession<'p> {
     /// point only, so pick the config before evaluating, not per point.
     pub fn with_solver_config(mut self, cfg: SolverConfig) -> Self {
         self.solver = Some(cfg);
+        self
+    }
+
+    /// Sets the parallel-execution policy
+    /// ([`autockt_sim::Parallelism`]) for every evaluation in this
+    /// session, layered on top of the config the session would otherwise
+    /// use (an explicit [`EvalSession::with_solver_config`] override if
+    /// set, else the problem's own [`SizingProblem::solver_config`]).
+    /// Threaded evaluations are bitwise-identical to serial ones, so
+    /// memo entries stay valid across the knob.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        let base = self
+            .solver
+            .unwrap_or_else(|| self.problem.get().solver_config());
+        self.solver = Some(base.with_parallelism(par));
         self
     }
 

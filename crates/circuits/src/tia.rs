@@ -529,6 +529,10 @@ impl SizingProblem for Tia {
         self.simulate_inner(idx, mode, Some(state))
     }
 
+    fn solver_config(&self) -> SolverConfig {
+        self.solver
+    }
+
     fn simulate_cfg(
         &self,
         idx: &[usize],

@@ -10,9 +10,24 @@ use crate::target::training_targets;
 use autockt_circuits::{SharedMemo, SimMode, SizingProblem};
 use autockt_rl::env::Env;
 use autockt_rl::ppo::{IterStats, Ppo, PpoConfig};
+use autockt_rl::rollout::{register_thread_accountant, ThreadAccountant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Wires the rollout collector's thread accounting to the simulation
+/// substrate's process-wide thread budget (`autockt_sim::par`): rollout
+/// workers charge their head count before spawning, so the simulation
+/// kernels they drive see the reduced headroom and keep their own tiling
+/// within the budget — the outer parallel level wins, and nested
+/// parallelism degrades to serial. Idempotent; called by [`train`], and
+/// callable directly by deployments that run the collector themselves.
+pub fn wire_thread_budget() {
+    register_thread_accountant(ThreadAccountant {
+        reserve: autockt_sim::par::reserve_threads,
+        release: autockt_sim::par::release_threads,
+    });
+}
 
 /// Configuration of a training run.
 #[derive(Debug, Clone)]
@@ -95,6 +110,7 @@ impl TrainResult {
 /// Table IV, deployed unchanged on the PEX environment (transfer learning,
 /// Fig. 13).
 pub fn train(problem: Arc<dyn SizingProblem>, cfg: &TrainConfig) -> TrainResult {
+    wire_thread_budget();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let targets = training_targets(
         problem.as_ref(),

@@ -28,6 +28,32 @@ use crate::env::Env;
 use crate::policy::{PolicyNet, ValueNet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// Hooks into a process-wide thread budget owned by another crate (the
+/// simulation substrate's `autockt_sim::par` module, in the deployed
+/// stack). The rl crate deliberately depends on nothing below it, so the
+/// budget arrives as plain function pointers, registered once at process
+/// start by the layer that wires envs to simulators.
+///
+/// `reserve` asks for up to the given number of threads and returns how
+/// many were granted; `release` returns previously granted threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadAccountant {
+    /// Reserve up to `want` threads, returning the number granted.
+    pub reserve: fn(usize) -> usize,
+    /// Release `n` previously granted threads.
+    pub release: fn(usize),
+}
+
+static ACCOUNTANT: OnceLock<ThreadAccountant> = OnceLock::new();
+
+/// Registers the process-wide [`ThreadAccountant`]. The first
+/// registration wins; later calls are ignored (the budget is global, so
+/// two competing accountants would double-count).
+pub fn register_thread_accountant(acc: ThreadAccountant) {
+    let _ = ACCOUNTANT.set(acc);
+}
 
 /// One stored transition.
 #[derive(Debug, Clone)]
@@ -123,6 +149,15 @@ pub fn collect_parallel<E: Env + Send>(
     lam: f64,
     seed: u64,
 ) -> Batch {
+    // Rollout workers are the *outer* parallel level: they always spawn
+    // (each owns an env and its warm-start state), but their head count
+    // is charged against the shared thread budget so the simulation
+    // kernels they drive see the reduced headroom and degrade their own
+    // tiling toward serial — workers × inner threads stays within the
+    // budget, outer level wins. The coordinator blocks for the whole
+    // scope, so one worker rides its slot and only the rest are charged.
+    let charged = envs.len().saturating_sub(1);
+    let granted = ACCOUNTANT.get().map_or(0, |a| (a.reserve)(charged));
     let results: Vec<WorkerSegment> = std::thread::scope(|scope| {
         let handles: Vec<_> = envs
             .iter_mut()
@@ -185,6 +220,9 @@ pub fn collect_parallel<E: Env + Send>(
             .map(|h| h.join().expect("rollout worker panicked"))
             .collect()
     });
+    if let Some(a) = ACCOUNTANT.get() {
+        (a.release)(granted);
+    }
 
     let mut batch = Batch::default();
     for (seg, rets, lens, succ) in results {
@@ -276,5 +314,33 @@ mod tests {
         let b = Batch::default();
         assert!(b.mean_episode_return().is_none());
         assert!(b.success_rate().is_none());
+    }
+
+    #[test]
+    fn accountant_charges_and_returns_worker_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static RESERVED: AtomicUsize = AtomicUsize::new(0);
+        static RELEASED: AtomicUsize = AtomicUsize::new(0);
+        fn fake_reserve(want: usize) -> usize {
+            RESERVED.fetch_add(want, Ordering::SeqCst);
+            want
+        }
+        fn fake_release(n: usize) {
+            RELEASED.fetch_add(n, Ordering::SeqCst);
+        }
+        register_thread_accountant(ThreadAccountant {
+            reserve: fake_reserve,
+            release: fake_release,
+        });
+        let (p, v) = nets(3, &[3]);
+        let mut envs: Vec<LineEnv> = (0..3).map(|_| LineEnv::new(16, 20)).collect();
+        let b = collect_parallel(&p, &v, &mut envs, 10, 0.99, 0.95, 5);
+        assert_eq!(b.transitions.len(), 30);
+        // The registration is process-global and sibling tests also run
+        // collections, so only monotone facts are asserted: this
+        // collection charged its workers (3 envs -> 2 charged, the
+        // coordinator's slot carries the third) and returned them.
+        assert!(RESERVED.load(Ordering::SeqCst) >= 2);
+        assert!(RELEASED.load(Ordering::SeqCst) >= 2);
     }
 }

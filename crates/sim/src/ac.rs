@@ -17,6 +17,7 @@ use crate::linalg::sparse::{CscMatrix, SolverConfig, TripletList};
 use crate::linalg::structure::SparseSolver;
 use crate::linalg::{ComplexLuBatch, ComplexLuSoa, LinearSolver, LuFactors, Matrix};
 use crate::netlist::{Circuit, Element, Node};
+use crate::par::{run_chunks, would_parallelize, Parallelism, WorkspacePool};
 
 /// The per-frequency complex factorization of an [`AcWorkspace`]: the
 /// dense structure-of-arrays kernel below the sparse crossover, the CSC
@@ -79,6 +80,13 @@ pub struct AcWorkspace {
     pub(crate) trip: TripletList<Complex>,
     pub(crate) x: Vec<Complex>,
     pub(crate) rhs: Vec<Complex>,
+    /// Whether this sweep's dense-by-fill decision has been taken (at the
+    /// first successful factorization after
+    /// [`AcSolver::prepare_workspace`]). Pinning the decision to one
+    /// frequency point makes the sparse-vs-dense route a pure function of
+    /// the sweep's inputs, which is what lets threaded lanes replicate it
+    /// instead of each flipping at their own chunk-local point.
+    pub(crate) fill_checked: bool,
 }
 
 impl AcWorkspace {
@@ -326,6 +334,7 @@ impl<'a> AcSolver<'a> {
     /// whose values are rewritten (not rebuilt) per frequency point.
     pub fn prepare_workspace(&self, ws: &mut AcWorkspace) {
         self.collect_pattern(&mut ws.pattern);
+        ws.fill_checked = false;
         if self.cfg.use_sparse(self.dim) {
             ws.trip.clear(self.dim);
             for &(r, c, gg, cc) in &ws.pattern {
@@ -339,6 +348,9 @@ impl<'a> AcSolver<'a> {
             match &mut ws.lu {
                 ComplexLu::Sparse(slu) => slu.ensure_mode(self.cfg.btf),
                 lu => *lu = ComplexLu::Sparse(SparseSolver::empty(self.cfg.btf)),
+            }
+            if let ComplexLu::Sparse(slu) = &mut ws.lu {
+                slu.set_parallelism(self.cfg.par);
             }
         } else if !matches!(ws.lu, ComplexLu::Dense(_)) {
             ws.lu = ComplexLu::Dense(ComplexLuSoa::empty());
@@ -384,6 +396,7 @@ impl<'a> AcSolver<'a> {
             pattern,
             csc,
             gc,
+            fill_checked,
             ..
         } = ws;
         match lu {
@@ -398,24 +411,31 @@ impl<'a> AcSolver<'a> {
                     *v = Complex::new(base.re, w * base.im);
                 }
                 slu.refactor(csc, 1e-300)?;
-                if self.cfg.dense_by_fill(n, slu.factor_nnz()) {
-                    // The measured factor fill crossed the config's
-                    // limit: this pattern is too dense for the sparse
-                    // traversal to pay, so flip the workspace to the
-                    // dense kernel and refactor this same point there —
-                    // every later point of the sweep (and of reuses of
-                    // this workspace until the next
-                    // [`AcSolver::prepare_workspace`]) then takes the
-                    // dense branch directly. Costs one throwaway sparse
-                    // factorization per sweep.
-                    let mut dense = ComplexLuSoa::empty();
-                    dense.refactor_with(n, 1e-300, |re, im| {
-                        for &(r, c, gg, cc) in pattern.iter() {
-                            re[r * n + c] = gg;
-                            im[r * n + c] = w * cc;
-                        }
-                    })?;
-                    *lu = ComplexLu::Dense(dense);
+                if !*fill_checked {
+                    *fill_checked = true;
+                    if self.cfg.dense_by_fill(n, slu.factor_nnz()) {
+                        // The measured factor fill crossed the config's
+                        // limit: this pattern is too dense for the sparse
+                        // traversal to pay, so flip the workspace to the
+                        // dense kernel and refactor this same point there —
+                        // every later point of the sweep (and of reuses of
+                        // this workspace until the next
+                        // [`AcSolver::prepare_workspace`]) then takes the
+                        // dense branch directly. Costs one throwaway sparse
+                        // factorization per sweep. The check runs only at
+                        // the sweep's first successful factorization, so
+                        // the route is a deterministic function of the
+                        // sweep inputs — threaded lanes replicate it by
+                        // probing the sweep's first frequency.
+                        let mut dense = ComplexLuSoa::empty();
+                        dense.refactor_with(n, 1e-300, |re, im| {
+                            for &(r, c, gg, cc) in pattern.iter() {
+                                re[r * n + c] = gg;
+                                im[r * n + c] = w * cc;
+                            }
+                        })?;
+                        *lu = ComplexLu::Dense(dense);
+                    }
                 }
                 Ok(())
             }
@@ -455,6 +475,10 @@ impl<'a> AcSolver<'a> {
         out: Node,
         ws: &mut AcWorkspace,
     ) -> Result<Vec<Complex>, SimError> {
+        let par = self.sweep_parallelism();
+        if would_parallelize(par, freqs.len()) {
+            return self.solve_sources_batch_par(par, freqs, out);
+        }
         self.prepare_workspace(ws);
         let mut h = Vec::with_capacity(freqs.len());
         for &f in freqs {
@@ -464,6 +488,77 @@ impl<'a> AcSolver<'a> {
             h.push(self.voltage(x, out));
         }
         Ok(h)
+    }
+
+    /// One sweep point through a prepared workspace: factor, solve the
+    /// source vector, read the output voltage — the tile body of the
+    /// threaded sweep, arithmetically identical to one iteration of the
+    /// serial loop in [`AcSolver::solve_sources_batch_ws`].
+    fn point_ws(&self, f: f64, out: Node, ws: &mut AcWorkspace) -> Result<Complex, SimError> {
+        self.factor_at_ws(f, ws)?;
+        let AcWorkspace { lu, x, .. } = ws;
+        lu.solve_into(&self.rhs, x);
+        Ok(self.voltage(x, out))
+    }
+
+    /// Per-lane prologue of every threaded sweep: prepare a pooled
+    /// workspace for this solver, keep block-level parallelism out of the
+    /// lane (the sweep already owns the lanes), and replicate the sweep's
+    /// dense-by-fill route decision by probing the first frequency — so a
+    /// lane whose chunk starts mid-sweep factors through the same kernel
+    /// the serial walk would use there. A singular probe is ignored: the
+    /// lane owning that tile reports it in order.
+    pub(crate) fn prepare_lane(&self, first_freq: f64, ws: &mut AcWorkspace) {
+        self.prepare_workspace(ws);
+        if let ComplexLu::Sparse(slu) = &mut ws.lu {
+            slu.set_parallelism(Parallelism::Off);
+        }
+        let _ = self.factor_at_ws(first_freq, ws);
+    }
+
+    /// The frequency-tile policy of this solver's sweeps: at stock
+    /// extraction dims a factorization is far cheaper than a lane spawn,
+    /// so [`Parallelism::Auto`] resolves to serial there; forced modes
+    /// pass through.
+    pub(crate) fn sweep_parallelism(&self) -> Parallelism {
+        match self.cfg.par {
+            Parallelism::Auto if self.dim <= STOCK_DIM_MAX => Parallelism::Off,
+            p => p,
+        }
+    }
+
+    /// Threaded frequency sweep: every frequency point factors and solves
+    /// into its own result slot through a per-lane pooled workspace.
+    /// Bitwise-equal to the serial loop (history-free factorizations; the
+    /// route decision is replicated per lane), with the serial error
+    /// contract recovered by the in-order scan: the sweep's first failing
+    /// frequency is always computed by the lane that owns it.
+    fn solve_sources_batch_par(
+        &self,
+        par: Parallelism,
+        freqs: &[f64],
+        out: Node,
+    ) -> Result<Vec<Complex>, SimError> {
+        let mut slots: Vec<Result<Complex, SimError>> =
+            freqs.iter().map(|_| Ok(Complex::ZERO)).collect();
+        run_chunks(
+            par,
+            &mut slots,
+            ac_ws_pool(),
+            AcWorkspace::new,
+            |off, chunk, ws| {
+                self.prepare_lane(freqs[0], ws);
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = self.point_ws(freqs[off + k], out, ws);
+                    if slot.is_err() {
+                        // The serial sweep aborts here; every later value is
+                        // discarded by the in-order scan below.
+                        break;
+                    }
+                }
+            },
+        );
+        slots.into_iter().collect()
     }
 
     /// Extracts the voltage of `node` from an MNA solution vector.
@@ -565,6 +660,7 @@ impl<'a> AcSolver<'a> {
             let mut csc = CscMatrix::empty();
             trip.compress_into(&mut csc);
             shared.ensure_mode(self.cfg.btf);
+            shared.set_parallelism(self.cfg.par);
             shared.refactor(&csc, 1e-300)?;
             use_sparse = !self.cfg.dense_by_fill(n, shared.factor_nnz());
         }
@@ -758,6 +854,10 @@ pub fn ac_sweep_batch_solvers(
     if bt == 0 {
         return Vec::new();
     }
+    let par = grid_parallelism(solvers);
+    if would_parallelize(par, bt * freqs.len()) {
+        return threaded_grid_sweeps(solvers, freqs, outs, par);
+    }
     let dim = solvers[0].dim();
     if solvers.iter().any(|s| s.config().use_sparse(s.dim())) {
         // Sparse-routed dims: the lockstep batch kernel is dense-only, so
@@ -844,6 +944,89 @@ pub fn ac_sweep_batch_solvers(
                 freqs: freqs.to_vec(),
                 h: hb,
             }),
+        })
+        .collect()
+}
+
+/// Process-wide pool of per-lane sweep workspaces: threaded sweeps check
+/// lanes' workspaces out of one shared pool, so repeated sweeps reuse the
+/// same factorization buffers across calls — the threaded analogue of the
+/// serial paths' caller-held workspace.
+pub(crate) fn ac_ws_pool() -> &'static WorkspacePool<AcWorkspace> {
+    static POOL: WorkspacePool<AcWorkspace> = WorkspacePool::new();
+    &POOL
+}
+
+/// Process-wide pool of per-lane corner-sweep workspaces (the threaded
+/// warm corner paths need the full batch scratch per lane).
+pub(crate) fn ac_batch_ws_pool() -> &'static WorkspacePool<AcBatchWorkspace> {
+    static POOL: WorkspacePool<AcBatchWorkspace> = WorkspacePool::new();
+    &POOL
+}
+
+/// The (corner × frequency)-grid policy of the cold batch sweep: same
+/// dim gate as [`AcSolver::sweep_parallelism`], applied across the corner
+/// set (corner sets share one topology-chosen config, so corner 0's knob
+/// speaks for all).
+pub(crate) fn grid_parallelism(solvers: &[AcSolver<'_>]) -> Parallelism {
+    match solvers[0].config().par {
+        Parallelism::Auto if solvers.iter().all(|s| s.dim() <= STOCK_DIM_MAX) => Parallelism::Off,
+        p => p,
+    }
+}
+
+/// Threaded cold corner sweep: the (corner × frequency) grid is
+/// flattened into tiles (`tile = corner * nf + freq`), each factoring and
+/// solving into its own slot through a per-lane pooled workspace; a lane
+/// crossing a corner boundary re-prepares its workspace for the new
+/// corner. Per corner the arithmetic is exactly the scalar per-point
+/// path, which the lockstep batch kernel is bitwise-equal to (tested), so
+/// this dispatch preserves [`ac_sweep_batch_solvers`]'s cold bitwise
+/// contract. Per-corner first-failing-frequency errors are recovered by
+/// the in-order assembly scan.
+fn threaded_grid_sweeps(
+    solvers: &[AcSolver<'_>],
+    freqs: &[f64],
+    outs: &[Node],
+    par: Parallelism,
+) -> Vec<Result<AcResponse, SimError>> {
+    let bt = solvers.len();
+    let nf = freqs.len();
+    let mut slots: Vec<Result<Complex, SimError>> =
+        (0..bt * nf).map(|_| Ok(Complex::ZERO)).collect();
+    run_chunks(
+        par,
+        &mut slots,
+        ac_ws_pool(),
+        AcWorkspace::new,
+        |off, chunk, ws| {
+            let mut cur = usize::MAX;
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let t = off + k;
+                let (b, i) = (t / nf, t % nf);
+                if b != cur {
+                    solvers[b].prepare_lane(freqs[0], ws);
+                    cur = b;
+                }
+                *slot = solvers[b].point_ws(freqs[i], outs[b], ws);
+            }
+        },
+    );
+    (0..bt)
+        .map(|b| {
+            let mut h = Vec::with_capacity(nf);
+            for slot in &slots[b * nf..(b + 1) * nf] {
+                match slot {
+                    Ok(v) => h.push(*v),
+                    // The corner's first failing frequency, like the
+                    // serial per-corner abort; later values discarded.
+                    Err(e) => return Err(e.clone()),
+                }
+            }
+            Ok(AcResponse {
+                freqs: freqs.to_vec(),
+                h,
+            })
         })
         .collect()
 }
@@ -946,99 +1129,134 @@ fn sparse_corner_sweeps(
         .zip(outs)
         .map(|(s, &o)| s.mna_index(o))
         .collect();
-    let mut h: Vec<Vec<Complex>> = vec![Vec::with_capacity(freqs.len()); bt];
-    let mut errs: Vec<Option<SimError>> = vec![None; bt];
-    let mut u = vec![Complex::ZERO; rn];
-    let mut z = Vec::new();
-    // Rare-path scratch: per-corner direct solves on base/correction
-    // singularities re-prepare this workspace for whichever corner needs
-    // it.
-    let mut spare = AcWorkspace::new();
-    solvers[0].prepare_workspace(&mut ws.scalar);
-    for &fq in freqs {
-        let w_ang = 2.0 * std::f64::consts::PI * fq;
-        let base_ok = solvers[0].factor_at_ws(fq, &mut ws.scalar).is_ok();
-        if !base_ok {
-            for b in 0..bt {
-                if errs[b].is_some() {
-                    continue;
+    // As in the dense corner sweep, every frequency's corner row is an
+    // independent tile; the sparse base factorization is history-free
+    // (same-pattern refactors are bitwise-equal to fresh ones), so the
+    // threaded schedule runs the exact arithmetic of the serial loop.
+    let mut rows = corner_rows(bt, freqs.len());
+    let par = grid_parallelism(solvers);
+    if would_parallelize(par, freqs.len()) {
+        run_chunks(
+            par,
+            &mut rows,
+            ac_batch_ws_pool(),
+            AcBatchWorkspace::new,
+            |off, chunk, lane| {
+                solvers[0].prepare_lane(freqs[0], &mut lane.scalar);
+                let mut u = vec![Complex::ZERO; rn];
+                let mut z = Vec::new();
+                let mut spare = AcWorkspace::new();
+                for (k, row) in chunk.iter_mut().enumerate() {
+                    sparse_corner_row(
+                        solvers,
+                        &cd,
+                        rn,
+                        &oi,
+                        freqs[off + k],
+                        lane,
+                        &mut spare,
+                        &mut u,
+                        &mut z,
+                        row,
+                    );
                 }
-                match direct_sparse_corner_point(&solvers[b], fq, &mut spare, oi[b]) {
-                    Ok(v) => h[b].push(v),
-                    Err(e) => errs[b] = Some(e),
-                }
-            }
-            continue;
-        }
-        {
-            let AcBatchWorkspace {
-                scalar,
-                y0,
-                unit,
-                xcol,
-                wflat,
-                ..
-            } = &mut *ws;
-            let base: &dyn LinearSolver<Complex> = match &scalar.lu {
-                ComplexLu::Dense(lu) => lu,
-                ComplexLu::Sparse(slu) => slu,
-            };
-            base.solve_into(rhs0, y0);
-            solve_correction_basis(base, &cd.rows, n, unit, xcol, wflat);
-        }
-        for b in 0..bt {
-            if errs[b].is_some() {
-                continue;
-            }
-            let base_v = oi[b].map_or(Complex::ZERO, |i| ws.y0[i]);
-            let diff = &cd.diffs[b];
-            if diff.is_empty() {
-                h[b].push(base_v);
-                continue;
-            }
-            let ok = factor_correction(
-                &mut ws.small,
-                diff,
-                &cd.row_pos,
-                rn,
-                n,
-                |dg, dc| Complex::new(dg, w_ang * dc),
-                &ws.wflat,
-            )
-            .is_ok();
-            if ok {
-                let v = corrected_entry(
-                    &ws.small,
-                    diff,
-                    &cd.row_pos,
-                    &ws.wflat,
-                    &ws.y0,
-                    oi[b],
-                    |dg, dc| Complex::new(dg, w_ang * dc),
-                    n,
-                    rn,
-                    &mut u,
-                    &mut z,
-                );
-                h[b].push(v);
-            } else {
-                match direct_sparse_corner_point(&solvers[b], fq, &mut spare, oi[b]) {
-                    Ok(v) => h[b].push(v),
-                    Err(e) => errs[b] = Some(e),
-                }
-            }
+            },
+        );
+    } else {
+        let mut u = vec![Complex::ZERO; rn];
+        let mut z = Vec::new();
+        // Rare-path scratch: per-corner direct solves on base/correction
+        // singularities re-prepare this workspace for whichever corner
+        // needs it.
+        let mut spare = AcWorkspace::new();
+        solvers[0].prepare_workspace(&mut ws.scalar);
+        for (i, row) in rows.iter_mut().enumerate() {
+            sparse_corner_row(
+                solvers, &cd, rn, &oi, freqs[i], ws, &mut spare, &mut u, &mut z, row,
+            );
         }
     }
-    errs.iter_mut()
-        .zip(h)
-        .map(|(e, hb)| match e.take() {
-            Some(e) => Err(e),
-            None => Ok(AcResponse {
-                freqs: freqs.to_vec(),
-                h: hb,
-            }),
-        })
-        .collect()
+    assemble_corner_rows(&rows, freqs, bt)
+}
+
+/// One frequency tile of the sparse warm corner sweep: sparse base factor
+/// through the workspace's scalar solver (symbolic analysis reused across
+/// the lane's whole chunk), dense correction basis, per-corner Woodbury
+/// corrections — the sparse sibling of [`dense_corner_row`].
+#[allow(clippy::too_many_arguments)]
+fn sparse_corner_row(
+    solvers: &[AcSolver<'_>],
+    cd: &CornerDiff,
+    rn: usize,
+    oi: &[Option<usize>],
+    fq: f64,
+    ws: &mut AcBatchWorkspace,
+    spare: &mut AcWorkspace,
+    u: &mut Vec<Complex>,
+    z: &mut Vec<Complex>,
+    row: &mut [Result<Complex, SimError>],
+) {
+    let n = solvers[0].dim();
+    let rhs0 = solvers[0].source_rhs();
+    let w_ang = 2.0 * std::f64::consts::PI * fq;
+    let base_ok = solvers[0].factor_at_ws(fq, &mut ws.scalar).is_ok();
+    if !base_ok {
+        for (b, slot) in row.iter_mut().enumerate() {
+            *slot = direct_sparse_corner_point(&solvers[b], fq, spare, oi[b]);
+        }
+        return;
+    }
+    {
+        let AcBatchWorkspace {
+            scalar,
+            y0,
+            unit,
+            xcol,
+            wflat,
+            ..
+        } = &mut *ws;
+        let base: &dyn LinearSolver<Complex> = match &scalar.lu {
+            ComplexLu::Dense(lu) => lu,
+            ComplexLu::Sparse(slu) => slu,
+        };
+        base.solve_into(rhs0, y0);
+        solve_correction_basis(base, &cd.rows, n, unit, xcol, wflat);
+    }
+    for (b, slot) in row.iter_mut().enumerate() {
+        let base_v = oi[b].map_or(Complex::ZERO, |i| ws.y0[i]);
+        let diff = &cd.diffs[b];
+        if diff.is_empty() {
+            *slot = Ok(base_v);
+            continue;
+        }
+        let ok = factor_correction(
+            &mut ws.small,
+            diff,
+            &cd.row_pos,
+            rn,
+            n,
+            |dg, dc| Complex::new(dg, w_ang * dc),
+            &ws.wflat,
+        )
+        .is_ok();
+        *slot = if ok {
+            Ok(corrected_entry(
+                &ws.small,
+                diff,
+                &cd.row_pos,
+                &ws.wflat,
+                &ws.y0,
+                oi[b],
+                |dg, dc| Complex::new(dg, w_ang * dc),
+                n,
+                rn,
+                u,
+                z,
+            ))
+        } else {
+            direct_sparse_corner_point(&solvers[b], fq, spare, oi[b])
+        };
+    }
 }
 
 /// Factors corner `b`'s full system at one frequency through its own
@@ -1185,128 +1403,220 @@ pub fn ac_sweep_corners(
         .zip(outs)
         .map(|(s, &o)| s.mna_index(o))
         .collect();
-    let mut h: Vec<Vec<Complex>> = vec![Vec::with_capacity(freqs.len()); bt];
-    let mut errs: Vec<Option<SimError>> = vec![None; bt];
-    let mut u = vec![Complex::ZERO; rn];
-    let mut z = Vec::new();
-    for &fq in freqs {
-        let w_ang = 2.0 * std::f64::consts::PI * fq;
-        let base_ok = ws
-            .base
-            .refactor_with(n, 1e-300, |re, im| {
-                for &(r, c, g, cc) in &ws.patterns[0] {
-                    re[r * n + c] = g;
-                    im[r * n + c] = w_ang * cc;
+    // Every frequency's full corner row is an independent tile: the base
+    // factor, correction basis, and per-corner corrections at one `fq`
+    // read nothing a sibling frequency wrote, so the serial walk and the
+    // threaded schedule run the exact same row body.
+    let patterns = std::mem::take(&mut ws.patterns);
+    let mut rows = corner_rows(bt, freqs.len());
+    let par = grid_parallelism(solvers);
+    if would_parallelize(par, freqs.len()) {
+        run_chunks(
+            par,
+            &mut rows,
+            ac_batch_ws_pool(),
+            AcBatchWorkspace::new,
+            |off, chunk, lane| {
+                let mut u = vec![Complex::ZERO; rn];
+                let mut z = Vec::new();
+                for (k, row) in chunk.iter_mut().enumerate() {
+                    dense_corner_row(
+                        &patterns[..bt],
+                        &cd,
+                        rn,
+                        n,
+                        rhs0,
+                        &oi,
+                        freqs[off + k],
+                        lane,
+                        &mut u,
+                        &mut z,
+                        row,
+                    );
                 }
-            })
-            .is_ok();
-        if !base_ok {
-            // Base corner singular at this point: factor every live
-            // corner directly instead.
-            for b in 0..bt {
-                if errs[b].is_some() {
-                    continue;
-                }
-                match direct_corner_point(ws, b, n, w_ang, rhs0, oi[b]) {
-                    Ok(v) => h[b].push(v),
-                    Err(e) => errs[b] = Some(e),
-                }
-            }
-            continue;
-        }
-        ws.base.solve_into(rhs0, &mut ws.y0);
-        // W = A0^{-1} P_R : one extra back-substitution per support row,
-        // shared by every corner at this frequency.
-        {
-            let AcBatchWorkspace {
-                base,
-                unit,
-                xcol,
-                wflat,
-                ..
-            } = &mut *ws;
-            solve_correction_basis(&*base, &cd.rows, n, unit, xcol, wflat);
-        }
-        for b in 0..bt {
-            if errs[b].is_some() {
-                continue;
-            }
-            let base_v = oi[b].map_or(Complex::ZERO, |i| ws.y0[i]);
-            let diff = &cd.diffs[b];
-            if diff.is_empty() {
-                h[b].push(base_v);
-                continue;
-            }
-            // S = I + N_b W and u = N_b y0, accumulated straight from
-            // the sparse stamp differences — into the reused small-LU
-            // buffer, so the per-(corner, frequency) correction
-            // allocates nothing.
-            let ok = factor_correction(
-                &mut ws.small,
-                diff,
-                &cd.row_pos,
+            },
+        );
+    } else {
+        let mut u = vec![Complex::ZERO; rn];
+        let mut z = Vec::new();
+        for (i, row) in rows.iter_mut().enumerate() {
+            dense_corner_row(
+                &patterns[..bt],
+                &cd,
                 rn,
                 n,
-                |dg, dc| Complex::new(dg, w_ang * dc),
-                &ws.wflat,
-            )
-            .is_ok();
-            if ok {
-                let v = corrected_entry(
-                    &ws.small,
-                    diff,
-                    &cd.row_pos,
-                    &ws.wflat,
-                    &ws.y0,
-                    oi[b],
-                    |dg, dc| Complex::new(dg, w_ang * dc),
-                    n,
-                    rn,
-                    &mut u,
-                    &mut z,
-                );
-                h[b].push(v);
-            } else {
-                // Correction system singular (a corner shifted the
-                // base too hard): solve this corner directly.
-                match direct_corner_point(ws, b, n, w_ang, rhs0, oi[b]) {
-                    Ok(v) => h[b].push(v),
-                    Err(e) => errs[b] = Some(e),
-                }
-            }
+                rhs0,
+                &oi,
+                freqs[i],
+                ws,
+                &mut u,
+                &mut z,
+                row,
+            );
         }
     }
-    errs.iter_mut()
-        .zip(h)
-        .map(|(e, hb)| match e.take() {
-            Some(e) => Err(e),
-            None => Ok(AcResponse {
+    ws.patterns = patterns;
+    assemble_corner_rows(&rows, freqs, bt)
+}
+
+/// Preallocated (frequency × corner) result grid of the corner sweeps:
+/// one row per frequency tile, one slot per corner.
+fn corner_rows(bt: usize, nf: usize) -> Vec<Vec<Result<Complex, SimError>>> {
+    (0..nf)
+        .map(|_| (0..bt).map(|_| Ok(Complex::ZERO)).collect())
+        .collect()
+}
+
+/// Per-corner assembly of a corner sweep's row grid: frequencies in
+/// order up to the corner's first failing point, exactly the serial
+/// per-corner abort contract (values computed past a corner's first
+/// error are discarded).
+fn assemble_corner_rows(
+    rows: &[Vec<Result<Complex, SimError>>],
+    freqs: &[f64],
+    bt: usize,
+) -> Vec<Result<AcResponse, SimError>> {
+    (0..bt)
+        .map(|b| {
+            let mut h = Vec::with_capacity(freqs.len());
+            for row in rows {
+                match &row[b] {
+                    Ok(v) => h.push(*v),
+                    Err(e) => return Err(e.clone()),
+                }
+            }
+            Ok(AcResponse {
                 freqs: freqs.to_vec(),
-                h: hb,
-            }),
+                h,
+            })
         })
         .collect()
+}
+
+/// One frequency tile of the dense warm corner sweep: base factor +
+/// shared correction basis + per-corner Woodbury corrections, writing
+/// every corner's value (or error) into `row`. Identical arithmetic
+/// whether called from the serial loop (caller workspace) or a threaded
+/// lane (pooled workspace): the dense refactor is a full restamp, so the
+/// workspace carries no cross-frequency history.
+#[allow(clippy::too_many_arguments)]
+fn dense_corner_row(
+    patterns: &[Vec<(usize, usize, f64, f64)>],
+    cd: &CornerDiff,
+    rn: usize,
+    n: usize,
+    rhs0: &[Complex],
+    oi: &[Option<usize>],
+    fq: f64,
+    ws: &mut AcBatchWorkspace,
+    u: &mut Vec<Complex>,
+    z: &mut Vec<Complex>,
+    row: &mut [Result<Complex, SimError>],
+) {
+    let w_ang = 2.0 * std::f64::consts::PI * fq;
+    let base_ok = ws
+        .base
+        .refactor_with(n, 1e-300, |re, im| {
+            for &(r, c, g, cc) in &patterns[0] {
+                re[r * n + c] = g;
+                im[r * n + c] = w_ang * cc;
+            }
+        })
+        .is_ok();
+    if !base_ok {
+        // Base corner singular at this point: factor every corner
+        // directly instead.
+        for (b, slot) in row.iter_mut().enumerate() {
+            *slot = direct_corner_point(
+                &mut ws.spare,
+                &mut ws.xcol,
+                &patterns[b],
+                n,
+                w_ang,
+                rhs0,
+                oi[b],
+            );
+        }
+        return;
+    }
+    ws.base.solve_into(rhs0, &mut ws.y0);
+    // W = A0^{-1} P_R : one extra back-substitution per support row,
+    // shared by every corner at this frequency.
+    {
+        let AcBatchWorkspace {
+            base,
+            unit,
+            xcol,
+            wflat,
+            ..
+        } = &mut *ws;
+        solve_correction_basis(&*base, &cd.rows, n, unit, xcol, wflat);
+    }
+    for (b, slot) in row.iter_mut().enumerate() {
+        let base_v = oi[b].map_or(Complex::ZERO, |i| ws.y0[i]);
+        let diff = &cd.diffs[b];
+        if diff.is_empty() {
+            *slot = Ok(base_v);
+            continue;
+        }
+        // S = I + N_b W and u = N_b y0, accumulated straight from
+        // the sparse stamp differences — into the reused small-LU
+        // buffer, so the per-(corner, frequency) correction
+        // allocates nothing.
+        let ok = factor_correction(
+            &mut ws.small,
+            diff,
+            &cd.row_pos,
+            rn,
+            n,
+            |dg, dc| Complex::new(dg, w_ang * dc),
+            &ws.wflat,
+        )
+        .is_ok();
+        *slot = if ok {
+            Ok(corrected_entry(
+                &ws.small,
+                diff,
+                &cd.row_pos,
+                &ws.wflat,
+                &ws.y0,
+                oi[b],
+                |dg, dc| Complex::new(dg, w_ang * dc),
+                n,
+                rn,
+                u,
+                z,
+            ))
+        } else {
+            // Correction system singular (a corner shifted the
+            // base too hard): solve this corner directly.
+            direct_corner_point(
+                &mut ws.spare,
+                &mut ws.xcol,
+                &patterns[b],
+                n,
+                w_ang,
+                rhs0,
+                oi[b],
+            )
+        };
+    }
 }
 
 /// Factors corner `b`'s full system at one frequency into the spare
 /// buffer and solves the shared source vector — the per-point fallback of
 /// [`ac_sweep_corners`].
 fn direct_corner_point(
-    ws: &mut AcBatchWorkspace,
-    b: usize,
+    spare: &mut ComplexLuSoa,
+    xcol: &mut Vec<Complex>,
+    pat: &[(usize, usize, f64, f64)],
     n: usize,
     w_ang: f64,
     rhs: &[Complex],
     oi: Option<usize>,
 ) -> Result<Complex, SimError> {
-    let AcBatchWorkspace {
-        spare,
-        patterns,
-        xcol,
-        ..
-    } = ws;
     spare.refactor_with(n, 1e-300, |re, im| {
-        for &(r, c, g, cc) in &patterns[b] {
+        for &(r, c, g, cc) in pat {
             re[r * n + c] = g;
             im[r * n + c] = w_ang * cc;
         }

@@ -516,6 +516,7 @@ fn newton_solve(
     let sparse = opts.solver.use_sparse(dim);
     if sparse {
         ws.slu.ensure_mode(opts.solver.btf);
+        ws.slu.set_parallelism(opts.solver.par);
     } else if ws.j.rows() != dim || ws.j.cols() != dim {
         ws.j = Matrix::zeros(dim, dim);
     }

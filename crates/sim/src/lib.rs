@@ -59,12 +59,14 @@ pub mod linalg;
 pub mod measure;
 pub mod netlist;
 pub mod noise;
+pub mod par;
 pub mod pex;
 pub mod tran;
 
 pub use error::SimError;
 pub use linalg::sparse::{SolverBackend, SolverConfig};
 pub use linalg::structure::{BtfDecomposition, BtfLu, SparseSolver};
+pub use par::Parallelism;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use crate::noise::{
         noise_analysis, noise_analysis_batch, noise_analysis_corners, NoiseResult,
     };
+    pub use crate::par::Parallelism;
     pub use crate::pex::{extract, PexConfig};
     pub use crate::tran::{transient, transient_warm, TranOptions, TranResult};
 }

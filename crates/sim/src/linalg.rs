@@ -21,9 +21,13 @@ use crate::error::SimError;
 ///
 /// This trait is sealed in spirit: it is implemented for [`f64`] and
 /// [`Complex`] and the simulator does not expect downstream
-/// implementations.
+/// implementations. `Send + Sync` are supertraits so factorizations over
+/// any `Scalar` can fan out across the scoped-thread tile scheduler in
+/// [`crate::par`] (both implementors are plain `Copy` data).
 pub trait Scalar:
     Copy
+    + Send
+    + Sync
     + Default
     + PartialEq
     + std::fmt::Debug

@@ -27,6 +27,7 @@
 
 use super::{LinearSolver, Matrix, Scalar};
 use crate::error::SimError;
+use crate::par::Parallelism;
 
 /// Sentinel for "row not yet chosen as a pivot" in `pinv`.
 const UNPIVOTED: usize = usize::MAX;
@@ -77,6 +78,14 @@ pub struct SolverConfig {
     /// by fill rather than dim alone"). `0` disables the check. Stored as
     /// an integer percentage so the config stays `Eq`/hashable.
     pub fill_limit_pct: u8,
+    /// How sweeps and block factorizations under this config may use the
+    /// scoped-thread tile scheduler in [`crate::par`]: serial
+    /// ([`Parallelism::Off`]), budget-governed ([`Parallelism::Auto`],
+    /// the default — degrades to serial on a spent budget or where
+    /// threading measures as a loss), or an explicit lane count
+    /// ([`Parallelism::Threads`]). Threaded schedules are bitwise-equal
+    /// to serial, so this knob is pure performance policy.
+    pub par: Parallelism,
 }
 
 /// Default [`SolverConfig::fill_limit_pct`]: past ~35% structural fill the
@@ -92,6 +101,7 @@ impl Default for SolverConfig {
             crossover: DEFAULT_CROSSOVER,
             btf: true,
             fill_limit_pct: DEFAULT_FILL_LIMIT_PCT,
+            par: Parallelism::Auto,
         }
     }
 }
@@ -104,6 +114,7 @@ impl SolverConfig {
             crossover: DEFAULT_CROSSOVER,
             btf: true,
             fill_limit_pct: DEFAULT_FILL_LIMIT_PCT,
+            par: Parallelism::Auto,
         }
     }
 
@@ -114,12 +125,20 @@ impl SolverConfig {
             crossover: DEFAULT_CROSSOVER,
             btf: true,
             fill_limit_pct: DEFAULT_FILL_LIMIT_PCT,
+            par: Parallelism::Auto,
         }
     }
 
     /// The same config with the BTF mode switched as given.
     pub const fn with_btf(mut self, btf: bool) -> Self {
         self.btf = btf;
+        self
+    }
+
+    /// The same config with the tile-scheduler policy switched as given
+    /// (see [`SolverConfig::par`]).
+    pub const fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
         self
     }
 

@@ -40,6 +40,7 @@ use std::cell::RefCell;
 use super::sparse::{CscMatrix, SparseLu};
 use super::{LinearSolver, Scalar};
 use crate::error::SimError;
+use crate::par::{run_chunks_unit, Parallelism};
 
 /// Sentinel for "no partner" in matching vectors.
 pub const UNMATCHED: usize = usize::MAX;
@@ -299,6 +300,15 @@ struct BtfScratch<T> {
     xb: Vec<T>,
 }
 
+/// One tile of the parallel per-block refactor in [`BtfLu::refactor`]:
+/// the block's factorization, its sub-matrix, and the lane-recorded
+/// first error of the chunk.
+struct BlockTile<'a, T> {
+    lu: &'a mut SparseLu<T>,
+    blk: &'a CscMatrix<T>,
+    err: Option<SimError>,
+}
+
 /// Block-triangular-form sparse LU: the BTF mode of the sparse backend.
 ///
 /// On a pattern change the structural preflight, the
@@ -334,6 +344,9 @@ pub struct BtfLu<T> {
     off_rowidx: Vec<usize>,
     off_vals: Vec<T>,
     scratch: RefCell<BtfScratch<T>>,
+    /// Tile-scheduler policy for the per-block numeric refactors; the
+    /// serial off-diagonal back-substitution is unaffected.
+    par: Parallelism,
 }
 
 impl<T: Scalar> BtfLu<T> {
@@ -347,6 +360,14 @@ impl<T: Scalar> BtfLu<T> {
     /// Dimension of the factored system (0 before the first refactor).
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Sets the tile-scheduler policy for the per-block numeric refactors
+    /// (default [`Parallelism::Auto`]). Threaded and serial refactors are
+    /// bitwise-identical — each block's factorization reads only its own
+    /// sub-matrix — so this is pure performance policy.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// Number of diagonal blocks in the current decomposition.
@@ -478,17 +499,64 @@ impl<T: Scalar> BtfLu<T> {
                 self.blocks[b].values[pos] = v;
             }
         }
-        for b in 0..self.blocks.len() {
-            self.lus[b]
-                .refactor_unchecked(&self.blocks[b], pivot_floor)
-                .map_err(|e| match e {
+        // Each block's numeric refactor reads only its own sub-matrix, so
+        // the diagonal blocks are independent tiles: threaded and serial
+        // schedules produce bitwise-identical factors.
+        let par = self.block_parallelism();
+        let mut tiles: Vec<BlockTile<'_, T>> = self
+            .lus
+            .iter_mut()
+            .zip(self.blocks.iter())
+            .map(|(lu, blk)| BlockTile { lu, blk, err: None })
+            .collect();
+        run_chunks_unit(par, &mut tiles, |_, chunk| {
+            for t in chunk.iter_mut() {
+                if let Err(e) = t.lu.refactor_unchecked(t.blk, pivot_floor) {
+                    // Later blocks of this chunk stay unfactored — exactly
+                    // as garbage as the serial abort leaves them.
+                    t.err = Some(e);
+                    break;
+                }
+            }
+        });
+        // In-order error scan: the globally lowest failing block is always
+        // reached (every block before it succeeds, so its lane cannot have
+        // bailed earlier), hence the reported error matches the serial
+        // walk regardless of schedule.
+        for (b, t) in tiles.iter_mut().enumerate() {
+            if let Some(e) = t.err.take() {
+                return Err(match e {
                     SimError::SingularSparse { column } => SimError::SingularSparse {
                         column: self.btf.col_perm[self.btf.block_ptr[b] + column],
                     },
                     other => other,
-                })?;
+                });
+            }
         }
         Ok(())
+    }
+
+    /// Auto-gate for the block refactor: threading pays only when at
+    /// least two blocks are big enough to amortize a lane spawn; PEX-mesh
+    /// measurements put that floor around two dozen unknowns. Forced
+    /// modes pass through untouched.
+    fn block_parallelism(&self) -> Parallelism {
+        const MIN_PAR_BLOCK_DIM: usize = 24;
+        match self.par {
+            Parallelism::Auto => {
+                let sizeable = self
+                    .blocks
+                    .iter()
+                    .filter(|b| b.dim() >= MIN_PAR_BLOCK_DIM)
+                    .count();
+                if sizeable >= 2 {
+                    Parallelism::Auto
+                } else {
+                    Parallelism::Off
+                }
+            }
+            forced => forced,
+        }
     }
 
     /// Solves `A x = b` for the factored `A` by block back-substitution:
@@ -585,6 +653,14 @@ impl<T: Scalar> SparseSolver<T> {
     pub fn ensure_mode(&mut self, btf: bool) {
         if self.is_btf() != btf {
             *self = SparseSolver::empty(btf);
+        }
+    }
+
+    /// Sets the tile-scheduler policy for modes that can fan out (BTF
+    /// block refactors); a no-op for the plain whole-matrix mode.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        if let SparseSolver::Btf(lu) = self {
+            lu.set_parallelism(par);
         }
     }
 

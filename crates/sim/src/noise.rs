@@ -22,7 +22,10 @@
 //!   by the whole corner set. Exact to roundoff (the warm path's
 //!   solver-tolerance contract), and the dense-dim fast path.
 
-use crate::ac::{AcBatchWorkspace, AcSolver, AcWorkspace, STOCK_DIM_MAX};
+use crate::ac::{
+    ac_batch_ws_pool, ac_ws_pool, grid_parallelism, AcBatchWorkspace, AcSolver, AcWorkspace,
+    STOCK_DIM_MAX,
+};
 use crate::complex::Complex;
 use crate::dc::OpPoint;
 use crate::device::BOLTZMANN;
@@ -31,8 +34,10 @@ use crate::linalg::correction::{
     corrected_entry, factor_correction, solve_correction_basis, CornerDiff,
 };
 use crate::linalg::sparse::SolverConfig;
+use crate::linalg::ComplexLuSoa;
 use crate::measure::integrate_trapezoid;
 use crate::netlist::{Circuit, Element, Node};
+use crate::par::{run_chunks, would_parallelize, Parallelism};
 
 /// Result of a noise analysis over a frequency grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,35 +171,52 @@ fn noise_points_ws(
     out_psd: &mut Vec<f64>,
     gain: &mut Vec<f64>,
 ) -> Result<(), SimError> {
-    let ckt = solver.circuit();
-    let dim = solver.dim();
     for &f in freqs {
-        solver.factor_at_ws(f, ws)?;
-        let AcWorkspace { lu, x, rhs, .. } = &mut *ws;
-        // Signal gain.
-        lu.solve_into(solver.source_rhs(), x);
-        let g = solver.voltage(x, out).norm();
+        let (g, psd) = noise_point_ws(solver, sources, out, f, ws)?;
         gain.push(g);
-        // Sum over noise sources.
-        let mut psd = 0.0;
-        rhs.clear();
-        rhs.resize(dim, Complex::ZERO);
-        for s in sources {
-            rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
-            // Unit AC current from p to n inside the source.
-            if let Some(ip) = ckt.mna_index(s.p) {
-                rhs[ip] -= Complex::ONE;
-            }
-            if let Some(in_) = ckt.mna_index(s.n) {
-                rhs[in_] += Complex::ONE;
-            }
-            lu.solve_into(rhs, x);
-            let h2 = solver.voltage(x, out).norm_sqr();
-            psd += h2 * s.psd_at(f);
-        }
         out_psd.push(psd);
     }
     Ok(())
+}
+
+/// One grid point of the scalar analysis: factor, gain solve, per-source
+/// unit-injection solves with the PSD accumulated in source order —
+/// the tile body shared by the serial loop and the threaded lanes (the
+/// per-source loop stays serial inside a tile, which is what keeps the
+/// accumulation order, and hence the sum, bitwise-stable under any
+/// schedule). Returns `(gain, psd)`.
+fn noise_point_ws(
+    solver: &AcSolver<'_>,
+    sources: &[NoiseSource],
+    out: Node,
+    f: f64,
+    ws: &mut AcWorkspace,
+) -> Result<(f64, f64), SimError> {
+    let ckt = solver.circuit();
+    let dim = solver.dim();
+    solver.factor_at_ws(f, ws)?;
+    let AcWorkspace { lu, x, rhs, .. } = &mut *ws;
+    // Signal gain.
+    lu.solve_into(solver.source_rhs(), x);
+    let g = solver.voltage(x, out).norm();
+    // Sum over noise sources.
+    let mut psd = 0.0;
+    rhs.clear();
+    rhs.resize(dim, Complex::ZERO);
+    for s in sources {
+        rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
+        // Unit AC current from p to n inside the source.
+        if let Some(ip) = ckt.mna_index(s.p) {
+            rhs[ip] -= Complex::ONE;
+        }
+        if let Some(in_) = ckt.mna_index(s.n) {
+            rhs[in_] += Complex::ONE;
+        }
+        lu.solve_into(rhs, x);
+        let h2 = solver.voltage(x, out).norm_sqr();
+        psd += h2 * s.psd_at(f);
+    }
+    Ok((g, psd))
 }
 
 /// Integrates the sampled PSDs into the result: total output noise over
@@ -309,11 +331,56 @@ pub fn noise_analysis_cfg(
     validate_freqs(freqs)?;
     let sources = collect_sources(ckt, op, temp_k)?;
     let solver = AcSolver::new(ckt, op).with_config(cfg);
+    let par = solver.sweep_parallelism();
+    if would_parallelize(par, freqs.len()) {
+        let (out_psd, gain) = noise_points_par(&solver, &sources, out, freqs, par)?;
+        return finalize(freqs, out_psd, gain);
+    }
     solver.prepare_workspace(ws);
     let mut out_psd = Vec::with_capacity(freqs.len());
     let mut gain = Vec::with_capacity(freqs.len());
     noise_points_ws(&solver, &sources, out, freqs, ws, &mut out_psd, &mut gain)?;
     finalize(freqs, out_psd, gain)
+}
+
+/// Threaded scalar noise sweep: every frequency factors and solves into
+/// its own slot through a per-lane pooled workspace, exactly the
+/// per-point arithmetic of [`noise_points_ws`] (each point's per-source
+/// accumulation stays serial inside its tile), so the result is
+/// bitwise-equal to the serial walk under any schedule. The in-order
+/// drain recovers the serial path's first-failing-frequency abort.
+fn noise_points_par(
+    solver: &AcSolver<'_>,
+    sources: &[NoiseSource],
+    out: Node,
+    freqs: &[f64],
+    par: Parallelism,
+) -> Result<(Vec<f64>, Vec<f64>), SimError> {
+    let mut slots: Vec<Result<(f64, f64), SimError>> =
+        freqs.iter().map(|_| Ok((0.0, 0.0))).collect();
+    run_chunks(
+        par,
+        &mut slots,
+        ac_ws_pool(),
+        AcWorkspace::new,
+        |off, chunk, ws| {
+            solver.prepare_lane(freqs[0], ws);
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = noise_point_ws(solver, sources, out, freqs[off + k], ws);
+                if slot.is_err() {
+                    break;
+                }
+            }
+        },
+    );
+    let mut out_psd = Vec::with_capacity(freqs.len());
+    let mut gain = Vec::with_capacity(freqs.len());
+    for s in slots {
+        let (g, p) = s?;
+        gain.push(g);
+        out_psd.push(p);
+    }
+    Ok((out_psd, gain))
 }
 
 /// Per-corner scalar reference path of the batched analyses: each corner
@@ -413,6 +480,15 @@ pub fn noise_analysis_batch(
     }
     if let Err(e) = validate_freqs(freqs) {
         return (0..bt).map(|_| Err(e.clone())).collect();
+    }
+    let par = grid_parallelism(solvers);
+    if would_parallelize(par, bt * freqs.len()) {
+        // Threaded cold grid: per-corner scalar points across the
+        // (corner × frequency) tiles. Per corner that is exactly the
+        // scalar reference arithmetic, which both cold routes below are
+        // bitwise-equal to — so the dispatch stays pure performance
+        // policy.
+        return threaded_grid_noise(solvers, ops, outs, freqs, temps, par);
     }
     let dim = solvers[0].dim();
     if bt == 1
@@ -561,6 +637,73 @@ pub fn noise_analysis_batch(
         .collect()
 }
 
+/// Threaded cold corner analysis: the (corner × frequency) grid is
+/// flattened into tiles (`tile = corner * nf + freq`), each running the
+/// full scalar point into its own slot through a per-lane pooled
+/// workspace; a lane crossing a corner boundary re-prepares its workspace
+/// for the new corner. Per-corner source collection stays serial up
+/// front — a corner whose collection fails is skipped by every lane and
+/// reports its collection error, exactly like the scalar route. The
+/// in-order per-corner assembly recovers the serial
+/// first-failing-frequency abort.
+fn threaded_grid_noise(
+    solvers: &[AcSolver<'_>],
+    ops: &[&OpPoint],
+    outs: &[Node],
+    freqs: &[f64],
+    temps: &[f64],
+    par: Parallelism,
+) -> Vec<Result<NoiseResult, SimError>> {
+    let bt = solvers.len();
+    let nf = freqs.len();
+    let sources: Vec<Result<Vec<NoiseSource>, SimError>> = solvers
+        .iter()
+        .zip(ops)
+        .zip(temps)
+        .map(|((s, op), &t)| collect_sources(s.circuit(), op, t))
+        .collect();
+    let mut slots: Vec<Result<(f64, f64), SimError>> =
+        (0..bt * nf).map(|_| Ok((0.0, 0.0))).collect();
+    run_chunks(
+        par,
+        &mut slots,
+        ac_ws_pool(),
+        AcWorkspace::new,
+        |off, chunk, ws| {
+            let mut cur = usize::MAX;
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let t = off + k;
+                let (b, i) = (t / nf, t % nf);
+                let Ok(srcs) = &sources[b] else { continue };
+                if b != cur {
+                    solvers[b].prepare_lane(freqs[0], ws);
+                    cur = b;
+                }
+                *slot = noise_point_ws(&solvers[b], srcs, outs[b], freqs[i], ws);
+            }
+        },
+    );
+    sources
+        .into_iter()
+        .enumerate()
+        .map(|(b, srcs)| {
+            srcs?;
+            let mut out_psd = Vec::with_capacity(nf);
+            let mut gain = Vec::with_capacity(nf);
+            for slot in &slots[b * nf..(b + 1) * nf] {
+                match slot {
+                    Ok((g, p)) => {
+                        gain.push(*g);
+                        out_psd.push(*p);
+                    }
+                    Err(e) => return Err(e.clone()),
+                }
+            }
+            finalize(freqs, out_psd, gain)
+        })
+        .collect()
+}
+
 /// Factors corner `b`'s full system at one frequency into the spare
 /// buffer and runs the full scalar point (gain + per-source solves) — the
 /// per-point fallback of [`noise_analysis_corners`] when the base factor
@@ -568,8 +711,10 @@ pub fn noise_analysis_batch(
 /// arithmetic exactly at that point.
 #[allow(clippy::too_many_arguments)]
 fn direct_noise_point(
-    ws: &mut AcBatchWorkspace,
-    b: usize,
+    spare: &mut ComplexLuSoa,
+    unit: &mut Vec<Complex>,
+    xcol: &mut Vec<Complex>,
+    pat: &[(usize, usize, f64, f64)],
     n: usize,
     w_ang: f64,
     rhs0: &[Complex],
@@ -578,15 +723,8 @@ fn direct_noise_point(
     inj: &[(Option<usize>, Option<usize>)],
     fq: f64,
 ) -> Result<(f64, f64), SimError> {
-    let AcBatchWorkspace {
-        spare,
-        patterns,
-        unit,
-        xcol,
-        ..
-    } = ws;
     spare.refactor_with(n, 1e-300, |re, im| {
-        for &(r, c, g, cc) in &patterns[b] {
+        for &(r, c, g, cc) in pat {
             re[r * n + c] = g;
             im[r * n + c] = w_ang * cc;
         }
@@ -710,152 +848,251 @@ pub fn noise_analysis_corners(
         .zip(outs)
         .map(|(s, &o)| s.mna_index(o))
         .collect();
-    let mut out_psd: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); bt];
-    let mut gain: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); bt];
-    let mut errs: Vec<Option<SimError>> = vec![None; bt];
-    let mut u = Vec::new();
-    let mut z = Vec::new();
-    for &fq in freqs {
-        let w_ang = 2.0 * std::f64::consts::PI * fq;
-        let base_ok = ws
-            .base
-            .refactor_with(n, 1e-300, |re, im| {
-                for &(r, c, g, cc) in &ws.patterns[0] {
-                    re[r * n + c] = g;
-                    im[r * n + c] = w_ang * cc;
+    // Every frequency's full corner row is an independent tile, exactly
+    // as in [`crate::ac::ac_sweep_corners`]: the base factor, correction
+    // basis, shared per-source base solves, and per-corner recoveries at
+    // one `fq` read nothing a sibling frequency wrote, so the serial walk
+    // and the threaded schedule run the exact same row body. Values a
+    // corner computes past its first failing frequency are discarded by
+    // the in-order assembly, matching the serial abort contract.
+    let patterns = std::mem::take(&mut ws.patterns);
+    let mut rows: Vec<Vec<Result<(f64, f64), SimError>>> = (0..freqs.len())
+        .map(|_| (0..bt).map(|_| Ok((0.0, 0.0))).collect())
+        .collect();
+    let par = grid_parallelism(solvers);
+    if would_parallelize(par, freqs.len()) {
+        run_chunks(
+            par,
+            &mut rows,
+            ac_batch_ws_pool(),
+            AcBatchWorkspace::new,
+            |off, chunk, lane| {
+                let mut u = vec![Complex::ZERO; rn];
+                let mut z = Vec::new();
+                for (k, row) in chunk.iter_mut().enumerate() {
+                    corrected_noise_row(
+                        &patterns[..bt],
+                        &cd,
+                        rn,
+                        n,
+                        rhs0,
+                        &oi,
+                        &sources,
+                        &inj,
+                        freqs[off + k],
+                        lane,
+                        &mut u,
+                        &mut z,
+                        row,
+                    );
                 }
-            })
-            .is_ok();
-        if !base_ok {
-            // Base corner singular at this point: run every live corner
-            // through the direct scalar point instead.
-            for b in 0..bt {
-                if errs[b].is_some() {
-                    continue;
-                }
-                match direct_noise_point(ws, b, n, w_ang, rhs0, oi[b], &sources[b], &inj, fq) {
-                    Ok((g, p)) => {
-                        gain[b].push(g);
-                        out_psd[b].push(p);
-                    }
-                    Err(e) => errs[b] = Some(e),
-                }
-            }
-            continue;
-        }
-        ws.base.solve_into(rhs0, &mut ws.y0);
-        {
-            let AcBatchWorkspace {
-                base,
-                unit,
-                xcol,
-                wflat,
-                ..
-            } = &mut *ws;
-            solve_correction_basis(&*base, &cd.rows, n, unit, xcol, wflat);
-        }
-        // Per-source base solves, computed once and shared by the whole
-        // corner set — the structural win of the corrected analysis.
-        ws.ys.clear();
-        for &(ip, in_) in &inj {
-            let AcBatchWorkspace {
-                base,
-                unit,
-                xcol,
-                ys,
-                ..
-            } = &mut *ws;
-            unit.clear();
-            unit.resize(n, Complex::ZERO);
-            if let Some(ip) = ip {
-                unit[ip] -= Complex::ONE;
-            }
-            if let Some(in_) = in_ {
-                unit[in_] += Complex::ONE;
-            }
-            base.solve_into(unit, xcol);
-            ys.extend_from_slice(xcol);
-        }
-        for b in 0..bt {
-            if errs[b].is_some() {
-                continue;
-            }
-            let diff = &cd.diffs[b];
-            if diff.is_empty() {
-                // Corner identical to the base: its solves *are* the
-                // base solves.
-                let g = oi[b].map_or(0.0, |i| ws.y0[i].norm());
-                let mut p = 0.0;
-                for (s, src) in sources[b].iter().enumerate() {
-                    let h2 = oi[b].map_or(0.0, |i| ws.ys[s * n + i].norm_sqr());
-                    p += h2 * src.psd_at(fq);
-                }
-                gain[b].push(g);
-                out_psd[b].push(p);
-                continue;
-            }
-            let ok = factor_correction(
-                &mut ws.small,
-                diff,
-                &cd.row_pos,
+            },
+        );
+    } else {
+        let mut u = vec![Complex::ZERO; rn];
+        let mut z = Vec::new();
+        for (i, row) in rows.iter_mut().enumerate() {
+            corrected_noise_row(
+                &patterns[..bt],
+                &cd,
                 rn,
                 n,
-                |dg, dc| Complex::new(dg, w_ang * dc),
-                &ws.wflat,
-            )
-            .is_ok();
-            if !ok {
-                match direct_noise_point(ws, b, n, w_ang, rhs0, oi[b], &sources[b], &inj, fq) {
+                rhs0,
+                &oi,
+                &sources,
+                &inj,
+                freqs[i],
+                ws,
+                &mut u,
+                &mut z,
+                row,
+            );
+        }
+    }
+    ws.patterns = patterns;
+    (0..bt)
+        .map(|b| {
+            let mut out_psd = Vec::with_capacity(freqs.len());
+            let mut gain = Vec::with_capacity(freqs.len());
+            for row in &rows {
+                match &row[b] {
                     Ok((g, p)) => {
-                        gain[b].push(g);
-                        out_psd[b].push(p);
+                        gain.push(*g);
+                        out_psd.push(*p);
                     }
-                    Err(e) => errs[b] = Some(e),
+                    Err(e) => return Err(e.clone()),
                 }
-                continue;
             }
-            let g = corrected_entry(
+            finalize(freqs, out_psd, gain)
+        })
+        .collect()
+}
+
+/// One frequency tile of the corrected noise analysis: base factor +
+/// shared correction basis + per-source base solves + per-corner Woodbury
+/// recoveries, writing every corner's `(gain, psd)` (or error) into
+/// `row`. Identical arithmetic whether called from the serial loop
+/// (caller workspace) or a threaded lane (pooled workspace): the dense
+/// refactor is a full restamp, so the workspace carries no
+/// cross-frequency history.
+#[allow(clippy::too_many_arguments)]
+fn corrected_noise_row(
+    patterns: &[Vec<(usize, usize, f64, f64)>],
+    cd: &CornerDiff,
+    rn: usize,
+    n: usize,
+    rhs0: &[Complex],
+    oi: &[Option<usize>],
+    sources: &[Vec<NoiseSource>],
+    inj: &[(Option<usize>, Option<usize>)],
+    fq: f64,
+    ws: &mut AcBatchWorkspace,
+    u: &mut Vec<Complex>,
+    z: &mut Vec<Complex>,
+    row: &mut [Result<(f64, f64), SimError>],
+) {
+    let w_ang = 2.0 * std::f64::consts::PI * fq;
+    let base_ok = ws
+        .base
+        .refactor_with(n, 1e-300, |re, im| {
+            for &(r, c, g, cc) in &patterns[0] {
+                re[r * n + c] = g;
+                im[r * n + c] = w_ang * cc;
+            }
+        })
+        .is_ok();
+    if !base_ok {
+        // Base corner singular at this point: run every corner through
+        // the direct scalar point instead.
+        for (b, slot) in row.iter_mut().enumerate() {
+            let AcBatchWorkspace {
+                spare, unit, xcol, ..
+            } = &mut *ws;
+            *slot = direct_noise_point(
+                spare,
+                unit,
+                xcol,
+                &patterns[b],
+                n,
+                w_ang,
+                rhs0,
+                oi[b],
+                &sources[b],
+                inj,
+                fq,
+            );
+        }
+        return;
+    }
+    ws.base.solve_into(rhs0, &mut ws.y0);
+    {
+        let AcBatchWorkspace {
+            base,
+            unit,
+            xcol,
+            wflat,
+            ..
+        } = &mut *ws;
+        solve_correction_basis(&*base, &cd.rows, n, unit, xcol, wflat);
+    }
+    // Per-source base solves, computed once and shared by the whole
+    // corner set — the structural win of the corrected analysis.
+    ws.ys.clear();
+    for &(ip, in_) in inj {
+        let AcBatchWorkspace {
+            base,
+            unit,
+            xcol,
+            ys,
+            ..
+        } = &mut *ws;
+        unit.clear();
+        unit.resize(n, Complex::ZERO);
+        if let Some(ip) = ip {
+            unit[ip] -= Complex::ONE;
+        }
+        if let Some(in_) = in_ {
+            unit[in_] += Complex::ONE;
+        }
+        base.solve_into(unit, xcol);
+        ys.extend_from_slice(xcol);
+    }
+    for (b, slot) in row.iter_mut().enumerate() {
+        let diff = &cd.diffs[b];
+        if diff.is_empty() {
+            // Corner identical to the base: its solves *are* the base
+            // solves.
+            let g = oi[b].map_or(0.0, |i| ws.y0[i].norm());
+            let mut p = 0.0;
+            for (s, src) in sources[b].iter().enumerate() {
+                let h2 = oi[b].map_or(0.0, |i| ws.ys[s * n + i].norm_sqr());
+                p += h2 * src.psd_at(fq);
+            }
+            *slot = Ok((g, p));
+            continue;
+        }
+        let ok = factor_correction(
+            &mut ws.small,
+            diff,
+            &cd.row_pos,
+            rn,
+            n,
+            |dg, dc| Complex::new(dg, w_ang * dc),
+            &ws.wflat,
+        )
+        .is_ok();
+        if !ok {
+            let AcBatchWorkspace {
+                spare, unit, xcol, ..
+            } = &mut *ws;
+            *slot = direct_noise_point(
+                spare,
+                unit,
+                xcol,
+                &patterns[b],
+                n,
+                w_ang,
+                rhs0,
+                oi[b],
+                &sources[b],
+                inj,
+                fq,
+            );
+            continue;
+        }
+        let g = corrected_entry(
+            &ws.small,
+            diff,
+            &cd.row_pos,
+            &ws.wflat,
+            &ws.y0,
+            oi[b],
+            |dg, dc| Complex::new(dg, w_ang * dc),
+            n,
+            rn,
+            u,
+            z,
+        )
+        .norm();
+        let mut p = 0.0;
+        for (s, src) in sources[b].iter().enumerate() {
+            let h = corrected_entry(
                 &ws.small,
                 diff,
                 &cd.row_pos,
                 &ws.wflat,
-                &ws.y0,
+                &ws.ys[s * n..(s + 1) * n],
                 oi[b],
                 |dg, dc| Complex::new(dg, w_ang * dc),
                 n,
                 rn,
-                &mut u,
-                &mut z,
-            )
-            .norm();
-            let mut p = 0.0;
-            for (s, src) in sources[b].iter().enumerate() {
-                let h = corrected_entry(
-                    &ws.small,
-                    diff,
-                    &cd.row_pos,
-                    &ws.wflat,
-                    &ws.ys[s * n..(s + 1) * n],
-                    oi[b],
-                    |dg, dc| Complex::new(dg, w_ang * dc),
-                    n,
-                    rn,
-                    &mut u,
-                    &mut z,
-                );
-                p += h.norm_sqr() * src.psd_at(fq);
-            }
-            gain[b].push(g);
-            out_psd[b].push(p);
+                u,
+                z,
+            );
+            p += h.norm_sqr() * src.psd_at(fq);
         }
+        *slot = Ok((g, p));
     }
-    errs.iter_mut()
-        .zip(out_psd.into_iter().zip(gain))
-        .map(|(e, (ob, gb))| match e.take() {
-            Some(e) => Err(e),
-            None => finalize(freqs, ob, gb),
-        })
-        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,14 @@
+//! Fixture: every thread-discipline pattern fires, in order — the
+//! `thread::spawn` import, a qualified spawn, and a qualified scope.
+//! (The bare `spawn(..)` call is reached only through the flagged
+//! import, so flagging the import covers it.)
+//! Not compiled — read by the lint's unit tests.
+
+use std::thread::spawn;
+
+pub fn ad_hoc_threads() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    std::thread::scope(|_s| {});
+    let _ = spawn(|| 2);
+}

@@ -1,4 +1,4 @@
-//! The lint suite: four token-level lints over the workspace.
+//! The lint suite: five token-level lints over the workspace.
 //!
 //! | name             | scope                         | what it catches |
 //! |------------------|-------------------------------|-----------------|
@@ -6,6 +6,7 @@
 //! | `kernel-purity`  | `crates/sim`, `crates/circuits` | `println!`-family, `dbg!`, `std::io`, `std::fs`, `Instant`, `SystemTime` |
 //! | `crate-layering` | every crate's manifest + sources | `autockt_*` dependency edges outside the allowed DAG |
 //! | `float-eq`       | all library code              | `==`/`!=` against a float literal |
+//! | `thread-discipline` | all library code           | `thread::spawn`/`thread::scope` outside the tile scheduler and the rollout collector |
 //!
 //! Every lint skips test-gated code (see [`crate::source`]) and honors
 //! `lint:allow(<name>)` justification comments. Library code means
@@ -74,7 +75,19 @@ pub const LINTS: &[LintSpec] = &[
         description: "==/!= comparison against a float literal in library code",
         roots: LIB_ROOTS,
     },
+    LintSpec {
+        name: "thread-discipline",
+        description: "raw thread::spawn/thread::scope outside the tile scheduler (sim::par) and the rollout collector",
+        roots: LIB_ROOTS,
+    },
 ];
+
+/// The only library files allowed to touch raw thread entry points: the
+/// tile scheduler itself, and the rollout collector (whose workers charge
+/// the scheduler's process-wide budget through its `ThreadAccountant`).
+/// Everything else must go through `autockt_sim::par` so the thread
+/// budget stays the single accounting point.
+pub const THREAD_ALLOWED_FILES: &[&str] = &["crates/sim/src/par.rs", "crates/rl/src/rollout.rs"];
 
 /// The allow marker for a lint name: `lint:allow(<name>)`.
 pub fn allow_marker(name: &str) -> String {
@@ -88,6 +101,7 @@ pub fn scan_file(lint: &str, file: &SourceFile) -> Vec<Finding> {
         "panic" => scan_panic(file),
         "kernel-purity" => scan_purity(file),
         "float-eq" => scan_float_eq(file),
+        "thread-discipline" => scan_thread_discipline(file),
         other => unreachable!("unknown per-file lint {other}"),
     }
 }
@@ -212,6 +226,42 @@ pub fn scan_float_eq(file: &SourceFile) -> Vec<Finding> {
                 "float-eq",
                 file.code_line(i),
                 &format!("{op} float literal"),
+            );
+        }
+    }
+    out
+}
+
+/// `thread-discipline` lint: raw `thread::spawn` / `thread::scope`
+/// (plain or `std::`-qualified, call sites and imports alike) in
+/// non-test library code outside [`THREAD_ALLOWED_FILES`]. Ad-hoc
+/// threads bypass the process-wide thread budget, so parallelism
+/// belongs behind `autockt_sim::par`'s tile scheduler.
+pub fn scan_thread_discipline(file: &SourceFile) -> Vec<Finding> {
+    if THREAD_ALLOWED_FILES.contains(&file.rel.as_str()) {
+        return Vec::new();
+    }
+    const ENTRY_POINTS: [&str; 2] = ["spawn", "scope"];
+    let mut out = Vec::new();
+    let n = file.code.len();
+    for i in 0..n {
+        if file.in_test[i] || file.code_kind(i) != TokenKind::Ident {
+            continue;
+        }
+        if file.code_text(i) != "thread" {
+            continue;
+        }
+        if i + 2 < n
+            && file.code_text(i + 1) == "::"
+            && file.code_kind(i + 2) == TokenKind::Ident
+            && ENTRY_POINTS.contains(&file.code_text(i + 2))
+        {
+            push(
+                file,
+                &mut out,
+                "thread-discipline",
+                file.code_line(i),
+                &format!("thread::{}", file.code_text(i + 2)),
             );
         }
     }
@@ -499,6 +549,51 @@ mod tests {
         // Integer equality, float comparisons against variables, and
         // float-literal equality inside tests are all fine.
         assert_eq!(scan_float_eq(&fixture("float-eq/clean.rs")), vec![]);
+    }
+
+    // ---- thread-discipline ----
+
+    #[test]
+    fn thread_discipline_firing_fixture() {
+        let findings = scan_thread_discipline(&fixture("thread-discipline/firing.rs"));
+        let patterns: Vec<&str> = findings.iter().map(|f| f.pattern.as_str()).collect();
+        assert_eq!(
+            patterns,
+            vec!["thread::spawn", "thread::spawn", "thread::scope"]
+        );
+    }
+
+    #[test]
+    fn thread_discipline_allowed_fixture() {
+        assert_eq!(
+            scan_thread_discipline(&fixture("thread-discipline/allowed.rs")),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn thread_discipline_clean_fixture() {
+        assert_eq!(
+            scan_thread_discipline(&fixture("thread-discipline/clean.rs")),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn thread_discipline_exempts_the_scheduler_and_the_collector() {
+        for rel in THREAD_ALLOWED_FILES {
+            let f = SourceFile::new(
+                (*rel).to_string(),
+                "pub fn run() { std::thread::scope(|_s| {}); }\n".into(),
+            );
+            assert_eq!(scan_thread_discipline(&f), vec![], "{rel} must be exempt");
+        }
+        // The same source anywhere else fires.
+        let f = SourceFile::new(
+            "crates/sim/src/ac.rs".into(),
+            "pub fn run() { std::thread::scope(|_s| {}); }\n".into(),
+        );
+        assert_eq!(scan_thread_discipline(&f).len(), 1);
     }
 
     // ---- crate-layering ----

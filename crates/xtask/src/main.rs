@@ -9,8 +9,9 @@
 //! Runs a token-level static-analysis pass over the workspace: sources
 //! are lexed (strings, raw strings, char literals, nested block
 //! comments, lifetimes — see `lexer.rs`) so lints match *code tokens*,
-//! never prose or literal contents. Four lints ship (see `lints.rs`):
-//! `panic`, `kernel-purity`, `crate-layering`, `float-eq`. Each holds
+//! never prose or literal contents. Five lints ship (see `lints.rs`):
+//! `panic`, `kernel-purity`, `crate-layering`, `float-eq`,
+//! `thread-discipline`. Each holds
 //! its findings to a checked-in one-way ratchet baseline under
 //! `crates/xtask/baselines/` and honors `lint:allow(<name>)`
 //! justification comments; every run writes a machine-readable report to
